@@ -1,0 +1,59 @@
+//! Microbenchmark: one homomorphic convolution output unit (Eq. 1's
+//! weighted sum) and one SLAF activation unit — the building blocks
+//! whose per-unit times the Table III–VI simulation schedules.
+
+use cnn_he::he_layers::{he_conv2d, he_poly_eval_deg3, ConvSpec};
+use cnn_he::he_tensor::encrypt_image_batch;
+use ckks::{CkksParams, Evaluator, KeyGenerator, SecurityLevel};
+use ckks_math::sampler::Sampler;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench_conv(c: &mut Criterion) {
+    let n = 1usize << 12;
+    let depth = 7usize;
+    let mut chain_bits = vec![40u32];
+    chain_bits.extend(std::iter::repeat(26).take(depth));
+    let ctx = CkksParams {
+        n,
+        chain_bits,
+        special_bits: vec![40],
+        scale_bits: 26,
+        security: SecurityLevel::None,
+    }
+    .build();
+    let mut kg = KeyGenerator::new(Arc::clone(&ctx), 11);
+    let sk = kg.gen_secret_key();
+    let pk = kg.gen_public_key(&sk);
+    let rk = kg.gen_relin_key(&sk);
+    let ev = Evaluator::new(Arc::clone(&ctx));
+    let mut s = Sampler::from_seed(12);
+    let _ = sk;
+
+    // a 10×10 single-channel patch: 1 conv output = 25 scalar MACs
+    let img: Vec<f32> = (0..100).map(|i| (i % 7) as f32 / 7.0).collect();
+    let x = encrypt_image_batch(&ev, &pk, &mut s, &[&img], 10, depth);
+    let spec = ConvSpec {
+        weight: (0..25).map(|i| (i as f32 - 12.0) * 0.03).collect(),
+        bias: vec![0.1],
+        in_ch: 1,
+        out_ch: 1,
+        k: 5,
+        stride: 2,
+        pad: 1,
+    };
+
+    let mut g = c.benchmark_group("he_conv_units_n2pow12");
+    g.sample_size(10);
+    g.bench_function("conv_4x4_outputs_25taps", |b| {
+        b.iter(|| he_conv2d(&ev, &x, &spec))
+    });
+    g.bench_function("slaf_deg3_single_unit", |b| {
+        let ct = &x.cts[0];
+        b.iter(|| he_poly_eval_deg3(&ev, &rk, ct, &[0.1, 0.5, 0.2, 0.05]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conv);
+criterion_main!(benches);

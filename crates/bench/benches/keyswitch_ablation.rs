@@ -1,0 +1,41 @@
+//! Ablation (DESIGN.md §8): GHS (special-modulus) vs BV key switching —
+//! latency here, the noise side in the `keyswitch_noise` integration
+//! test.
+
+use ckks::{CkksParams, Evaluator, KeyGenerator, KsVariant, SecurityLevel};
+use ckks_math::sampler::Sampler;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench_keyswitch(c: &mut Criterion) {
+    let n = 1usize << 12;
+    let depth = 7usize;
+    let mut chain_bits = vec![40u32];
+    chain_bits.extend(std::iter::repeat(26).take(depth));
+    let ctx = CkksParams {
+        n,
+        chain_bits,
+        special_bits: vec![40],
+        scale_bits: 26,
+        security: SecurityLevel::None,
+    }
+    .build();
+    let mut kg = KeyGenerator::new(Arc::clone(&ctx), 21);
+    let sk = kg.gen_secret_key();
+    let pk = kg.gen_public_key(&sk);
+    let rk_ghs = kg.gen_relin_key_variant(&sk, KsVariant::Ghs);
+    let rk_bv = kg.gen_relin_key_variant(&sk, KsVariant::Bv);
+    let ev = Evaluator::new(Arc::clone(&ctx));
+    let mut s = Sampler::from_seed(22);
+    let vals = vec![0.5f64; 64];
+    let ct = ev.encrypt_real(&vals, &pk, &mut s);
+
+    let mut g = c.benchmark_group("keyswitch_ablation_n2pow12_L7");
+    g.sample_size(10);
+    g.bench_function("multiply_relin_ghs", |b| b.iter(|| ev.multiply(&ct, &ct, &rk_ghs)));
+    g.bench_function("multiply_relin_bv", |b| b.iter(|| ev.multiply(&ct, &ct, &rk_bv)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_keyswitch);
+criterion_main!(benches);

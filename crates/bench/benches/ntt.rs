@@ -1,0 +1,41 @@
+//! Microbenchmark: negacyclic NTT forward/inverse across ring degrees,
+//! the primitive underlying every homomorphic operation.
+
+use ckks_math::modring::Modulus;
+use ckks_math::ntt::NttTable;
+use ckks_math::prime::gen_ntt_primes_excluding;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt");
+    g.sample_size(20);
+    for log_n in [12u32, 13, 14] {
+        let n = 1usize << log_n;
+        let p = gen_ntt_primes_excluding(50, n, 1, &[])[0];
+        let table = NttTable::new(n, Modulus::new(p));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+
+        g.bench_with_input(BenchmarkId::new("forward", format!("2^{log_n}")), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| table.forward(&mut d),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("inverse", format!("2^{log_n}")), &n, |b, _| {
+            let mut fwd = data.clone();
+            table.forward(&mut fwd);
+            b.iter_batched(
+                || fwd.clone(),
+                |mut d| table.inverse(&mut d),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ntt);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Ablation (DESIGN.md §8): scalar (CryptoNets-style) packing vs packed
+//! Lo-La-style packing for CNN1.
+//!
+//! * scalar packing — one ciphertext per neuron, a batch of images in
+//!   the slots: high per-request latency, extreme amortized throughput;
+//! * packed — the whole layer vector in one ciphertext, BSGS diagonal
+//!   matrix products: ~2√D rotations per layer and ONE activation per
+//!   layer, giving Lo-La's low single-request latency.
+//!
+//! Run: `cargo run --release -p bench --bin packing_ablation`
+//! (reduced-profile: `RNS_CNN_LOGN=12`)
+
+use bench::harness::{self, Arch};
+use ckks::{CkksParams, Evaluator, KeyGenerator, SecurityLevel};
+use ckks_math::sampler::Sampler;
+use cnn_he::packed::PackedNetwork;
+use cnn_he::CnnHePipeline;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let model = harness::trained_model(Arch::Cnn1);
+    let test = harness::test_set();
+    let img = test.image(0);
+    let log_n = harness::env_usize("RNS_CNN_LOGN", 13);
+    let n = 1usize << log_n;
+
+    println!("PACKING ABLATION — CNN1, N = 2^{log_n}\n");
+
+    // ---------------- scalar engine --------------------------------
+    eprintln!("[ablation] scalar engine inference ...");
+    let mut pipe = CnnHePipeline::new(model.network.clone(), n, 31337);
+    let t0 = Instant::now();
+    let res = pipe.classify(&[img]);
+    let scalar_wall = t0.elapsed();
+    let scalar_pred = res.predictions[0];
+
+    // ---------------- packed engine --------------------------------
+    eprintln!("[ablation] packed engine: building keys + precompute ...");
+    let packed = PackedNetwork::from_network(&model.network);
+    let depth = packed.required_levels();
+    let mut chain_bits = vec![40u32];
+    chain_bits.extend(std::iter::repeat(26).take(depth));
+    let ctx = CkksParams {
+        n,
+        chain_bits,
+        special_bits: vec![40],
+        scale_bits: 26,
+        security: if n >= 1 << 14 {
+            SecurityLevel::Bits128
+        } else {
+            SecurityLevel::None
+        },
+    }
+    .build();
+    let mut kg = KeyGenerator::new(Arc::clone(&ctx), 31338);
+    let sk = kg.gen_secret_key();
+    let pk = kg.gen_public_key(&sk);
+    let rk = kg.gen_relin_key(&sk);
+    let gk = kg.gen_galois_keys(&sk, &packed.required_rotation_steps(), false);
+    let ev = Evaluator::new(Arc::clone(&ctx));
+    let mut s = Sampler::from_seed(31339);
+    let pre = packed.precompute(&ev);
+
+    eprintln!("[ablation] packed engine inference ...");
+    let x = packed.encrypt_input(&ev, &pk, &mut s, img);
+    let t1 = Instant::now();
+    let (y, layer_times) = packed.infer_encrypted_precomputed(&ev, &rk, &gk, &pre, x);
+    let packed_wall = t1.elapsed();
+    let out = ev.decrypt_to_real(&y, &sk);
+    let packed_pred = out[..packed.output_dim]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+
+    println!("engine              | 1-image request latency | prediction");
+    println!(
+        "scalar (CryptoNets) | {:>21.2}s  | {scalar_pred}",
+        scalar_wall.as_secs_f64()
+    );
+    println!(
+        "packed (Lo-La)      | {:>21.2}s  | {packed_pred}",
+        packed_wall.as_secs_f64()
+    );
+    println!(
+        "\nspeed-up of packed over scalar: {:.1}×",
+        scalar_wall.as_secs_f64() / packed_wall.as_secs_f64()
+    );
+    println!(
+        "(packed dim {}, {} rotations/layer budget; scalar amortizes over {} slots instead)",
+        packed.dim,
+        packed.required_rotation_steps().len(),
+        ctx.slots()
+    );
+    println!("\npacked per-layer walls:");
+    for (name, t) in layer_times {
+        println!("  {name}: {:.3}s", t.as_secs_f64());
+    }
+    assert_eq!(scalar_pred, packed_pred, "engines must agree");
+}

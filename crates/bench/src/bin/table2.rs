@@ -1,0 +1,68 @@
+//! Table II — CKKS-RNS security settings.
+//!
+//! Builds the paper's parameter set, validates it against the HE
+//! standard, and prints the table alongside the paper's claimed values
+//! (whose `log q = 366` is internally inconsistent with
+//! `q = [40, 26 × 13, 40]`; we report the consistent value and flag the
+//! discrepancy — see EXPERIMENTS.md).
+//!
+//! Run: `cargo run --release -p bench --bin table2`
+
+use ckks::{CkksParams, SecurityLevel};
+
+fn main() {
+    let params = CkksParams::paper_table2();
+    println!("TABLE II — CKKS-RNS SECURITY SETTINGS\n");
+    println!("┌───────────┬──────────────────────────────┬─────────────────────┐");
+    println!("│ Parameter │ This implementation          │ Paper               │");
+    println!("├───────────┼──────────────────────────────┼─────────────────────┤");
+    println!(
+        "│ λ         │ {:<28} │ 128                 │",
+        params.security.lambda()
+    );
+    println!(
+        "│ N         │ 2^{:<26} │ 2^14                │",
+        params.n.trailing_zeros()
+    );
+    println!(
+        "│ Δ         │ 2^{:<26} │ 2^26                │",
+        params.scale_bits
+    );
+    println!(
+        "│ log q     │ {:<28} │ 366 (inconsistent)  │",
+        params.chain_bits.iter().sum::<u32>()
+    );
+    println!(
+        "│ log PQ    │ {:<28} │ —                   │",
+        params.total_log_q()
+    );
+    println!("│ L         │ {:<28} │ 13                  │", params.depth());
+    println!(
+        "│ q         │ [40, 26 × {}] + [40 special] │ [40, 26, …, 26, 40] │",
+        params.depth()
+    );
+    println!("└───────────┴──────────────────────────────┴─────────────────────┘");
+
+    match params.security.validate(params.n, params.total_log_q()) {
+        Ok(margin) => println!(
+            "\nHE-standard check: log(PQ) = {} ≤ {} (max for N=2^14 at λ=128): OK, {margin} bits of margin",
+            params.total_log_q(),
+            SecurityLevel::Bits128.max_log_q(params.n).unwrap()
+        ),
+        Err(e) => println!("\nHE-standard check FAILED: {e}"),
+    }
+
+    println!("\nmaterializing the context (concrete NTT primes p ≡ 1 mod 2N):");
+    let ctx = params.build();
+    for (i, m) in ctx.chain_moduli().iter().enumerate() {
+        println!("  q_{i:<2} = {:<22} ({} bits)", m.value(), m.bits());
+    }
+    for m in ctx.special_moduli() {
+        println!(
+            "  p_sp = {:<22} ({} bits, key switching)",
+            m.value(),
+            m.bits()
+        );
+    }
+    println!("\n{}", ctx.describe());
+}

@@ -1,0 +1,53 @@
+//! Extension experiment (beyond the paper): amortized throughput of the
+//! batched packing. The paper reports per-request latency; the scalar
+//! packing classifies up to N/2 images per request at the same cost
+//! (E2DM's amortization), so the amortized per-image latency is up to
+//! three orders of magnitude below Table III's figures.
+//!
+//! Run: `cargo run --release -p bench --bin throughput`
+
+use bench::harness::{self, Arch};
+use cnn_he::throughput::throughput;
+use cnn_he::CnnHePipeline;
+
+fn main() {
+    let model = harness::trained_model(Arch::Cnn1);
+    let n = harness::ring_degree();
+    let mut pipe = CnnHePipeline::new(model.network.clone(), n, 4242);
+    let test = harness::test_set();
+
+    println!("CNN1 amortized throughput (N = 2^{})", n.trailing_zeros());
+    println!("slots available per ciphertext: {}\n", pipe.ctx.slots());
+
+    // one batched run; reuse its timing for every batch size (the
+    // homomorphic work is independent of how many slots carry data)
+    let batch = test.len().min(pipe.ctx.slots());
+    let images: Vec<&[f32]> = (0..batch).map(|i| test.image(i)).collect();
+    eprintln!("[throughput] running one batched inference over {batch} images ...");
+    let res = pipe.classify(&images);
+
+    println!("            |        sequential (k=1)        |      RNS k=3");
+    for b in [1usize, 8, 64, batch] {
+        let seq = throughput(&res.timing, b, harness::plan(1));
+        let rns = throughput(&res.timing, b, harness::plan(3));
+        println!(
+            "  batch {b:>4} | {:>8.2}s/req {:>9.4}s/img | {:>8.2}s/req {:>9.4}s/img",
+            seq.request_latency.as_secs_f64(),
+            seq.per_image.as_secs_f64(),
+            rns.request_latency.as_secs_f64(),
+            rns.per_image.as_secs_f64(),
+        );
+    }
+    let correct = res
+        .predictions
+        .iter()
+        .enumerate()
+        .filter(|(i, &p)| p == test.labels[*i])
+        .count();
+    println!(
+        "\nencrypted accuracy over the batch: {}/{} ({:.2}%)",
+        correct,
+        batch,
+        correct as f64 / batch as f64 * 100.0
+    );
+}

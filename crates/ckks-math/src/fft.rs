@@ -1,0 +1,444 @@
+//! Complex arithmetic and the special FFT realizing the CKKS canonical
+//! embedding `τ : R[X]/(X^N + 1) → C^{N/2}`.
+//!
+//! CKKS evaluates plaintext polynomials at the primitive `2N`-th roots of
+//! unity `ζ^{5^j}` (one per slot), which both fixes conjugate symmetry and
+//! makes slot rotation correspond to the ring automorphism `X ↦ X^5`. The
+//! transform below follows the HEAAN layout: `embed` maps coefficients to
+//! slot values, `embed_inv` maps slot values back to (real) coefficients.
+//! Supports sparse packing with `slots` any power of two `≤ N/2`.
+
+use std::f64::consts::PI;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number over `f64`. Hand-rolled to avoid an external dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Precomputed tables for the canonical-embedding transform of ring degree
+/// `n` (so `M = 2n` roots, up to `n/2` slots).
+#[derive(Debug, Clone)]
+pub struct EmbeddingTable {
+    n: usize,
+    m: usize,
+    /// `ksi_pows[k] = e^{2πik/M}`, `k = 0..=M`.
+    ksi_pows: Vec<Complex>,
+    /// `rot_group[j] = 5^j mod M`.
+    rot_group: Vec<usize>,
+}
+
+fn array_bit_reverse(vals: &mut [Complex]) {
+    let size = vals.len();
+    if size <= 1 {
+        return;
+    }
+    let bits = size.trailing_zeros();
+    for i in 0..size {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            vals.swap(i, j);
+        }
+    }
+}
+
+impl EmbeddingTable {
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 4);
+        let m = 2 * n;
+        let mut ksi_pows = Vec::with_capacity(m + 1);
+        for k in 0..=m {
+            ksi_pows.push(Complex::cis(2.0 * PI * k as f64 / m as f64));
+        }
+        let nh = n / 2;
+        let mut rot_group = Vec::with_capacity(nh);
+        let mut five = 1usize;
+        for _ in 0..nh {
+            rot_group.push(five);
+            five = (five * 5) % m;
+        }
+        Self {
+            n,
+            m,
+            ksi_pows,
+            rot_group,
+        }
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum number of slots (`N/2`).
+    #[inline]
+    pub fn max_slots(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Forward special FFT: coefficients-domain slot vector → evaluations.
+    /// `vals.len()` must be a power of two `≤ N/2`.
+    pub fn embed(&self, vals: &mut [Complex]) {
+        let size = vals.len();
+        assert!(size.is_power_of_two() && size <= self.max_slots());
+        array_bit_reverse(vals);
+        let mut len = 2;
+        while len <= size {
+            let lenh = len >> 1;
+            let lenq = len << 2;
+            let gap = self.m / lenq;
+            let mut i = 0;
+            while i < size {
+                for j in 0..lenh {
+                    let idx = (self.rot_group[j] % lenq) * gap;
+                    let u = vals[i + j];
+                    let v = vals[i + j + lenh] * self.ksi_pows[idx];
+                    vals[i + j] = u + v;
+                    vals[i + j + lenh] = u - v;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Inverse special FFT: evaluations → coefficient-domain slot vector.
+    pub fn embed_inv(&self, vals: &mut [Complex]) {
+        let size = vals.len();
+        assert!(size.is_power_of_two() && size <= self.max_slots());
+        let mut len = size;
+        while len >= 2 {
+            let lenh = len >> 1;
+            let lenq = len << 2;
+            let gap = self.m / lenq;
+            let mut i = 0;
+            while i < size {
+                for j in 0..lenh {
+                    let idx = (lenq - (self.rot_group[j] % lenq)) * gap;
+                    let u = vals[i + j] + vals[i + j + lenh];
+                    let v = (vals[i + j] - vals[i + j + lenh]) * self.ksi_pows[idx];
+                    vals[i + j] = u;
+                    vals[i + j + lenh] = v;
+                }
+                i += len;
+            }
+            len >>= 1;
+        }
+        array_bit_reverse(vals);
+        let inv = 1.0 / size as f64;
+        for v in vals.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+
+    /// Scatters a slot vector of length `slots` into real polynomial
+    /// coefficients (length `n`): real parts at stride `n/(2·slots)` from 0,
+    /// imaginary parts at the same stride from `n/2`. This is the HEAAN
+    /// encode layout; combined with `embed_inv` it realizes `τ^{-1}`.
+    pub fn slots_to_coeffs(&self, slot_vals: &[Complex]) -> Vec<f64> {
+        let slots = slot_vals.len();
+        assert!(slots.is_power_of_two() && slots <= self.max_slots());
+        let mut u = slot_vals.to_vec();
+        self.embed_inv(&mut u);
+        let nh = self.n / 2;
+        let gap = nh / slots;
+        let mut coeffs = vec![0.0f64; self.n];
+        for (i, c) in u.iter().enumerate() {
+            coeffs[i * gap] = c.re;
+            coeffs[nh + i * gap] = c.im;
+        }
+        coeffs
+    }
+
+    /// Inverse of [`slots_to_coeffs`]: gathers coefficients into slot values
+    /// and applies the forward embedding.
+    pub fn coeffs_to_slots(&self, coeffs: &[f64], slots: usize) -> Vec<Complex> {
+        assert_eq!(coeffs.len(), self.n);
+        assert!(slots.is_power_of_two() && slots <= self.max_slots());
+        let nh = self.n / 2;
+        let gap = nh / slots;
+        let mut vals: Vec<Complex> = (0..slots)
+            .map(|i| Complex::new(coeffs[i * gap], coeffs[nh + i * gap]))
+            .collect();
+        self.embed(&mut vals);
+        vals
+    }
+
+    /// Directly evaluates the real-coefficient polynomial at `ζ^{rot_group[j]}`
+    /// for each slot j — the O(N·slots) reference used to validate the FFT.
+    pub fn embed_reference(&self, coeffs: &[f64], slots: usize) -> Vec<Complex> {
+        assert_eq!(coeffs.len(), self.n);
+        (0..slots)
+            .map(|j| {
+                // When packing `slots < N/2`, slot j evaluates at the root
+                // ζ^{gap_exp · rot_group[j]}: the scattered layout is a
+                // degree-(n/gap) polynomial in X^gap... handled by using the
+                // full-degree evaluation at angle rot_group[j] * (M / (4*slots)) / (M/(2N))...
+                // For the full-slot case gap = 1 this is exactly ζ^{5^j}.
+                let nh = self.n / 2;
+                let gap = nh / slots;
+                let root_exp = self.rot_group[j] * gap; // primitive 2N/gap-th structure
+                let mut acc = Complex::ZERO;
+                for (k, &c) in coeffs.iter().enumerate() {
+                    let angle = (root_exp * k) % self.m;
+                    acc += self.ksi_pows[angle].scale(c);
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn approx_eq(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn complex_field_axioms() {
+        let a = Complex::new(1.5, -2.0);
+        let b = Complex::new(-0.25, 3.0);
+        assert!(approx_eq(a + b - b, a, 1e-12));
+        assert!(approx_eq(a * b / b, a, 1e-12));
+        assert!(approx_eq(a * Complex::ONE, a, 0.0));
+        assert!(approx_eq(a + (-a), Complex::ZERO, 0.0));
+        assert!(approx_eq(a.conj().conj(), a, 0.0));
+        assert!((Complex::cis(1.0).abs() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn embed_roundtrip_full_slots() {
+        let n = 64;
+        let t = EmbeddingTable::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let orig: Vec<Complex> = (0..n / 2)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut v = orig.clone();
+        t.embed_inv(&mut v);
+        t.embed(&mut v);
+        for (a, b) in v.iter().zip(&orig) {
+            assert!(approx_eq(*a, *b, 1e-9), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn embed_roundtrip_sparse_slots() {
+        let n = 128;
+        let t = EmbeddingTable::new(n);
+        for slots in [1usize, 2, 8, 32] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(slots as u64);
+            let orig: Vec<Complex> = (0..slots)
+                .map(|_| Complex::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)))
+                .collect();
+            let coeffs = t.slots_to_coeffs(&orig);
+            let back = t.coeffs_to_slots(&coeffs, slots);
+            for (a, b) in back.iter().zip(&orig) {
+                assert!(approx_eq(*a, *b, 1e-9), "slots={slots}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn coefficients_are_real_valued_path() {
+        // slots_to_coeffs must produce real coefficients whose embedding
+        // reproduces the inputs; the imaginary structure lives in the layout.
+        let n = 64;
+        let t = EmbeddingTable::new(n);
+        let vals: Vec<Complex> = (0..n / 2)
+            .map(|i| Complex::new(i as f64 * 0.1, -(i as f64) * 0.05))
+            .collect();
+        let coeffs = t.slots_to_coeffs(&vals);
+        assert_eq!(coeffs.len(), n);
+        let back = t.coeffs_to_slots(&coeffs, n / 2);
+        for (a, b) in back.iter().zip(&vals) {
+            assert!(approx_eq(*a, *b, 1e-8));
+        }
+    }
+
+    #[test]
+    fn embedding_matches_direct_evaluation_full() {
+        // Full-slot case: slot j must equal m(ζ^{5^j}).
+        let n = 32;
+        let t = EmbeddingTable::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let coeffs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let via_fft = t.coeffs_to_slots(&coeffs, n / 2);
+        let direct = t.embed_reference(&coeffs, n / 2);
+        for (a, b) in via_fft.iter().zip(&direct) {
+            assert!(approx_eq(*a, *b, 1e-8), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn embedding_is_linear() {
+        let n = 64;
+        let t = EmbeddingTable::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let ea = t.coeffs_to_slots(&a, n / 2);
+        let eb = t.coeffs_to_slots(&b, n / 2);
+        let es = t.coeffs_to_slots(&sum, n / 2);
+        for i in 0..n / 2 {
+            assert!(approx_eq(es[i], ea[i] + eb[i], 1e-9));
+        }
+    }
+
+    #[test]
+    fn product_of_polynomials_is_slotwise_product() {
+        // The whole point of the canonical embedding: ring multiplication
+        // becomes slot-wise multiplication. Verify via naive negacyclic
+        // convolution over f64.
+        let n = 32;
+        let t = EmbeddingTable::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut prod = vec![0.0f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let k = i + j;
+                if k < n {
+                    prod[k] += a[i] * b[j];
+                } else {
+                    prod[k - n] -= a[i] * b[j];
+                }
+            }
+        }
+        let ea = t.coeffs_to_slots(&a, n / 2);
+        let eb = t.coeffs_to_slots(&b, n / 2);
+        let ep = t.coeffs_to_slots(&prod, n / 2);
+        for i in 0..n / 2 {
+            assert!(approx_eq(ep[i], ea[i] * eb[i], 1e-7), "slot {i}");
+        }
+    }
+}

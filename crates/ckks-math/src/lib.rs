@@ -1,0 +1,28 @@
+//! # ckks-math
+//!
+//! Number-theoretic substrates for the RNS-CKKS homomorphic encryption
+//! stack: word-sized modular arithmetic with Barrett/Shoup reductions,
+//! negacyclic NTTs with Harvey lazy butterflies, the complex special FFT
+//! realizing the CKKS canonical embedding, NTT-friendly prime generation,
+//! a small signed bignum, RNS basis machinery with fast base conversion,
+//! and the RLWE samplers.
+//!
+//! Everything here is implemented from scratch; the only external
+//! dependencies are `rand` (randomness) and `rayon` (limb parallelism).
+
+pub mod bigint;
+pub mod fft;
+pub mod modring;
+pub mod ntt;
+pub mod poly;
+pub mod prime;
+pub mod rns;
+pub mod sampler;
+
+pub use bigint::BigInt;
+pub use fft::{Complex, EmbeddingTable};
+pub use modring::Modulus;
+pub use ntt::NttTable;
+pub use poly::{Form, PolyContext, RnsPoly};
+pub use rns::{IntegerRns, RnsBasis};
+pub use sampler::Sampler;

@@ -1,0 +1,381 @@
+//! Negacyclic number-theoretic transform over `Z_p[X]/(X^N + 1)`.
+//!
+//! Harvey-style butterflies with Shoup-precomputed twiddles and lazy
+//! reduction: intermediate values live in `[0, 4p)` during the forward
+//! pass, which is safe for `p < 2^61`. Twiddle factors absorb the
+//! `psi`-powers needed for the negacyclic (a.k.a. "negative wrapped")
+//! convolution, so no separate pre/post scaling pass is needed.
+//!
+//! The forward transform is decimation-in-time Cooley–Tukey producing
+//! bit-reversed output; the inverse is decimation-in-frequency
+//! Gentleman–Sande consuming bit-reversed input. Pointwise products can
+//! therefore be formed directly between two forward transforms.
+
+use crate::modring::Modulus;
+use crate::prime::primitive_root_of_unity;
+
+/// Precomputed tables for one `(N, p)` pair.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    log_n: u32,
+    modulus: Modulus,
+    /// psi^i in bit-reversed order, psi a primitive 2N-th root of unity.
+    root_powers: Vec<u64>,
+    root_powers_shoup: Vec<u64>,
+    /// psi^{-i} in bit-reversed order (scrambled for the GS inverse pass).
+    inv_root_powers: Vec<u64>,
+    inv_root_powers_shoup: Vec<u64>,
+    /// N^{-1} mod p and its Shoup companion, folded into the last inverse stage.
+    inv_n: u64,
+    inv_n_shoup: u64,
+}
+
+#[inline]
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+impl NttTable {
+    /// Builds tables for ring degree `n` (power of two) and modulus `p`
+    /// with `p ≡ 1 (mod 2n)`.
+    pub fn new(n: usize, modulus: Modulus) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        let p = modulus.value();
+        assert_eq!(p % (2 * n as u64), 1, "p must be ≡ 1 mod 2N");
+        let log_n = n.trailing_zeros();
+
+        let psi = primitive_root_of_unity(&modulus, 2 * n as u64);
+        let psi_inv = modulus.inv(psi);
+
+        // Forward: root_powers[j] = psi^{bitrev(j)}.
+        let mut root_powers = vec![0u64; n];
+        let mut inv_root_powers = vec![0u64; n];
+        let mut pow = 1u64;
+        let mut ipow = 1u64;
+        let mut fwd_seq = vec![0u64; n];
+        let mut inv_seq = vec![0u64; n];
+        for i in 0..n {
+            fwd_seq[i] = pow;
+            inv_seq[i] = ipow;
+            pow = modulus.mul(pow, psi);
+            ipow = modulus.mul(ipow, psi_inv);
+        }
+        for i in 0..n {
+            root_powers[i] = fwd_seq[bit_reverse(i, log_n)];
+        }
+        // Inverse (Gentleman–Sande) wants psi^{-i} laid out so that stage m
+        // reads contiguous entries; the standard trick (SEAL) stores
+        // "scrambled" powers: inv_root_powers[m + i] = psi^{-(bitrev(i, log m) ... )}.
+        // Using the same bit-reversed layout over psi^{-1} but shifted by one
+        // works with the loop structure below.
+        inv_root_powers[0] = 1;
+        for (i, slot) in inv_root_powers.iter_mut().enumerate().skip(1) {
+            // index within the GS stage table: mirror of the CT layout.
+            *slot = inv_seq[bit_reverse(i - 1, log_n) + 1];
+        }
+
+        let root_powers_shoup = root_powers.iter().map(|&w| modulus.shoup(w)).collect();
+        let inv_root_powers_shoup = inv_root_powers.iter().map(|&w| modulus.shoup(w)).collect();
+
+        let inv_n = modulus.inv(n as u64);
+        let inv_n_shoup = modulus.shoup(inv_n);
+
+        Self {
+            n,
+            log_n,
+            modulus,
+            root_powers,
+            root_powers_shoup,
+            inv_root_powers,
+            inv_root_powers_shoup,
+            inv_n,
+            inv_n_shoup,
+        }
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The modulus these tables were built for.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// In-place forward negacyclic NTT. Input: coefficients `< p` in natural
+    /// order. Output: evaluations `< p` in bit-reversed order.
+    pub fn forward(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let p = self.modulus.value();
+        let two_p = p << 1;
+        let n = self.n;
+
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let w = self.root_powers[m + i];
+                let ws = self.root_powers_shoup[m + i];
+                let j1 = 2 * i * t;
+                let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // Harvey butterfly: x, y < 4p on input of later stages;
+                    // normalize x into [0, 2p) first.
+                    let mut u = *x;
+                    if u >= two_p {
+                        u -= two_p;
+                    }
+                    let v = self.modulus.mul_shoup_lazy(*y, w, ws); // < 2p
+                    *x = u + v; // < 4p
+                    *y = u + two_p - v; // < 4p
+                }
+            }
+            m <<= 1;
+        }
+        for v in a.iter_mut() {
+            let mut x = *v;
+            if x >= two_p {
+                x -= two_p;
+            }
+            if x >= p {
+                x -= p;
+            }
+            *v = x;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT. Input: evaluations `< p` in
+    /// bit-reversed order. Output: coefficients `< p` in natural order.
+    pub fn inverse(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let p = self.modulus.value();
+        let two_p = p << 1;
+        let n = self.n;
+
+        let mut t = 1usize;
+        let mut m = n;
+        let mut root_index = 1usize;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for _ in 0..h {
+                let w = self.inv_root_powers[root_index];
+                let ws = self.inv_root_powers_shoup[root_index];
+                root_index += 1;
+                let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let u = *x;
+                    let v = *y;
+                    let mut s = u + v; // < 4p
+                    if s >= two_p {
+                        s -= two_p;
+                    }
+                    *x = s;
+                    // (u - v) * w
+                    let d = u + two_p - v;
+                    *y = self.modulus.mul_shoup_lazy(d, w, ws);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        // Final scale by N^{-1} with full reduction.
+        for v in a.iter_mut() {
+            *v = self
+                .modulus
+                .mul_shoup(*v, self.inv_n, self.inv_n_shoup);
+        }
+    }
+
+    /// Pointwise multiply-accumulate in the evaluation domain:
+    /// `acc[i] = (acc[i] + a[i] * b[i]) mod p`.
+    pub fn dyadic_mul_acc(&self, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        for ((r, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+            let prod = self.modulus.mul(x, y);
+            *r = self.modulus.add(*r, prod);
+        }
+    }
+
+    /// Pointwise product in the evaluation domain.
+    pub fn dyadic_mul(&self, out: &mut [u64], a: &[u64], b: &[u64]) {
+        for ((r, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *r = self.modulus.mul(x, y);
+        }
+    }
+
+    /// log2 of the ring degree.
+    #[inline]
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+}
+
+/// Reference negacyclic convolution, `O(N^2)`, for testing.
+pub fn negacyclic_convolution_naive(a: &[u64], b: &[u64], modulus: &Modulus) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n);
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = modulus.mul(a[i], b[j]);
+            let k = i + j;
+            if k < n {
+                out[k] = modulus.add(out[k], prod);
+            } else {
+                out[k - n] = modulus.sub(out[k - n], prod);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::gen_ntt_primes_excluding;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn table(n: usize, bits: u32) -> NttTable {
+        let p = gen_ntt_primes_excluding(bits, n, 1, &[])[0];
+        NttTable::new(n, Modulus::new(p))
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for log_n in [3u32, 6, 10] {
+            let n = 1usize << log_n;
+            let t = table(n, 50);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.modulus().value())).collect();
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            assert_ne!(a, orig, "transform should not be identity");
+            t.inverse(&mut a);
+            assert_eq!(a, orig, "N={n}");
+        }
+    }
+
+    #[test]
+    fn ntt_of_constant_poly() {
+        // NTT of the constant c evaluates to c at every root.
+        let n = 64;
+        let t = table(n, 40);
+        let mut a = vec![0u64; n];
+        a[0] = 12345;
+        t.forward(&mut a);
+        assert!(a.iter().all(|&x| x == 12345));
+    }
+
+    #[test]
+    fn convolution_matches_naive() {
+        let n = 128;
+        let t = table(n, 45);
+        let m = *t.modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        let expect = negacyclic_convolution_naive(&a, &b, &m);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut prod = vec![0u64; n];
+        t.dyadic_mul(&mut prod, &fa, &fb);
+        t.inverse(&mut prod);
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // (X^{N-1}) * X = X^N = -1 mod X^N + 1.
+        let n = 32;
+        let t = table(n, 40);
+        let m = *t.modulus();
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        a[n - 1] = 1;
+        b[1] = 1;
+        t.forward(&mut a);
+        t.forward(&mut b);
+        let mut prod = vec![0u64; n];
+        t.dyadic_mul(&mut prod, &a, &b);
+        t.inverse(&mut prod);
+        let mut expect = vec![0u64; n];
+        expect[0] = m.value() - 1; // -1
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let n = 64;
+        let t = table(n, 40);
+        let m = *t.modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.add(x, y)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        t.forward(&mut fs);
+        for i in 0..n {
+            assert_eq!(fs[i], m.add(fa[i], fb[i]));
+        }
+    }
+
+    #[test]
+    fn dyadic_mul_acc_accumulates() {
+        let n = 8;
+        let t = table(n, 30);
+        let m = *t.modulus();
+        let a = vec![2u64; n];
+        let b = vec![3u64; n];
+        let mut acc = vec![1u64; n];
+        t.dyadic_mul_acc(&mut acc, &a, &b);
+        assert!(acc.iter().all(|&x| x == 7));
+        t.dyadic_mul_acc(&mut acc, &a, &b);
+        assert!(acc.iter().all(|&x| x == 13));
+        let _ = m;
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_roundtrip(seed in any::<u64>()) {
+            let n = 256;
+            let t = table(n, 40);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.modulus().value())).collect();
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            t.inverse(&mut a);
+            prop_assert_eq!(a, orig);
+        }
+
+        #[test]
+        fn prop_convolution_commutes(seed in any::<u64>()) {
+            let n = 64;
+            let t = table(n, 35);
+            let m = *t.modulus();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+            let ab = negacyclic_convolution_naive(&a, &b, &m);
+            let ba = negacyclic_convolution_naive(&b, &a, &m);
+            prop_assert_eq!(ab, ba);
+        }
+    }
+}

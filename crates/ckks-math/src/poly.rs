@@ -1,0 +1,671 @@
+//! Polynomials of `R_q = Z_q[X]/(X^N+1)` in double-CRT (RNS × NTT) form.
+//!
+//! An [`RnsPoly`] stores one residue vector per active modulus ("limb").
+//! Limbs are identified by their index into the shared [`PolyContext`]
+//! modulus list, so a polynomial can live over any subset — a level-ℓ
+//! ciphertext uses limbs `0..=ℓ`, and key-switching intermediates
+//! additionally carry the special modulus at index `L+1`.
+//!
+//! All per-limb operations are embarrassingly parallel; when the context
+//! is created with limb parallelism enabled (or toggled at runtime) they
+//! run under rayon, which is the substrate for the paper's "RNS enables
+//! parallel processing" claim at the scheme level.
+
+use crate::modring::Modulus;
+use crate::ntt::NttTable;
+use crate::sampler::Sampler;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Representation domain of a polynomial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Form {
+    /// Coefficient domain, natural order.
+    Coeff,
+    /// Evaluation (NTT) domain, bit-reversed order.
+    Ntt,
+}
+
+/// Shared immutable tables for one ring: degree, full modulus list
+/// (ciphertext chain followed by special moduli), and NTT tables.
+#[derive(Debug)]
+pub struct PolyContext {
+    n: usize,
+    moduli: Vec<Modulus>,
+    ntt_tables: Vec<NttTable>,
+    /// Number of trailing special (key-switching) moduli in `moduli`.
+    num_special: usize,
+    parallel: AtomicBool,
+}
+
+impl PolyContext {
+    /// Builds a context for ring degree `n` over `chain_moduli` (the
+    /// ciphertext modulus chain `q_0..q_L`) plus `special_moduli`
+    /// (key-switching primes, usually one).
+    pub fn new(n: usize, chain_moduli: Vec<Modulus>, special_moduli: Vec<Modulus>) -> Arc<Self> {
+        assert!(n.is_power_of_two() && n >= 4);
+        let num_special = special_moduli.len();
+        let mut moduli = chain_moduli;
+        moduli.extend(special_moduli);
+        assert!(!moduli.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for m in &moduli {
+            assert!(seen.insert(m.value()), "duplicate modulus {}", m.value());
+        }
+        let ntt_tables = moduli.iter().map(|&m| NttTable::new(n, m)).collect();
+        Arc::new(Self {
+            n,
+            moduli,
+            ntt_tables,
+            num_special,
+            parallel: AtomicBool::new(true),
+        })
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// All moduli (chain then special).
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// Number of ciphertext-chain moduli (`L + 1`).
+    #[inline]
+    pub fn chain_len(&self) -> usize {
+        self.moduli.len() - self.num_special
+    }
+
+    #[inline]
+    pub fn num_special(&self) -> usize {
+        self.num_special
+    }
+
+    /// Indices of the special moduli.
+    pub fn special_indices(&self) -> Vec<usize> {
+        (self.chain_len()..self.moduli.len()).collect()
+    }
+
+    #[inline]
+    pub fn ntt_table(&self, idx: usize) -> &NttTable {
+        &self.ntt_tables[idx]
+    }
+
+    /// Enables/disables rayon parallelism over limbs (used by the
+    /// sequential-baseline experiments).
+    pub fn set_parallel(&self, on: bool) {
+        self.parallel.store(on, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn parallel(&self) -> bool {
+        self.parallel.load(Ordering::Relaxed)
+    }
+}
+
+/// A polynomial in RNS representation over a subset of the context moduli.
+#[derive(Clone)]
+pub struct RnsPoly {
+    ctx: Arc<PolyContext>,
+    /// Context-modulus index of each limb.
+    limb_indices: Vec<usize>,
+    /// One residue vector (length `n`) per limb.
+    limbs: Vec<Vec<u64>>,
+    form: Form,
+}
+
+impl std::fmt::Debug for RnsPoly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RnsPoly")
+            .field("n", &self.ctx.n)
+            .field("limbs", &self.limb_indices)
+            .field("form", &self.form)
+            .finish()
+    }
+}
+
+impl RnsPoly {
+    /// The zero polynomial over the given limb set.
+    pub fn zero(ctx: Arc<PolyContext>, limb_indices: Vec<usize>, form: Form) -> Self {
+        let n = ctx.n();
+        assert!(!limb_indices.is_empty());
+        assert!(limb_indices.iter().all(|&i| i < ctx.moduli().len()));
+        Self {
+            limbs: vec![vec![0u64; n]; limb_indices.len()],
+            limb_indices,
+            ctx,
+            form,
+        }
+    }
+
+    /// Zero polynomial over the first `k` chain limbs.
+    pub fn zero_level(ctx: Arc<PolyContext>, k: usize, form: Form) -> Self {
+        Self::zero(ctx, (0..k).collect(), form)
+    }
+
+    /// Reassembles a polynomial from raw parts (deserialization). Panics
+    /// on shape mismatches or out-of-range residues.
+    pub fn from_parts(
+        ctx: Arc<PolyContext>,
+        limb_indices: Vec<usize>,
+        limbs: Vec<Vec<u64>>,
+        form: Form,
+    ) -> Self {
+        assert_eq!(limb_indices.len(), limbs.len());
+        assert!(!limb_indices.is_empty());
+        for (i, (&idx, data)) in limb_indices.iter().zip(&limbs).enumerate() {
+            assert!(idx < ctx.moduli().len(), "limb {i}: bad modulus index");
+            assert_eq!(data.len(), ctx.n(), "limb {i}: wrong length");
+            let p = ctx.moduli()[idx].value();
+            assert!(
+                data.iter().all(|&v| v < p),
+                "limb {i}: residue out of range"
+            );
+        }
+        Self {
+            ctx,
+            limb_indices,
+            limbs,
+            form,
+        }
+    }
+
+    /// Builds from small signed coefficients (secret keys, errors),
+    /// reducing into every requested limb. Result is in `Coeff` form.
+    pub fn from_signed(ctx: Arc<PolyContext>, limb_indices: Vec<usize>, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), ctx.n());
+        let limbs = limb_indices
+            .iter()
+            .map(|&idx| {
+                let m = ctx.moduli()[idx];
+                coeffs.iter().map(|&c| m.from_i64(c)).collect()
+            })
+            .collect();
+        Self {
+            limbs,
+            limb_indices,
+            ctx,
+            form: Form::Coeff,
+        }
+    }
+
+    /// Uniformly random polynomial (already valid in either form; we tag it
+    /// `Ntt` when used as the `a` part of RLWE samples generated directly
+    /// in the evaluation domain).
+    pub fn uniform(
+        ctx: Arc<PolyContext>,
+        limb_indices: Vec<usize>,
+        form: Form,
+        sampler: &mut Sampler,
+    ) -> Self {
+        let limbs = limb_indices
+            .iter()
+            .map(|&idx| sampler.uniform_limb(ctx.n(), &ctx.moduli()[idx]))
+            .collect();
+        Self {
+            limbs,
+            limb_indices,
+            ctx,
+            form,
+        }
+    }
+
+    #[inline]
+    pub fn ctx(&self) -> &Arc<PolyContext> {
+        &self.ctx
+    }
+
+    #[inline]
+    pub fn form(&self) -> Form {
+        self.form
+    }
+
+    #[inline]
+    pub fn num_limbs(&self) -> usize {
+        self.limbs.len()
+    }
+
+    #[inline]
+    pub fn limb_indices(&self) -> &[usize] {
+        &self.limb_indices
+    }
+
+    #[inline]
+    pub fn limb(&self, i: usize) -> &[u64] {
+        &self.limbs[i]
+    }
+
+    #[inline]
+    pub fn limb_mut(&mut self, i: usize) -> &mut Vec<u64> {
+        &mut self.limbs[i]
+    }
+
+    #[inline]
+    pub fn limb_modulus(&self, i: usize) -> &Modulus {
+        &self.ctx.moduli()[self.limb_indices[i]]
+    }
+
+    fn assert_compatible(&self, other: &Self) {
+        assert!(
+            Arc::ptr_eq(&self.ctx, &other.ctx),
+            "polynomials from different contexts"
+        );
+        assert_eq!(self.form, other.form, "form mismatch");
+        assert_eq!(
+            self.limb_indices, other.limb_indices,
+            "limb set mismatch"
+        );
+    }
+
+    /// Runs `f` on every limb, in parallel when the context allows.
+    fn for_each_limb_mut<F>(&mut self, f: F)
+    where
+        F: Fn(usize, &Modulus, &NttTable, &mut Vec<u64>) + Sync + Send,
+    {
+        let ctx = Arc::clone(&self.ctx);
+        let indices = self.limb_indices.clone();
+        if ctx.parallel() && self.limbs.len() > 1 {
+            self.limbs
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(i, data)| {
+                    let idx = indices[i];
+                    f(i, &ctx.moduli()[idx], ctx.ntt_table(idx), data)
+                });
+        } else {
+            for (i, data) in self.limbs.iter_mut().enumerate() {
+                let idx = indices[i];
+                f(i, &ctx.moduli()[idx], ctx.ntt_table(idx), data);
+            }
+        }
+    }
+
+    /// In-place forward NTT of every limb.
+    pub fn ntt_forward(&mut self) {
+        assert_eq!(self.form, Form::Coeff, "already in NTT form");
+        self.for_each_limb_mut(|_, _, table, data| table.forward(data));
+        self.form = Form::Ntt;
+    }
+
+    /// In-place inverse NTT of every limb.
+    pub fn ntt_inverse(&mut self) {
+        assert_eq!(self.form, Form::Ntt, "already in coefficient form");
+        self.for_each_limb_mut(|_, _, table, data| table.inverse(data));
+        self.form = Form::Coeff;
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &Self) {
+        self.assert_compatible(other);
+        let other_limbs = &other.limbs;
+        let ctx = Arc::clone(&self.ctx);
+        let indices = self.limb_indices.clone();
+        for (i, data) in self.limbs.iter_mut().enumerate() {
+            let m = ctx.moduli()[indices[i]];
+            for (a, &b) in data.iter_mut().zip(&other_limbs[i]) {
+                *a = m.add(*a, b);
+            }
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &Self) {
+        self.assert_compatible(other);
+        let ctx = Arc::clone(&self.ctx);
+        let indices = self.limb_indices.clone();
+        for (i, data) in self.limbs.iter_mut().enumerate() {
+            let m = ctx.moduli()[indices[i]];
+            for (a, &b) in data.iter_mut().zip(&other.limbs[i]) {
+                *a = m.sub(*a, b);
+            }
+        }
+    }
+
+    /// `self = -self`.
+    pub fn neg_assign(&mut self) {
+        let ctx = Arc::clone(&self.ctx);
+        let indices = self.limb_indices.clone();
+        for (i, data) in self.limbs.iter_mut().enumerate() {
+            let m = ctx.moduli()[indices[i]];
+            for a in data.iter_mut() {
+                *a = m.neg(*a);
+            }
+        }
+    }
+
+    /// Pointwise product (NTT form): `self *= other`.
+    pub fn mul_assign(&mut self, other: &Self) {
+        self.assert_compatible(other);
+        assert_eq!(self.form, Form::Ntt, "multiplication requires NTT form");
+        let ctx = Arc::clone(&self.ctx);
+        let indices = self.limb_indices.clone();
+        let other_limbs = &other.limbs;
+        if ctx.parallel() && self.limbs.len() > 1 {
+            self.limbs.par_iter_mut().enumerate().for_each(|(i, data)| {
+                let m = ctx.moduli()[indices[i]];
+                for (a, &b) in data.iter_mut().zip(&other_limbs[i]) {
+                    *a = m.mul(*a, b);
+                }
+            });
+        } else {
+            for (i, data) in self.limbs.iter_mut().enumerate() {
+                let m = ctx.moduli()[indices[i]];
+                for (a, &b) in data.iter_mut().zip(&other_limbs[i]) {
+                    *a = m.mul(*a, b);
+                }
+            }
+        }
+    }
+
+    /// `self += a * b` (all NTT form). The fused form of the homomorphic
+    /// weighted sums in Eq. (1) of the paper.
+    pub fn mul_acc(&mut self, a: &Self, b: &Self) {
+        self.assert_compatible(a);
+        self.assert_compatible(b);
+        assert_eq!(self.form, Form::Ntt);
+        let ctx = Arc::clone(&self.ctx);
+        let indices = self.limb_indices.clone();
+        let a_limbs = &a.limbs;
+        let b_limbs = &b.limbs;
+        if ctx.parallel() && self.limbs.len() > 1 {
+            self.limbs.par_iter_mut().enumerate().for_each(|(i, acc)| {
+                let m = ctx.moduli()[indices[i]];
+                for ((r, &x), &y) in acc.iter_mut().zip(&a_limbs[i]).zip(&b_limbs[i]) {
+                    *r = m.add(*r, m.mul(x, y));
+                }
+            });
+        } else {
+            for (i, acc) in self.limbs.iter_mut().enumerate() {
+                let m = ctx.moduli()[indices[i]];
+                for ((r, &x), &y) in acc.iter_mut().zip(&a_limbs[i]).zip(&b_limbs[i]) {
+                    *r = m.add(*r, m.mul(x, y));
+                }
+            }
+        }
+    }
+
+    /// Multiplies limb `i` by scalar `s_i` (scalars given per limb,
+    /// already reduced).
+    pub fn mul_scalar_per_limb(&mut self, scalars: &[u64]) {
+        assert_eq!(scalars.len(), self.num_limbs());
+        let ctx = Arc::clone(&self.ctx);
+        let indices = self.limb_indices.clone();
+        for (i, data) in self.limbs.iter_mut().enumerate() {
+            let m = ctx.moduli()[indices[i]];
+            let s = m.reduce(scalars[i]);
+            let ss = m.shoup(s);
+            for a in data.iter_mut() {
+                *a = m.mul_shoup(*a, s, ss);
+            }
+        }
+    }
+
+    /// Multiplies every limb by the same small scalar.
+    pub fn mul_scalar_u64(&mut self, s: u64) {
+        let scalars: Vec<u64> = self
+            .limb_indices
+            .iter()
+            .map(|&idx| self.ctx.moduli()[idx].reduce(s))
+            .collect();
+        self.mul_scalar_per_limb(&scalars);
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^k` (k odd, coefficient form).
+    pub fn automorphism(&self, k: usize) -> Self {
+        assert_eq!(self.form, Form::Coeff, "automorphism requires Coeff form");
+        let n = self.ctx.n();
+        assert!(k % 2 == 1 && k < 2 * n, "galois element must be odd, < 2N");
+        let mut out = Self::zero(Arc::clone(&self.ctx), self.limb_indices.clone(), Form::Coeff);
+        for (li, data) in self.limbs.iter().enumerate() {
+            let m = self.ctx.moduli()[self.limb_indices[li]];
+            let dst = &mut out.limbs[li];
+            for (i, &c) in data.iter().enumerate() {
+                let j = (i * k) % (2 * n);
+                if j < n {
+                    dst[j] = m.add(dst[j], c);
+                } else {
+                    dst[j - n] = m.sub(dst[j - n], c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Drops the last limb (used by rescaling and mod-down after the limb's
+    /// contribution has been folded into the others).
+    pub fn drop_last_limb(&mut self) {
+        assert!(self.num_limbs() > 1, "cannot drop the only limb");
+        self.limbs.pop();
+        self.limb_indices.pop();
+    }
+
+    /// Keeps only the first `k` limbs.
+    pub fn truncate_limbs(&mut self, k: usize) {
+        assert!(k >= 1 && k <= self.num_limbs());
+        self.limbs.truncate(k);
+        self.limb_indices.truncate(k);
+    }
+
+    /// Appends a limb with the given context index and data.
+    pub fn push_limb(&mut self, ctx_index: usize, data: Vec<u64>) {
+        assert_eq!(data.len(), self.ctx.n());
+        assert!(ctx_index < self.ctx.moduli().len());
+        assert!(
+            !self.limb_indices.contains(&ctx_index),
+            "limb already present"
+        );
+        self.limb_indices.push(ctx_index);
+        self.limbs.push(data);
+    }
+
+    /// Returns a copy restricted to the given context-modulus indices
+    /// (each must be present in this polynomial). Works in either form
+    /// since limbs are independent.
+    pub fn restrict(&self, indices: &[usize]) -> Self {
+        let limbs = indices
+            .iter()
+            .map(|idx| {
+                let pos = self
+                    .limb_indices
+                    .iter()
+                    .position(|i| i == idx)
+                    .unwrap_or_else(|| panic!("limb {idx} not present"));
+                self.limbs[pos].clone()
+            })
+            .collect();
+        Self {
+            ctx: Arc::clone(&self.ctx),
+            limb_indices: indices.to_vec(),
+            limbs,
+            form: self.form,
+        }
+    }
+
+    /// Extracts the residues of coefficient `i` across limbs.
+    pub fn coeff_residues(&self, i: usize) -> Vec<u64> {
+        self.limbs.iter().map(|l| l[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::gen_moduli_chain;
+
+    fn ctx(n: usize) -> Arc<PolyContext> {
+        let chain = gen_moduli_chain(&[40, 40, 40], n);
+        let special = gen_moduli_chain(&[50], n)
+            .into_iter()
+            .filter(|m| !chain.contains(m))
+            .collect();
+        PolyContext::new(n, chain, special)
+    }
+
+    #[test]
+    fn context_shape() {
+        let c = ctx(64);
+        assert_eq!(c.chain_len(), 3);
+        assert_eq!(c.num_special(), 1);
+        assert_eq!(c.special_indices(), vec![3]);
+    }
+
+    #[test]
+    fn ntt_roundtrip_poly() {
+        let c = ctx(64);
+        let mut s = Sampler::from_seed(1);
+        let mut p = RnsPoly::uniform(Arc::clone(&c), vec![0, 1, 2], Form::Coeff, &mut s);
+        let orig = p.clone();
+        p.ntt_forward();
+        assert_eq!(p.form(), Form::Ntt);
+        p.ntt_inverse();
+        for i in 0..p.num_limbs() {
+            assert_eq!(p.limb(i), orig.limb(i));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let c = ctx(128);
+        let mut s = Sampler::from_seed(2);
+        let p0 = RnsPoly::uniform(Arc::clone(&c), vec![0, 1, 2, 3], Form::Coeff, &mut s);
+        let mut a = p0.clone();
+        let mut b = p0.clone();
+        c.set_parallel(true);
+        a.ntt_forward();
+        c.set_parallel(false);
+        b.ntt_forward();
+        c.set_parallel(true);
+        for i in 0..a.num_limbs() {
+            assert_eq!(a.limb(i), b.limb(i));
+        }
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let c = ctx(64);
+        let mut s = Sampler::from_seed(3);
+        let a = RnsPoly::uniform(Arc::clone(&c), vec![0, 1], Form::Coeff, &mut s);
+        let b = RnsPoly::uniform(Arc::clone(&c), vec![0, 1], Form::Coeff, &mut s);
+        let mut sum = a.clone();
+        sum.add_assign(&b);
+        sum.sub_assign(&b);
+        for i in 0..2 {
+            assert_eq!(sum.limb(i), a.limb(i));
+        }
+        let mut neg = a.clone();
+        neg.neg_assign();
+        neg.add_assign(&a);
+        assert!(neg.limbs.iter().all(|l| l.iter().all(|&x| x == 0)));
+    }
+
+    #[test]
+    fn mul_matches_convolution_per_limb() {
+        let c = ctx(64);
+        let mut s = Sampler::from_seed(4);
+        let a = RnsPoly::uniform(Arc::clone(&c), vec![0], Form::Coeff, &mut s);
+        let b = RnsPoly::uniform(Arc::clone(&c), vec![0], Form::Coeff, &mut s);
+        let m = *a.limb_modulus(0);
+        let expect = crate::ntt::negacyclic_convolution_naive(a.limb(0), b.limb(0), &m);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fa.ntt_forward();
+        fb.ntt_forward();
+        fa.mul_assign(&fb);
+        fa.ntt_inverse();
+        assert_eq!(fa.limb(0), expect.as_slice());
+    }
+
+    #[test]
+    fn mul_acc_is_fused_multiply_add() {
+        let c = ctx(64);
+        let mut s = Sampler::from_seed(5);
+        let mut a = RnsPoly::uniform(Arc::clone(&c), vec![0, 1], Form::Coeff, &mut s);
+        let mut b = RnsPoly::uniform(Arc::clone(&c), vec![0, 1], Form::Coeff, &mut s);
+        a.ntt_forward();
+        b.ntt_forward();
+        let mut acc = RnsPoly::zero(Arc::clone(&c), vec![0, 1], Form::Ntt);
+        acc.mul_acc(&a, &b);
+        let mut prod = a.clone();
+        prod.mul_assign(&b);
+        for i in 0..2 {
+            assert_eq!(acc.limb(i), prod.limb(i));
+        }
+    }
+
+    #[test]
+    fn automorphism_composition() {
+        // σ_k ∘ σ_j = σ_{kj mod 2N}
+        let c = ctx(32);
+        let mut s = Sampler::from_seed(6);
+        let p = RnsPoly::uniform(Arc::clone(&c), vec![0, 1], Form::Coeff, &mut s);
+        let k = 5usize;
+        let j = 9usize;
+        let lhs = p.automorphism(k).automorphism(j);
+        let rhs = p.automorphism((k * j) % 64);
+        for i in 0..2 {
+            assert_eq!(lhs.limb(i), rhs.limb(i));
+        }
+    }
+
+    #[test]
+    fn automorphism_identity_and_sign() {
+        let c = ctx(32);
+        let mut s = Sampler::from_seed(7);
+        let p = RnsPoly::uniform(Arc::clone(&c), vec![0], Form::Coeff, &mut s);
+        let id = p.automorphism(1);
+        assert_eq!(id.limb(0), p.limb(0));
+        // σ_{2N-1} is "conjugation": X -> X^{2N-1} = X^{-1}; applying twice = id
+        let conj2 = p.automorphism(63).automorphism(63);
+        assert_eq!(conj2.limb(0), p.limb(0));
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let c = ctx(32);
+        let mut s = Sampler::from_seed(8);
+        let p = RnsPoly::uniform(Arc::clone(&c), vec![0, 1], Form::Coeff, &mut s);
+        let mut doubled = p.clone();
+        doubled.mul_scalar_u64(2);
+        let mut summed = p.clone();
+        summed.add_assign(&p);
+        for i in 0..2 {
+            assert_eq!(doubled.limb(i), summed.limb(i));
+        }
+    }
+
+    #[test]
+    fn limb_management() {
+        let c = ctx(32);
+        let mut p = RnsPoly::zero(Arc::clone(&c), vec![0, 1, 2], Form::Coeff);
+        p.drop_last_limb();
+        assert_eq!(p.limb_indices(), &[0, 1]);
+        p.push_limb(3, vec![7u64; 32]);
+        assert_eq!(p.limb_indices(), &[0, 1, 3]);
+        assert_eq!(p.limb(2)[0], 7);
+        p.truncate_limbs(1);
+        assert_eq!(p.limb_indices(), &[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mul_requires_ntt_form() {
+        let c = ctx(32);
+        let mut s = Sampler::from_seed(9);
+        let mut a = RnsPoly::uniform(Arc::clone(&c), vec![0], Form::Coeff, &mut s);
+        let b = a.clone();
+        a.mul_assign(&b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_limbs_rejected() {
+        let c = ctx(32);
+        let mut a = RnsPoly::zero(Arc::clone(&c), vec![0, 1], Form::Coeff);
+        let b = RnsPoly::zero(Arc::clone(&c), vec![0], Form::Coeff);
+        a.add_assign(&b);
+    }
+}

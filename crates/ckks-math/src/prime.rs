@@ -1,0 +1,273 @@
+//! Prime generation for NTT-friendly RNS moduli.
+//!
+//! CKKS-RNS needs chains of distinct primes `p ≡ 1 (mod 2N)` of prescribed
+//! bit lengths (the paper's Table II asks for `[40, 26, …, 26, 40]` at
+//! `N = 2^14`). This module is the analog of SEAL's
+//! `CoeffModulus::Create`: deterministic Miller–Rabin over the arithmetic
+//! progression `k·2N + 1` scanning downward from `2^bits`.
+
+use crate::modring::Modulus;
+
+/// Deterministic Miller–Rabin for `n < 2^64`.
+///
+/// The witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` is proven
+/// sufficient for all 64-bit integers.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod_u64(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod_u64(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mul_mod_u64(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod_u64(mut a: u64, mut e: u64, m: u64) -> u64 {
+    a %= m;
+    let mut acc = 1u64;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod_u64(acc, a, m);
+        }
+        a = mul_mod_u64(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Generates `count` distinct primes of exactly `bits` bits with
+/// `p ≡ 1 (mod 2n)`, scanning downward from `2^bits - 1`, skipping any
+/// prime already present in `exclude`.
+///
+/// Panics if the progression is exhausted before `count` primes are found
+/// (only possible for tiny `bits` relative to `log2(2n)`).
+pub fn gen_ntt_primes_excluding(bits: u32, n: usize, count: usize, exclude: &[u64]) -> Vec<u64> {
+    assert!(n.is_power_of_two(), "ring degree must be a power of two");
+    assert!(bits >= 2 && bits <= crate::modring::MAX_MODULUS_BITS);
+    let two_n = (2 * n) as u64;
+    assert!(
+        (1u64 << bits) > two_n,
+        "bit size {bits} too small for 2N = {two_n}"
+    );
+    let mut out = Vec::with_capacity(count);
+    // Largest candidate of the right residue class strictly below 2^bits.
+    let hi = (1u64 << bits) - 1;
+    let mut candidate = hi - ((hi - 1) % two_n); // ≡ 1 (mod 2N)
+    let lo = 1u64 << (bits - 1);
+    while out.len() < count && candidate > lo {
+        if is_prime(candidate) && !exclude.contains(&candidate) && !out.contains(&candidate) {
+            out.push(candidate);
+        }
+        candidate -= two_n;
+    }
+    assert!(
+        out.len() == count,
+        "exhausted {bits}-bit progression: found {} of {count} primes for 2N={two_n}",
+        out.len()
+    );
+    out
+}
+
+/// Generates one prime per entry of `bit_sizes`, all distinct, all
+/// `≡ 1 (mod 2n)` — the SEAL `CoeffModulus::Create` interface the paper's
+/// §VI.A refers to ("the co-prime generation tool provided by SEAL").
+pub fn gen_moduli_chain(bit_sizes: &[u32], n: usize) -> Vec<Modulus> {
+    let mut found: Vec<u64> = Vec::with_capacity(bit_sizes.len());
+    // Group equal bit sizes so repeated sizes yield distinct primes.
+    for &bits in bit_sizes {
+        let p = gen_ntt_primes_excluding(bits, n, 1, &found)[0];
+        found.push(p);
+    }
+    found.into_iter().map(Modulus::new).collect()
+}
+
+/// Generates `count` small pairwise-coprime moduli starting near `start`,
+/// used for the paper's *image-domain* RNS decomposition (Fig. 2 / Fig. 5).
+/// These do not need to be NTT-friendly — they act on quantized pixel
+/// tensors, not on ring elements — but primality gives pairwise
+/// coprimality for free.
+pub fn gen_coprime_moduli(count: usize, start: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    let mut c = start.max(2);
+    while out.len() < count {
+        if is_prime(c) {
+            out.push(c);
+        }
+        c += 1;
+    }
+    out
+}
+
+/// Finds a generator of the cyclic group `(Z/p)^*` for prime `p`.
+pub fn find_generator(modulus: &Modulus) -> u64 {
+    let p = modulus.value();
+    let group_order = p - 1;
+    let factors = factorize(group_order);
+    'cand: for g in 2..p {
+        for &f in &factors {
+            if modulus.pow(g, group_order / f) == 1 {
+                continue 'cand;
+            }
+        }
+        return g;
+    }
+    unreachable!("prime {p} has a generator");
+}
+
+/// Returns a primitive `order`-th root of unity mod `p`
+/// (requires `order | p - 1`).
+pub fn primitive_root_of_unity(modulus: &Modulus, order: u64) -> u64 {
+    let p = modulus.value();
+    assert_eq!(
+        (p - 1) % order,
+        0,
+        "order {order} does not divide p-1 for p={p}"
+    );
+    let g = find_generator(modulus);
+    let root = modulus.pow(g, (p - 1) / order);
+    debug_assert_eq!(modulus.pow(root, order), 1);
+    debug_assert_ne!(modulus.pow(root, order / 2), 1);
+    root
+}
+
+/// Trial-division factorization of a 64-bit integer into distinct prime
+/// factors. Adequate for `p - 1` of NTT primes, which are
+/// `2^k`-smooth-dominated by construction.
+fn factorize(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut d = 2u64;
+    while d as u128 * d as u128 <= n as u128 {
+        if n % d == 0 {
+            factors.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 65537, 1_000_000_007];
+        let composites = [0u64, 1, 4, 9, 91, 65536, 1_000_000_006, 6_700_417 * 3];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 825_265] {
+            assert!(!is_prime(c), "Carmichael {c} must be composite");
+        }
+    }
+
+    #[test]
+    fn ntt_primes_have_right_form() {
+        let n = 1 << 12;
+        let primes = gen_ntt_primes_excluding(40, n, 3, &[]);
+        assert_eq!(primes.len(), 3);
+        for p in &primes {
+            assert!(is_prime(*p));
+            assert_eq!(p % (2 * n as u64), 1);
+            assert_eq!(64 - p.leading_zeros(), 40);
+        }
+        // distinct
+        assert!(primes[0] != primes[1] && primes[1] != primes[2]);
+    }
+
+    #[test]
+    fn paper_table2_chain_generates() {
+        // Table II: N = 2^14, q = [40, 26, ..., 26, 40] with L = 13
+        // => 13 inner 26-bit primes plus two 40-bit end primes.
+        let n = 1 << 14;
+        let mut sizes = vec![40u32];
+        sizes.extend(std::iter::repeat(26).take(13));
+        sizes.push(40);
+        let chain = gen_moduli_chain(&sizes, n);
+        assert_eq!(chain.len(), 15);
+        let mut seen = std::collections::HashSet::new();
+        for (m, &bits) in chain.iter().zip(&sizes) {
+            assert_eq!(m.bits(), bits);
+            assert_eq!(m.value() % (2 * n as u64), 1);
+            assert!(seen.insert(m.value()), "duplicate prime in chain");
+        }
+    }
+
+    #[test]
+    fn coprime_moduli_pairwise_coprime() {
+        let ms = gen_coprime_moduli(10, 257);
+        for i in 0..ms.len() {
+            for j in i + 1..ms.len() {
+                assert_eq!(gcd(ms[i], ms[j]), 1);
+            }
+        }
+    }
+
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        let n = 1 << 10;
+        let p = gen_ntt_primes_excluding(30, n, 1, &[])[0];
+        let m = Modulus::new(p);
+        let w = primitive_root_of_unity(&m, 2 * n as u64);
+        assert_eq!(m.pow(w, 2 * n as u64), 1);
+        assert_ne!(m.pow(w, n as u64), 1);
+        // the n-th power is -1 in the negacyclic setting
+        assert_eq!(m.pow(w, n as u64), p - 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_bits_panics() {
+        let _ = gen_ntt_primes_excluding(10, 1 << 12, 1, &[]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Randomness for RLWE: secret-key, encryption and error distributions.
+//!
+//! * `χ_key = HW(h)`: signed binary vectors in `{±1}^N` with Hamming
+//!   weight `h` (the paper's key distribution).
+//! * `χ_err`: centered binomial with parameter 21, σ ≈ 3.24 — the
+//!   standard-compliant stand-in for a discrete Gaussian with σ = 3.2
+//!   (same choice as SEAL).
+//! * `χ_enc` (`ZO(1/2)`): ternary `{-1, 0, 1}` with probabilities
+//!   `(1/4, 1/2, 1/4)`.
+//! * `U(R_q)`: uniform coefficients per limb.
+
+use crate::modring::Modulus;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Source of randomness for key generation and encryption. Wraps a seeded
+/// CSPRNG-ish StdRng so the whole stack is reproducible under a fixed seed.
+pub struct Sampler {
+    rng: StdRng,
+}
+
+impl Sampler {
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn from_entropy() -> Self {
+        Self {
+            rng: StdRng::from_entropy(),
+        }
+    }
+
+    /// Signed ternary secret with exact Hamming weight `h`
+    /// (`χ_key = HW(h)`), coefficients in `{-1, 0, 1}`.
+    pub fn hamming_ternary(&mut self, n: usize, h: usize) -> Vec<i8> {
+        assert!(h <= n, "Hamming weight exceeds degree");
+        let mut out = vec![0i8; n];
+        let mut placed = 0;
+        while placed < h {
+            let idx = self.rng.gen_range(0..n);
+            if out[idx] == 0 {
+                out[idx] = if self.rng.gen::<bool>() { 1 } else { -1 };
+                placed += 1;
+            }
+        }
+        out
+    }
+
+    /// `ZO(1/2)` ternary: -1 with prob 1/4, 0 with prob 1/2, +1 with 1/4.
+    pub fn zo_ternary(&mut self, n: usize) -> Vec<i8> {
+        (0..n)
+            .map(|_| match self.rng.gen_range(0u8..4) {
+                0 => -1i8,
+                1 => 1,
+                _ => 0,
+            })
+            .collect()
+    }
+
+    /// Centered binomial with parameter 21 (σ = √(21/2) ≈ 3.24),
+    /// approximating the HE-standard discrete Gaussian σ = 3.2.
+    pub fn cbd_error(&mut self, n: usize) -> Vec<i32> {
+        (0..n)
+            .map(|_| {
+                // 21 + 21 bits from one u64 draw
+                let bits = self.rng.next_u64();
+                let a = (bits & ((1u64 << 21) - 1)).count_ones() as i32;
+                let b = ((bits >> 21) & ((1u64 << 21) - 1)).count_ones() as i32;
+                a - b
+            })
+            .collect()
+    }
+
+    /// Uniform coefficients in `[0, p)` for one limb.
+    pub fn uniform_limb(&mut self, n: usize, modulus: &Modulus) -> Vec<u64> {
+        let p = modulus.value();
+        (0..n).map(|_| self.rng.gen_range(0..p)).collect()
+    }
+
+    /// Raw RNG access (MNIST shuffling, test vectors, ...).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_weight_exact() {
+        let mut s = Sampler::from_seed(1);
+        for h in [0usize, 1, 64, 128] {
+            let v = s.hamming_ternary(256, h);
+            let nz = v.iter().filter(|&&x| x != 0).count();
+            assert_eq!(nz, h);
+            assert!(v.iter().all(|&x| (-1..=1).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn zo_distribution_roughly_balanced() {
+        let mut s = Sampler::from_seed(2);
+        let v = s.zo_ternary(100_000);
+        let zeros = v.iter().filter(|&&x| x == 0).count();
+        let pos = v.iter().filter(|&&x| x == 1).count();
+        let neg = v.iter().filter(|&&x| x == -1).count();
+        // 1/2, 1/4, 1/4 within generous tolerance
+        assert!((zeros as f64 / 100_000.0 - 0.5).abs() < 0.02);
+        assert!((pos as f64 / 100_000.0 - 0.25).abs() < 0.02);
+        assert!((neg as f64 / 100_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn cbd_moments() {
+        let mut s = Sampler::from_seed(3);
+        let v = s.cbd_error(200_000);
+        let mean: f64 = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        let var: f64 = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        // var should be ~10.5
+        assert!((var - 10.5).abs() < 0.5, "var {var}");
+        // bounded support
+        assert!(v.iter().all(|&x| x.abs() <= 21));
+    }
+
+    #[test]
+    fn uniform_in_range_and_seeded_reproducible() {
+        let m = Modulus::new((1 << 40) - 87);
+        let a = Sampler::from_seed(7).uniform_limb(512, &m);
+        let b = Sampler::from_seed(7).uniform_limb(512, &m);
+        assert_eq!(a, b, "same seed must reproduce");
+        assert!(a.iter().all(|&x| x < m.value()));
+        let c = Sampler::from_seed(8).uniform_limb(512, &m);
+        assert_ne!(a, c, "different seed should differ");
+    }
+
+    #[test]
+    #[should_panic]
+    fn hamming_weight_too_large() {
+        let mut s = Sampler::from_seed(1);
+        let _ = s.hamming_ternary(16, 17);
+    }
+}

@@ -1,0 +1,247 @@
+//! SIMD slot algebra over ciphertexts: rotate-and-accumulate sums,
+//! inner products and the diagonal-method matrix–vector product
+//! (Halevi–Shoup), the primitives behind Lo-La-style packed linear
+//! layers (related work the paper builds on).
+
+use crate::ciphertext::Ciphertext;
+use crate::encoding;
+use crate::eval::Evaluator;
+use crate::keys::{GaloisKeys, RelinKey};
+
+/// Galois rotation steps needed by [`sum_slots`] over `slots` entries:
+/// the powers of two below `slots`.
+pub fn sum_rotation_steps(slots: usize) -> Vec<i64> {
+    assert!(slots.is_power_of_two());
+    let mut steps = Vec::new();
+    let mut s = 1usize;
+    while s < slots {
+        steps.push(s as i64);
+        s <<= 1;
+    }
+    steps
+}
+
+/// Sums all `slots` slots into every slot via log₂(slots)
+/// rotate-and-add passes. Requires Galois keys for the power-of-two
+/// rotations ([`sum_rotation_steps`]).
+pub fn sum_slots(ev: &Evaluator, ct: &Ciphertext, slots: usize, gk: &GaloisKeys) -> Ciphertext {
+    assert!(slots.is_power_of_two() && slots <= ct.slots);
+    let mut acc = ct.clone();
+    let mut s = 1usize;
+    while s < slots {
+        let rot = ev.rotate(&acc, s as i64, gk);
+        acc = ev.add(&acc, &rot);
+        s <<= 1;
+    }
+    acc
+}
+
+/// Homomorphic inner product of two packed vectors: elementwise product,
+/// rescale, then slot summation. Result lands in every slot.
+pub fn inner_product(
+    ev: &Evaluator,
+    a: &Ciphertext,
+    b: &Ciphertext,
+    slots: usize,
+    rk: &RelinKey,
+    gk: &GaloisKeys,
+) -> Ciphertext {
+    let prod = ev.multiply_rescale(a, b, rk);
+    sum_slots(ev, &prod, slots, gk)
+}
+
+/// Plaintext-matrix × encrypted-vector via the diagonal method:
+/// `y = Σ_d diag_d(M) ⊙ rot(x, d)`. `matrix` is row-major
+/// `[dim × dim]`; needs Galois keys for rotations `1..dim`.
+///
+/// Consumes one multiplicative level. Square `dim`-power-of-two
+/// matrices only (pad rectangular layers to use it).
+pub fn mat_vec_diagonal(
+    ev: &Evaluator,
+    matrix: &[f64],
+    dim: usize,
+    x: &Ciphertext,
+    gk: &GaloisKeys,
+) -> Ciphertext {
+    assert!(dim.is_power_of_two(), "diagonal method needs power-of-two dim");
+    assert_eq!(matrix.len(), dim * dim);
+    assert!(dim <= x.slots, "vector does not fill the packing");
+    let scale = ev.ctx().params().scale();
+    let mut acc: Option<Ciphertext> = None;
+    for d in 0..dim {
+        // diagonal d: entries M[i][(i+d) mod dim]
+        let diag: Vec<f64> = (0..dim).map(|i| matrix[i * dim + (i + d) % dim]).collect();
+        if diag.iter().all(|&v| v == 0.0) {
+            continue;
+        }
+        let xr = ev.rotate(x, d as i64, gk);
+        let pt = encoding::encode_real(ev.ctx(), &diag, scale, xr.level);
+        let term = ev.mul_plain(&xr, &pt);
+        acc = Some(match acc {
+            None => term,
+            Some(a) => ev.add(&a, &term),
+        });
+    }
+    ev.rescale(&acc.expect("zero matrix"))
+}
+
+/// Rotates by an arbitrary step using only power-of-two Galois keys
+/// (binary decomposition of the step): a full key set for every rotation
+/// costs `O(slots)` keys, the power-of-two set costs `log₂(slots)` —
+/// the standard storage/latency trade-off.
+pub fn rotate_by_any(
+    ev: &Evaluator,
+    ct: &Ciphertext,
+    steps: i64,
+    pow2_keys: &GaloisKeys,
+) -> Ciphertext {
+    let slots = ct.slots as i64;
+    let mut r = steps.rem_euclid(slots) as usize;
+    let mut acc = ct.clone();
+    let mut bit = 0usize;
+    while r != 0 {
+        if r & 1 == 1 {
+            acc = ev.rotate(&acc, 1i64 << bit, pow2_keys);
+        }
+        r >>= 1;
+        bit += 1;
+    }
+    acc
+}
+
+/// The power-of-two rotation steps for a slot count (for
+/// [`rotate_by_any`]'s key set).
+pub fn pow2_rotation_steps(slots: usize) -> Vec<i64> {
+    sum_rotation_steps(slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use ckks_math::sampler::Sampler;
+    use std::sync::Arc;
+
+    struct Fx {
+        sk: crate::keys::SecretKey,
+        pk: crate::keys::PublicKey,
+        rk: RelinKey,
+        gk: GaloisKeys,
+        ev: Evaluator,
+        s: Sampler,
+    }
+
+    fn fixture(slots_needed: usize) -> Fx {
+        let ctx = CkksParams::tiny(2).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 700);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let rk = kg.gen_relin_key(&sk);
+        let mut steps = sum_rotation_steps(slots_needed);
+        steps.extend(0..slots_needed as i64); // all small rotations for matvec
+        let gk = kg.gen_galois_keys(&sk, &steps, false);
+        Fx {
+            sk,
+            pk,
+            rk,
+            gk,
+            ev: Evaluator::new(ctx),
+            s: Sampler::from_seed(701),
+        }
+    }
+
+    #[test]
+    fn sum_slots_all_equal() {
+        let mut f = fixture(8);
+        let slots = f.ev.ctx().slots();
+        // values in the first 8 slots, zero elsewhere (encode pads)
+        let vals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        // full packing so rotation semantics are the plain cyclic ones
+        let mut full = vec![0.0f64; slots];
+        full[..8].copy_from_slice(&vals);
+        let ct = f.ev.encrypt_real(&full, &f.pk, &mut f.s);
+        let summed = sum_slots(&f.ev, &ct, 8, &f.gk);
+        let out = f.ev.decrypt_to_real(&summed, &f.sk);
+        // slot 0 contains the sum of slots 0..8
+        assert!((out[0] - 36.0).abs() < 1e-2, "{}", out[0]);
+    }
+
+    #[test]
+    fn inner_product_matches_plain() {
+        let mut f = fixture(8);
+        let slots = f.ev.ctx().slots();
+        let mut a = vec![0.0f64; slots];
+        let mut b = vec![0.0f64; slots];
+        let av = [0.5, -1.0, 2.0, 0.25, 1.5, -0.5, 0.0, 3.0];
+        let bv = [1.0, 2.0, -1.0, 4.0, 0.5, 2.0, 9.0, -2.0];
+        a[..8].copy_from_slice(&av);
+        b[..8].copy_from_slice(&bv);
+        let ca = f.ev.encrypt_real(&a, &f.pk, &mut f.s);
+        let cb = f.ev.encrypt_real(&b, &f.pk, &mut f.s);
+        let ip = inner_product(&f.ev, &ca, &cb, 8, &f.rk, &f.gk);
+        let out = f.ev.decrypt_to_real(&ip, &f.sk);
+        let want: f64 = av.iter().zip(&bv).map(|(x, y)| x * y).sum();
+        assert!((out[0] - want).abs() < 1e-2, "{} vs {want}", out[0]);
+    }
+
+    #[test]
+    fn diagonal_matvec_matches_plain() {
+        let mut f = fixture(4);
+        let slots = f.ev.ctx().slots();
+        let dim = 4usize;
+        #[rustfmt::skip]
+        let m = [
+            1.0, 0.5, 0.0, -1.0,
+            0.0, 2.0, 1.0,  0.0,
+            0.5, 0.0, 1.5,  0.5,
+            1.0, 1.0, 0.0,  0.25,
+        ];
+        let xv = [0.5, -0.5, 1.0, 2.0];
+        // the diagonal method requires the vector replicated cyclically
+        // with period dim across the packing
+        let mut full = vec![0.0f64; slots];
+        for i in 0..slots {
+            full[i] = xv[i % dim];
+        }
+        let x = f.ev.encrypt_real(&full, &f.pk, &mut f.s);
+        let y = mat_vec_diagonal(&f.ev, &m, dim, &x, &f.gk);
+        let out = f.ev.decrypt_to_real(&y, &f.sk);
+        for i in 0..dim {
+            let want: f64 = (0..dim).map(|j| m[i * dim + j] * xv[j]).sum();
+            assert!((out[i] - want).abs() < 1e-2, "row {i}: {} vs {want}", out[i]);
+        }
+    }
+
+    #[test]
+    fn rotation_steps_cover_powers_of_two() {
+        assert_eq!(sum_rotation_steps(8), vec![1, 2, 4]);
+        assert_eq!(sum_rotation_steps(1), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn arbitrary_rotation_from_pow2_keys() {
+        let ctx = CkksParams::tiny(1).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 702);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let slots = ctx.slots();
+        let gk = kg.gen_galois_keys(&sk, &pow2_rotation_steps(slots), false);
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(703);
+        let vals: Vec<f64> = (0..slots).map(|i| i as f64 / slots as f64).collect();
+        let ct = ev.encrypt_real(&vals, &pk, &mut s);
+        for r in [0i64, 1, 5, 7, 13, -3] {
+            let rot = rotate_by_any(&ev, &ct, r, &gk);
+            let out = ev.decrypt_to_real(&rot, &sk);
+            for i in (0..slots).step_by(slots / 8) {
+                let want = vals[(i as i64 + r).rem_euclid(slots as i64) as usize];
+                assert!(
+                    (out[i] - want).abs() < 5e-3,
+                    "rot {r} slot {i}: {} vs {want}",
+                    out[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Binary serialization of ciphertexts, plaintexts and public key
+//! material — the wire format a client and an untrusted evaluation server
+//! exchange in the paper's Fig. 1 deployment.
+//!
+//! Format: little-endian, versioned magic header per object. Polynomials
+//! serialize their limb set and residues verbatim; deserialization
+//! validates shapes and residue ranges against the receiving context, so
+//! a corrupted or mismatched blob fails loudly rather than decrypting to
+//! garbage.
+
+use crate::ciphertext::Ciphertext;
+use crate::encoding::Plaintext;
+use crate::keys::{GaloisKeys, KeySwitchKey, KsVariant, PublicKey, RelinKey};
+use crate::params::CkksContext;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ckks_math::poly::{Form, RnsPoly};
+use std::sync::Arc;
+
+const MAGIC_CT: u32 = 0x434b_4354; // "CKCT"
+const MAGIC_PT: u32 = 0x434b_5054; // "CKPT"
+const MAGIC_PK: u32 = 0x434b_504b; // "CKPK"
+const MAGIC_KSK: u32 = 0x434b_4b53; // "CKKS"
+const MAGIC_GK: u32 = 0x434b_474b; // "CKGK"
+const VERSION: u16 = 1;
+
+/// Serialization/deserialization errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SerError {
+    /// Wrong magic or version.
+    BadHeader,
+    /// Truncated input.
+    Truncated,
+    /// Shape or range inconsistent with the context.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for SerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerError::BadHeader => write!(f, "bad magic/version header"),
+            SerError::Truncated => write!(f, "truncated input"),
+            SerError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SerError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), SerError> {
+    if buf.remaining() < n {
+        Err(SerError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_poly(out: &mut BytesMut, p: &RnsPoly) {
+    out.put_u8(match p.form() {
+        Form::Coeff => 0,
+        Form::Ntt => 1,
+    });
+    out.put_u16_le(p.num_limbs() as u16);
+    for &idx in p.limb_indices() {
+        out.put_u16_le(idx as u16);
+    }
+    for li in 0..p.num_limbs() {
+        for &v in p.limb(li) {
+            out.put_u64_le(v);
+        }
+    }
+}
+
+fn get_poly(buf: &mut Bytes, ctx: &Arc<CkksContext>) -> Result<RnsPoly, SerError> {
+    need(buf, 3)?;
+    let form = match buf.get_u8() {
+        0 => Form::Coeff,
+        1 => Form::Ntt,
+        _ => return Err(SerError::Malformed("bad form tag")),
+    };
+    let k = buf.get_u16_le() as usize;
+    if k == 0 || k > ctx.poly_ctx().moduli().len() {
+        return Err(SerError::Malformed("bad limb count"));
+    }
+    need(buf, 2 * k)?;
+    let mut indices = Vec::with_capacity(k);
+    for _ in 0..k {
+        let idx = buf.get_u16_le() as usize;
+        if idx >= ctx.poly_ctx().moduli().len() {
+            return Err(SerError::Malformed("limb index out of range"));
+        }
+        indices.push(idx);
+    }
+    let n = ctx.n();
+    need(buf, 8 * k * n)?;
+    let mut limbs = Vec::with_capacity(k);
+    for (li, &idx) in indices.iter().enumerate() {
+        let p = ctx.poly_ctx().moduli()[idx].value();
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = buf.get_u64_le();
+            if v >= p {
+                let _ = li;
+                return Err(SerError::Malformed("residue out of range"));
+            }
+            data.push(v);
+        }
+        limbs.push(data);
+    }
+    Ok(RnsPoly::from_parts(
+        Arc::clone(ctx.poly_ctx()),
+        indices,
+        limbs,
+        form,
+    ))
+}
+
+fn put_header(out: &mut BytesMut, magic: u32) {
+    out.put_u32_le(magic);
+    out.put_u16_le(VERSION);
+}
+
+fn check_header(buf: &mut Bytes, magic: u32) -> Result<(), SerError> {
+    need(buf, 6)?;
+    if buf.get_u32_le() != magic || buf.get_u16_le() != VERSION {
+        return Err(SerError::BadHeader);
+    }
+    Ok(())
+}
+
+/// Serializes a ciphertext.
+pub fn serialize_ciphertext(ct: &Ciphertext) -> Bytes {
+    let mut out = BytesMut::new();
+    put_header(&mut out, MAGIC_CT);
+    out.put_f64_le(ct.scale);
+    out.put_u16_le(ct.level as u16);
+    out.put_u32_le(ct.slots as u32);
+    put_poly(&mut out, &ct.c0);
+    put_poly(&mut out, &ct.c1);
+    out.freeze()
+}
+
+/// Deserializes a ciphertext, validating against `ctx`.
+pub fn deserialize_ciphertext(
+    data: &[u8],
+    ctx: &Arc<CkksContext>,
+) -> Result<Ciphertext, SerError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    check_header(&mut buf, MAGIC_CT)?;
+    need(&buf, 8 + 2 + 4)?;
+    let scale = buf.get_f64_le();
+    let level = buf.get_u16_le() as usize;
+    let slots = buf.get_u32_le() as usize;
+    if level > ctx.max_level() {
+        return Err(SerError::Malformed("level out of range"));
+    }
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(SerError::Malformed("bad scale"));
+    }
+    let c0 = get_poly(&mut buf, ctx)?;
+    let c1 = get_poly(&mut buf, ctx)?;
+    if c0.num_limbs() != level + 1 || c1.num_limbs() != level + 1 {
+        return Err(SerError::Malformed("limb count does not match level"));
+    }
+    Ok(Ciphertext {
+        c0,
+        c1,
+        scale,
+        level,
+        slots,
+    })
+}
+
+/// Serializes a plaintext.
+pub fn serialize_plaintext(pt: &Plaintext) -> Bytes {
+    let mut out = BytesMut::new();
+    put_header(&mut out, MAGIC_PT);
+    out.put_f64_le(pt.scale);
+    out.put_u16_le(pt.level as u16);
+    out.put_u32_le(pt.slots as u32);
+    put_poly(&mut out, &pt.poly);
+    out.freeze()
+}
+
+/// Deserializes a plaintext.
+pub fn deserialize_plaintext(data: &[u8], ctx: &Arc<CkksContext>) -> Result<Plaintext, SerError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    check_header(&mut buf, MAGIC_PT)?;
+    need(&buf, 14)?;
+    let scale = buf.get_f64_le();
+    let level = buf.get_u16_le() as usize;
+    let slots = buf.get_u32_le() as usize;
+    let poly = get_poly(&mut buf, ctx)?;
+    Ok(Plaintext {
+        poly,
+        scale,
+        level,
+        slots,
+    })
+}
+
+/// Serializes a public key.
+pub fn serialize_public_key(pk: &PublicKey) -> Bytes {
+    let mut out = BytesMut::new();
+    put_header(&mut out, MAGIC_PK);
+    put_poly(&mut out, pk.b());
+    put_poly(&mut out, pk.a());
+    out.freeze()
+}
+
+/// Deserializes a public key.
+pub fn deserialize_public_key(
+    data: &[u8],
+    ctx: &Arc<CkksContext>,
+) -> Result<PublicKey, SerError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    check_header(&mut buf, MAGIC_PK)?;
+    let b = get_poly(&mut buf, ctx)?;
+    let a = get_poly(&mut buf, ctx)?;
+    Ok(PublicKey::from_parts(b, a))
+}
+
+fn put_ksk(out: &mut BytesMut, ksk: &KeySwitchKey) {
+    out.put_u8(match ksk.variant {
+        KsVariant::Ghs => 0,
+        KsVariant::Bv => 1,
+    });
+    out.put_u16_le(ksk.digits().len() as u16);
+    for (b, a) in ksk.digits() {
+        put_poly(out, b);
+        put_poly(out, a);
+    }
+}
+
+fn get_ksk(buf: &mut Bytes, ctx: &Arc<CkksContext>) -> Result<KeySwitchKey, SerError> {
+    need(buf, 3)?;
+    let variant = match buf.get_u8() {
+        0 => KsVariant::Ghs,
+        1 => KsVariant::Bv,
+        _ => return Err(SerError::Malformed("bad ks variant")),
+    };
+    let k = buf.get_u16_le() as usize;
+    if k != ctx.poly_ctx().chain_len() {
+        return Err(SerError::Malformed("digit count mismatch"));
+    }
+    let mut digits = Vec::with_capacity(k);
+    for _ in 0..k {
+        let b = get_poly(buf, ctx)?;
+        let a = get_poly(buf, ctx)?;
+        digits.push((b, a));
+    }
+    Ok(KeySwitchKey::from_parts(digits, variant))
+}
+
+/// Serializes a relinearization key.
+pub fn serialize_relin_key(rk: &RelinKey) -> Bytes {
+    let mut out = BytesMut::new();
+    put_header(&mut out, MAGIC_KSK);
+    put_ksk(&mut out, &rk.0);
+    out.freeze()
+}
+
+/// Deserializes a relinearization key.
+pub fn deserialize_relin_key(data: &[u8], ctx: &Arc<CkksContext>) -> Result<RelinKey, SerError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    check_header(&mut buf, MAGIC_KSK)?;
+    Ok(RelinKey(get_ksk(&mut buf, ctx)?))
+}
+
+/// Serializes Galois keys.
+pub fn serialize_galois_keys(gk: &GaloisKeys) -> Bytes {
+    let mut out = BytesMut::new();
+    put_header(&mut out, MAGIC_GK);
+    let mut elements: Vec<usize> = gk.elements().collect();
+    elements.sort_unstable();
+    out.put_u16_le(elements.len() as u16);
+    for g in elements {
+        out.put_u32_le(g as u32);
+        put_ksk(&mut out, gk.get(g).expect("element listed but missing"));
+    }
+    out.freeze()
+}
+
+/// Deserializes Galois keys.
+pub fn deserialize_galois_keys(
+    data: &[u8],
+    ctx: &Arc<CkksContext>,
+) -> Result<GaloisKeys, SerError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    check_header(&mut buf, MAGIC_GK)?;
+    need(&buf, 2)?;
+    let count = buf.get_u16_le() as usize;
+    let mut gk = GaloisKeys::default();
+    for _ in 0..count {
+        need(&buf, 4)?;
+        let g = buf.get_u32_le() as usize;
+        if g % 2 == 0 || g >= 2 * ctx.n() {
+            return Err(SerError::Malformed("bad galois element"));
+        }
+        gk.insert(g, get_ksk(&mut buf, ctx)?);
+    }
+    Ok(gk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding;
+    use crate::eval::Evaluator;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use ckks_math::sampler::Sampler;
+
+    fn setup() -> (
+        Arc<CkksContext>,
+        crate::keys::SecretKey,
+        PublicKey,
+        Evaluator,
+        Sampler,
+    ) {
+        let ctx = CkksParams::tiny(2).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 50);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        (ctx, sk, pk, ev, Sampler::from_seed(51))
+    }
+
+    #[test]
+    fn ciphertext_roundtrip() {
+        let (ctx, sk, pk, ev, mut s) = setup();
+        let vals: Vec<f64> = (0..64).map(|i| 0.01 * i as f64).collect();
+        let ct = ev.encrypt_real(&vals, &pk, &mut s);
+        let blob = serialize_ciphertext(&ct);
+        let back = deserialize_ciphertext(&blob, &ctx).unwrap();
+        assert_eq!(back.level, ct.level);
+        assert_eq!(back.slots, ct.slots);
+        let dec = ev.decrypt_to_real(&back, &sk);
+        for (a, b) in dec.iter().zip(&vals) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn plaintext_roundtrip() {
+        let (ctx, _, _, _, _) = setup();
+        let pt = encoding::encode_real(&ctx, &[1.0, -2.0, 3.5], ctx.params().scale(), 1);
+        let blob = serialize_plaintext(&pt);
+        let back = deserialize_plaintext(&blob, &ctx).unwrap();
+        let dec = encoding::decode_real(&ctx, &back);
+        assert!((dec[0] - 1.0).abs() < 1e-6);
+        assert!((dec[1] + 2.0).abs() < 1e-6);
+        assert!((dec[2] - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn public_key_roundtrip_usable() {
+        let (ctx, sk, pk, ev, mut s) = setup();
+        let blob = serialize_public_key(&pk);
+        let pk2 = deserialize_public_key(&blob, &ctx).unwrap();
+        let ct = ev.encrypt_real(&[0.5, 0.25], &pk2, &mut s);
+        let dec = ev.decrypt_to_real(&ct, &sk);
+        assert!((dec[0] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn relin_key_roundtrip_usable() {
+        let (ctx, sk, pk, ev, mut s) = setup();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 50);
+        let _ = kg.gen_secret_key(); // advance to match fixture determinism (unused)
+        let rk = {
+            let mut kg2 = KeyGenerator::new(Arc::clone(&ctx), 99);
+            kg2.gen_relin_key_variant(&sk, KsVariant::Ghs)
+        };
+        let blob = serialize_relin_key(&rk);
+        let rk2 = deserialize_relin_key(&blob, &ctx).unwrap();
+        let vals = vec![0.5; 16];
+        let ct = ev.encrypt_real(&vals, &pk, &mut s);
+        let sq = ev.multiply_rescale(&ct, &ct, &rk2);
+        let dec = ev.decrypt_to_real(&sq, &sk);
+        assert!((dec[0] - 0.25).abs() < 1e-3, "{}", dec[0]);
+    }
+
+    #[test]
+    fn galois_keys_roundtrip_usable() {
+        let (ctx, sk, pk, ev, mut s) = setup();
+        let gk = {
+            let mut kg2 = KeyGenerator::new(Arc::clone(&ctx), 98);
+            kg2.gen_galois_keys(&sk, &[2], false)
+        };
+        let blob = serialize_galois_keys(&gk);
+        let gk2 = deserialize_galois_keys(&blob, &ctx).unwrap();
+        let slots = ctx.slots();
+        let vals: Vec<f64> = (0..slots).map(|i| i as f64 / slots as f64).collect();
+        let ct = ev.encrypt_real(&vals, &pk, &mut s);
+        let rot = ev.rotate(&ct, 2, &gk2);
+        let dec = ev.decrypt_to_real(&rot, &sk);
+        assert!((dec[0] - vals[2]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn corrupted_blobs_rejected() {
+        let (ctx, _, pk, ev, mut s) = setup();
+        let ct = ev.encrypt_real(&[1.0], &pk, &mut s);
+        let blob = serialize_ciphertext(&ct);
+
+        // bad magic
+        let mut bad = blob.to_vec();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            deserialize_ciphertext(&bad, &ctx).unwrap_err(),
+            SerError::BadHeader
+        );
+
+        // truncation
+        assert_eq!(
+            deserialize_ciphertext(&blob[..blob.len() / 2], &ctx).unwrap_err(),
+            SerError::Truncated
+        );
+
+        // out-of-range residue: find a residue byte region and saturate it
+        let mut bad2 = blob.to_vec();
+        let tail = bad2.len() - 8;
+        bad2[tail..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            deserialize_ciphertext(&bad2, &ctx).unwrap_err(),
+            SerError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let (ctx, _, _, _, _) = setup();
+        assert_eq!(
+            deserialize_ciphertext(&[], &ctx).unwrap_err(),
+            SerError::Truncated
+        );
+    }
+}

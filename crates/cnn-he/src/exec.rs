@@ -1,0 +1,239 @@
+//! Execution planning and latency accounting.
+//!
+//! The paper's CNN-HE-RNS processes the decomposed signal as `k`
+//! independent streams in parallel on an 8-core/16-thread Xeon; the
+//! CNN-HE baseline processes one stream sequentially. This host may have
+//! any number of physical cores (possibly one), so the harness measures
+//! the per-unit CPU time of every homomorphic operation *sequentially*
+//! and then computes the wall-clock a `k`-stream plan would achieve on a
+//! `c`-core machine as a scheduling makespan. One measured inference run
+//! therefore yields the latency of **every** `k` simultaneously, which is
+//! also how Tables IV and VI are regenerated from a single run.
+
+use std::time::Duration;
+
+/// An execution plan: how many parallel RNS streams, on how many
+/// (virtual) cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPlan {
+    /// Number of RNS streams `k`. `1` = the sequential CNN-HE baseline.
+    pub streams: usize,
+    /// Simulated core count (the paper's testbed exposes 16 hardware
+    /// threads).
+    pub virtual_cores: usize,
+}
+
+impl ExecPlan {
+    /// The sequential baseline (CNN-HE).
+    pub fn baseline() -> Self {
+        Self {
+            streams: 1,
+            virtual_cores: 16,
+        }
+    }
+
+    /// CNN-HE-RNS with `k` streams on the paper-testbed core count.
+    pub fn rns(k: usize) -> Self {
+        assert!(k >= 1);
+        Self {
+            streams: k,
+            virtual_cores: 16,
+        }
+    }
+}
+
+/// Measured per-unit times of one layer's homomorphic workload.
+#[derive(Debug, Clone)]
+pub struct LayerTiming {
+    pub name: String,
+    /// One entry per independent work unit (output scalar / ciphertext).
+    pub unit_times: Vec<Duration>,
+    /// Whether this layer's units belong to the RNS-parallel region.
+    /// Linear layers (conv, dense) commute with the stream decomposition
+    /// and parallelize; nonlinear activations require the reassembled
+    /// signal and stay sequential (Fig. 5).
+    pub parallel: bool,
+    /// Fixed sequential overhead of the layer (reassembly, bookkeeping).
+    pub fixed: Duration,
+}
+
+impl LayerTiming {
+    pub fn cpu_total(&self) -> Duration {
+        self.unit_times.iter().sum::<Duration>() + self.fixed
+    }
+}
+
+/// Timing record of one encrypted inference.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceTiming {
+    pub layers: Vec<LayerTiming>,
+}
+
+impl InferenceTiming {
+    /// Total CPU time (the 1-stream sequential wall-clock).
+    pub fn cpu_total(&self) -> Duration {
+        self.layers.iter().map(|l| l.cpu_total()).sum()
+    }
+
+    /// Simulated wall-clock under an execution plan: parallel layers are
+    /// split round-robin into `k` stream shards whose sums are scheduled
+    /// onto `c` cores (LPT makespan); sequential layers contribute their
+    /// full CPU time.
+    pub fn simulated_wall(&self, plan: ExecPlan) -> Duration {
+        self.layers
+            .iter()
+            .map(|l| {
+                if l.parallel && plan.streams > 1 {
+                    let shards = round_robin_shards(&l.unit_times, plan.streams);
+                    makespan(&shards, plan.virtual_cores) + l.fixed
+                } else {
+                    l.cpu_total()
+                }
+            })
+            .sum()
+    }
+
+    /// Per-layer breakdown string for reports.
+    pub fn breakdown(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| {
+                format!(
+                    "  {:<22} units {:>5}  cpu {:>8.3}s  {}",
+                    l.name,
+                    l.unit_times.len(),
+                    l.cpu_total().as_secs_f64(),
+                    if l.parallel { "parallel" } else { "sequential" }
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Splits unit times round-robin into `k` shard sums (the work-queue
+/// order a stream scheduler would see).
+pub fn round_robin_shards(units: &[Duration], k: usize) -> Vec<Duration> {
+    assert!(k >= 1);
+    let mut shards = vec![Duration::ZERO; k];
+    for (i, &u) in units.iter().enumerate() {
+        shards[i % k] += u;
+    }
+    shards
+}
+
+/// Longest-processing-time-first makespan of shard sums on `cores`
+/// identical machines.
+pub fn makespan(shards: &[Duration], cores: usize) -> Duration {
+    assert!(cores >= 1);
+    let mut sorted: Vec<Duration> = shards.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![Duration::ZERO; cores.min(shards.len()).max(1)];
+    for s in sorted {
+        let min_idx = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| **l)
+            .map(|(i, _)| i)
+            .unwrap();
+        loads[min_idx] += s;
+    }
+    loads.into_iter().max().unwrap_or(Duration::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn makespan_basics() {
+        // 4 equal shards on 2 cores → 2 per core
+        assert_eq!(makespan(&[ms(10); 4], 2), ms(20));
+        // enough cores → max shard
+        assert_eq!(makespan(&[ms(10), ms(30), ms(20)], 8), ms(30));
+        // one core → sum
+        assert_eq!(makespan(&[ms(10), ms(30), ms(20)], 1), ms(60));
+    }
+
+    #[test]
+    fn round_robin_balances_uniform_units() {
+        let units = vec![ms(1); 100];
+        let shards = round_robin_shards(&units, 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0], ms(34));
+        assert_eq!(shards[1], ms(33));
+        assert_eq!(shards[2], ms(33));
+    }
+
+    fn timing(parallel_units: usize, seq_units: usize) -> InferenceTiming {
+        InferenceTiming {
+            layers: vec![
+                LayerTiming {
+                    name: "conv".into(),
+                    unit_times: vec![ms(2); parallel_units],
+                    parallel: true,
+                    fixed: Duration::ZERO,
+                },
+                LayerTiming {
+                    name: "act".into(),
+                    unit_times: vec![ms(1); seq_units],
+                    parallel: false,
+                    fixed: ms(5),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn baseline_equals_cpu_total() {
+        let t = timing(100, 50);
+        assert_eq!(t.simulated_wall(ExecPlan::baseline()), t.cpu_total());
+        assert_eq!(t.cpu_total(), ms(200 + 50 + 5));
+    }
+
+    #[test]
+    fn more_streams_reduce_wall_until_saturation() {
+        let t = timing(720, 0);
+        let mut prev = t.simulated_wall(ExecPlan::baseline());
+        for k in [2usize, 3, 4, 8, 16] {
+            let wall = t.simulated_wall(ExecPlan::rns(k));
+            assert!(wall <= prev, "k={k}: {wall:?} > {prev:?}");
+            prev = wall;
+        }
+        // saturated at virtual_cores: k beyond cores cannot help
+        let w16 = t.simulated_wall(ExecPlan::rns(16));
+        let w32 = t.simulated_wall(ExecPlan::rns(32));
+        assert!(w32 >= w16);
+    }
+
+    #[test]
+    fn sequential_layers_do_not_speed_up() {
+        let t = InferenceTiming {
+            layers: vec![LayerTiming {
+                name: "dense".into(),
+                unit_times: vec![ms(3); 64],
+                parallel: false,
+                fixed: Duration::ZERO,
+            }],
+        };
+        assert_eq!(
+            t.simulated_wall(ExecPlan::rns(8)),
+            t.simulated_wall(ExecPlan::baseline())
+        );
+    }
+
+    #[test]
+    fn amdahl_shape() {
+        // parallel fraction p of total T: wall(k) ≈ (1-p)T + pT/k
+        let t = timing(500, 500); // 1000ms parallel, 505ms sequential
+        let w1 = t.simulated_wall(ExecPlan::baseline()).as_secs_f64();
+        let w4 = t.simulated_wall(ExecPlan::rns(4)).as_secs_f64();
+        let expect = 0.505 + 1.0 / 4.0;
+        assert!((w4 - expect).abs() < 0.01, "w4 {w4} vs {expect}");
+        assert!(w1 > w4);
+    }
+}

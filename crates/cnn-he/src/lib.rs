@@ -1,0 +1,34 @@
+//! # cnn-he
+//!
+//! Privacy-preserving CNN inference over RNS-CKKS — the paper's primary
+//! contribution. Provides:
+//!
+//! * homomorphic convolution / dense / SLAF-activation layers over
+//!   ciphertext tensors with exact scale management ([`he_layers`]);
+//! * extraction of trained `neural` models (with BatchNorm folding) into
+//!   HE-evaluable networks ([`network`]);
+//! * the RNS input-signal decomposition of Figs. 2/5 — residue (CRT) and
+//!   mixed-radix digit forms ([`rns_input`]);
+//! * execution planning: sequential CNN-HE baseline vs. `k`-stream
+//!   CNN-HE-RNS, with measured-CPU-time scheduling simulation for
+//!   single-core hosts ([`exec`]);
+//! * the end-to-end encrypt → evaluate → decrypt pipeline ([`pipeline`]).
+
+pub mod encrypted_weights;
+pub mod exec;
+pub mod he_layers;
+pub mod he_tensor;
+pub mod metrics;
+pub mod network;
+pub mod packed;
+pub mod pipeline;
+pub mod quantize;
+pub mod rns_input;
+pub mod throughput;
+
+pub use exec::{ExecPlan, InferenceTiming};
+pub use he_tensor::CtTensor;
+pub use metrics::LatencyStats;
+pub use network::{HeLayerSpec, HeNetwork};
+pub use pipeline::{Classification, CnnHePipeline};
+pub use rns_input::SignalDecomposition;

@@ -1,0 +1,80 @@
+//! Latency statistics in the paper's Table III/V format (min/max/avg).
+
+use std::time::Duration;
+
+/// Min / max / mean over a set of latency samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    pub min: f64,
+    pub max: f64,
+    pub avg: f64,
+}
+
+impl LatencyStats {
+    pub fn from_durations(samples: &[Duration]) -> Self {
+        assert!(!samples.is_empty(), "no latency samples");
+        let secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+        Self::from_secs(&secs)
+    }
+
+    pub fn from_secs(secs: &[f64]) -> Self {
+        assert!(!secs.is_empty());
+        let min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = secs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let avg = secs.iter().sum::<f64>() / secs.len() as f64;
+        Self { min, max, avg }
+    }
+
+    /// Speed-up of `self` (baseline) over `other`, as the paper reports:
+    /// `(avg_base − avg_other)/avg_base · 100%`.
+    pub fn speedup_percent_over(&self, other: &LatencyStats) -> f64 {
+        (self.avg - other.avg) / self.avg * 100.0
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {:.2}s  max {:.2}s  avg {:.2}s",
+            self.min, self.max, self.avg
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let s = LatencyStats::from_secs(&[1.0, 3.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.avg - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_speedup_formula() {
+        // Table III: 3.56 → 2.27 is reported as 36.24%
+        let base = LatencyStats::from_secs(&[3.56]);
+        let rns = LatencyStats::from_secs(&[2.27]);
+        let sp = base.speedup_percent_over(&rns);
+        assert!((sp - 36.24).abs() < 0.1, "{sp}");
+    }
+
+    #[test]
+    fn from_durations() {
+        let s = LatencyStats::from_durations(&[
+            Duration::from_millis(500),
+            Duration::from_millis(1500),
+        ]);
+        assert!((s.avg - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_samples_panic() {
+        let _ = LatencyStats::from_secs(&[]);
+    }
+}

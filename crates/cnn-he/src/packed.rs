@@ -1,0 +1,688 @@
+//! Packed (Lo-La-style) inference engine — the alternative to scalar
+//! packing, provided as the packing ablation of DESIGN.md §8.
+//!
+//! The whole activation vector of a layer lives in ONE ciphertext
+//! (tiled cyclically across the slots); linear layers become
+//! plaintext-matrix × encrypted-vector products evaluated with the
+//! baby-step/giant-step diagonal method (≈ 2√D rotations instead of D),
+//! and each nonlinearity is a *single* SLAF evaluation per layer instead
+//! of one per neuron. Latency is dominated by rotations rather than by
+//! per-neuron accumulations — the trade Lo-La makes against CryptoNets.
+//!
+//! Convolutions are lowered to their (sparse) matrix form at extraction
+//! time (`im2col` on the weight side), so the engine evaluates the exact
+//! same function as the scalar engine and the plaintext reference.
+
+use crate::he_layers::{ConvSpec, DenseSpec};
+use crate::network::{HeLayerSpec, HeNetwork};
+use ckks::{encode_real, Ciphertext, Evaluator, GaloisKeys, PublicKey, RelinKey};
+use ckks_math::sampler::Sampler;
+use std::time::{Duration, Instant};
+
+/// A layer of the packed engine.
+#[derive(Debug, Clone)]
+pub enum PackedLayer {
+    /// Square (padded) linear map `y = M·x + b` over the common dim.
+    Matrix {
+        /// `diags[d][i] = M[i][(i+d) mod dim]` — the generalized
+        /// diagonals; all-zero diagonals stored as `None`.
+        diags: Vec<Option<Vec<f64>>>,
+        bias: Vec<f64>,
+        dim: usize,
+    },
+    /// SLAF coefficients.
+    Activation(Vec<f64>),
+}
+
+/// A network in packed form: every layer padded to one power-of-two
+/// dimension `dim`.
+#[derive(Debug, Clone)]
+pub struct PackedNetwork {
+    pub layers: Vec<PackedLayer>,
+    /// Common padded vector dimension (power of two).
+    pub dim: usize,
+    /// True input length (≤ dim).
+    pub input_dim: usize,
+    /// True output length (≤ dim).
+    pub output_dim: usize,
+}
+
+/// Dense row-major matrix → generalized diagonals.
+fn matrix_to_diags(m: &[f64], dim: usize) -> Vec<Option<Vec<f64>>> {
+    (0..dim)
+        .map(|d| {
+            let diag: Vec<f64> = (0..dim).map(|i| m[i * dim + (i + d) % dim]).collect();
+            if diag.iter().all(|&v| v == 0.0) {
+                None
+            } else {
+                Some(diag)
+            }
+        })
+        .collect()
+}
+
+/// Lowers a conv spec to its `(out_flat × in_flat)` dense matrix.
+fn conv_to_matrix(spec: &ConvSpec, in_hw: usize) -> (Vec<f64>, Vec<f64>, usize, usize) {
+    let oh = spec.out_size(in_hw);
+    let out_dim = spec.out_ch * oh * oh;
+    let in_dim = spec.in_ch * in_hw * in_hw;
+    let mut m = vec![0.0f64; out_dim * in_dim];
+    let mut bias = vec![0.0f64; out_dim];
+    for o in 0..spec.out_ch {
+        for oy in 0..oh {
+            for ox in 0..oh {
+                let row = (o * oh + oy) * oh + ox;
+                bias[row] = spec.bias[o] as f64;
+                for ci in 0..spec.in_ch {
+                    for ky in 0..spec.k {
+                        let iy = oy * spec.stride + ky;
+                        if iy < spec.pad || iy - spec.pad >= in_hw {
+                            continue;
+                        }
+                        for kx in 0..spec.k {
+                            let ix = ox * spec.stride + kx;
+                            if ix < spec.pad || ix - spec.pad >= in_hw {
+                                continue;
+                            }
+                            let col = (ci * in_hw + iy - spec.pad) * in_hw + ix - spec.pad;
+                            let w = spec.weight
+                                [((o * spec.in_ch + ci) * spec.k + ky) * spec.k + kx];
+                            m[row * in_dim + col] = w as f64;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (m, bias, out_dim, in_dim)
+}
+
+impl PackedNetwork {
+    /// Converts an extracted network into packed form. All layer
+    /// dimensions are padded to the next power of two of the largest.
+    pub fn from_network(net: &HeNetwork) -> Self {
+        // first pass: collect per-layer (matrix, bias, out, in) or activation
+        enum Raw {
+            Mat(Vec<f64>, Vec<f64>, usize, usize),
+            Act(Vec<f64>),
+        }
+        let mut raw = Vec::new();
+        let mut cur_hw = net.input_side;
+        let mut cur_dim = net.input_side * net.input_side;
+        let input_dim = cur_dim;
+        for layer in &net.layers {
+            match layer {
+                HeLayerSpec::Conv(spec) => {
+                    let (m, b, od, id) = conv_to_matrix(spec, cur_hw);
+                    assert_eq!(id, cur_dim);
+                    cur_hw = spec.out_size(cur_hw);
+                    cur_dim = od;
+                    raw.push(Raw::Mat(m, b, od, id));
+                }
+                HeLayerSpec::Dense(spec) => {
+                    assert_eq!(spec.in_dim, cur_dim, "dense dim mismatch");
+                    let m: Vec<f64> = spec.weight.iter().map(|&w| w as f64).collect();
+                    let b: Vec<f64> = spec.bias.iter().map(|&v| v as f64).collect();
+                    cur_dim = spec.out_dim;
+                    raw.push(Raw::Mat(m, b, spec.out_dim, spec.in_dim));
+                }
+                HeLayerSpec::Activation(c) => raw.push(Raw::Act(c.clone())),
+            }
+        }
+        let output_dim = cur_dim;
+        // common padded dimension
+        let max_dim = raw
+            .iter()
+            .filter_map(|r| match r {
+                Raw::Mat(_, _, od, id) => Some((*od).max(*id)),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(input_dim)
+            .max(input_dim);
+        let dim = max_dim.next_power_of_two();
+
+        let layers = raw
+            .into_iter()
+            .map(|r| match r {
+                Raw::Act(c) => PackedLayer::Activation(c),
+                Raw::Mat(m, b, od, id) => {
+                    // pad to dim × dim
+                    let mut padded = vec![0.0f64; dim * dim];
+                    for i in 0..od {
+                        padded[i * dim..i * dim + id]
+                            .copy_from_slice(&m[i * id..(i + 1) * id]);
+                    }
+                    let mut bias = vec![0.0f64; dim];
+                    bias[..od].copy_from_slice(&b);
+                    PackedLayer::Matrix {
+                        diags: matrix_to_diags(&padded, dim),
+                        bias,
+                        dim,
+                    }
+                }
+            })
+            .collect();
+        Self {
+            layers,
+            dim,
+            input_dim,
+            output_dim,
+        }
+    }
+
+    /// Baby-step size `B ≈ √dim`.
+    fn baby(&self) -> usize {
+        let mut b = 1usize;
+        while b * b < self.dim {
+            b <<= 1;
+        }
+        b
+    }
+
+    /// Galois rotation steps the encrypted path needs (baby steps
+    /// `1..B` and giant steps `B, 2B, …`).
+    pub fn required_rotation_steps(&self) -> Vec<i64> {
+        let b = self.baby();
+        let mut steps: Vec<i64> = (1..b as i64).collect();
+        let mut g = b;
+        while g < self.dim {
+            steps.push(g as i64);
+            g += b;
+        }
+        steps
+    }
+
+    /// Plaintext reference of the packed function (must equal the
+    /// original network's `infer_plain` on the true dims).
+    pub fn infer_plain(&self, input: &[f32]) -> Vec<f64> {
+        assert_eq!(input.len(), self.input_dim);
+        let mut x = vec![0.0f64; self.dim];
+        for (i, &v) in input.iter().enumerate() {
+            x[i] = v as f64;
+        }
+        for layer in &self.layers {
+            match layer {
+                PackedLayer::Matrix { diags, bias, dim } => {
+                    let mut y = bias.clone();
+                    for (d, diag) in diags.iter().enumerate() {
+                        if let Some(diag) = diag {
+                            for i in 0..*dim {
+                                y[i] += diag[i] * x[(i + d) % dim];
+                            }
+                        }
+                    }
+                    x = y;
+                }
+                PackedLayer::Activation(c) => {
+                    for v in x.iter_mut() {
+                        let mut acc = 0.0;
+                        for &ck in c.iter().rev() {
+                            acc = acc * *v + ck;
+                        }
+                        *v = acc;
+                    }
+                }
+            }
+        }
+        x[..self.output_dim].to_vec()
+    }
+
+    /// Multiplicative levels required.
+    pub fn required_levels(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                PackedLayer::Matrix { .. } => 1,
+                PackedLayer::Activation(_) => 2,
+            })
+            .sum()
+    }
+
+    /// Encrypts an input vector tiled cyclically across all slots (the
+    /// layout the diagonal method requires).
+    pub fn encrypt_input(
+        &self,
+        ev: &Evaluator,
+        pk: &PublicKey,
+        sampler: &mut Sampler,
+        input: &[f32],
+    ) -> Ciphertext {
+        assert_eq!(input.len(), self.input_dim);
+        let slots = ev.ctx().slots();
+        assert!(
+            self.dim <= slots && slots % self.dim == 0,
+            "dim {} must divide slot count {}",
+            self.dim,
+            slots
+        );
+        let mut tiled = vec![0.0f64; slots];
+        for (i, t) in tiled.iter_mut().enumerate() {
+            let j = i % self.dim;
+            *t = if j < self.input_dim {
+                input[j] as f64
+            } else {
+                0.0
+            };
+        }
+        let pt = encode_real(ev.ctx(), &tiled, ev.ctx().params().scale(), self.required_levels());
+        ev.encrypt(&pt, pk, sampler)
+    }
+
+    /// Static (level, scale) schedule at the input of every layer: the
+    /// engine's scale discipline is deterministic, so plaintexts can be
+    /// encoded ahead of time.
+    pub fn layer_schedule(&self, ev: &Evaluator) -> Vec<(usize, f64)> {
+        let mut level = self.required_levels();
+        let mut scale = ev.ctx().params().scale();
+        let mut out = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            out.push((level, scale));
+            match layer {
+                PackedLayer::Matrix { .. } => {
+                    // weights at q_m: scale preserved, one level consumed
+                    level -= 1;
+                }
+                PackedLayer::Activation(_) => {
+                    let q_m = ev.ctx().chain_moduli()[level].value() as f64;
+                    let q_m1 = ev.ctx().chain_moduli()[level - 1].value() as f64;
+                    scale = scale * scale * scale / (q_m * q_m1);
+                    level -= 2;
+                }
+            }
+        }
+        out
+    }
+
+    /// Pre-encodes every diagonal and bias plaintext at its scheduled
+    /// level/scale — hoists the embedding+NTT cost out of inference.
+    pub fn precompute(&self, ev: &Evaluator) -> PackedPrecomputed {
+        let slots = ev.ctx().slots();
+        let schedule = self.layer_schedule(ev);
+        let b = self.baby();
+        let layers = self
+            .layers
+            .iter()
+            .zip(&schedule)
+            .map(|(layer, &(level, scale))| match layer {
+                PackedLayer::Activation(_) => None,
+                PackedLayer::Matrix { diags, bias, dim } => {
+                    let q_m = ev.ctx().chain_moduli()[level].value() as f64;
+                    let diag_pts: Vec<Option<ckks::Plaintext>> = diags
+                        .iter()
+                        .enumerate()
+                        .map(|(d, diag)| {
+                            diag.as_ref().map(|diag| {
+                                let g = (d / b) * b;
+                                let mut tiled = vec![0.0f64; slots];
+                                for (i, t) in tiled.iter_mut().enumerate() {
+                                    let j = i % dim;
+                                    *t = diag[(j + dim - g % dim) % dim];
+                                }
+                                encode_real(ev.ctx(), &tiled, q_m, level)
+                            })
+                        })
+                        .collect();
+                    let mut tiled_bias = vec![0.0f64; slots];
+                    for (i, t) in tiled_bias.iter_mut().enumerate() {
+                        *t = bias[i % dim];
+                    }
+                    let bias_pt = encode_real(ev.ctx(), &tiled_bias, scale * q_m, level);
+                    Some((diag_pts, bias_pt))
+                }
+            })
+            .collect();
+        PackedPrecomputed { layers }
+    }
+
+    /// Encrypted inference with precomputed plaintexts.
+    pub fn infer_encrypted_precomputed(
+        &self,
+        ev: &Evaluator,
+        rk: &RelinKey,
+        gk: &GaloisKeys,
+        pre: &PackedPrecomputed,
+        mut x: Ciphertext,
+    ) -> (Ciphertext, Vec<(String, Duration)>) {
+        let b = self.baby();
+        let mut times = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let t0 = Instant::now();
+            match layer {
+                PackedLayer::Matrix { diags, dim, .. } => {
+                    let (diag_pts, bias_pt) = pre.layers[li]
+                        .as_ref()
+                        .expect("precompute/layer mismatch");
+                    let mut babies = Vec::with_capacity(b);
+                    babies.push(x.clone());
+                    for s in 1..b {
+                        babies.push(ev.rotate(&x, s as i64, gk));
+                    }
+                    let mut acc: Option<Ciphertext> = None;
+                    let mut g = 0usize;
+                    while g < *dim {
+                        let mut inner: Option<Ciphertext> = None;
+                        for bb in 0..b {
+                            let d = g + bb;
+                            if d >= *dim {
+                                break;
+                            }
+                            if diags[d].is_none() {
+                                continue;
+                            }
+                            let pt = diag_pts[d].as_ref().unwrap();
+                            let term = ev.mul_plain(&babies[bb], pt);
+                            inner = Some(match inner {
+                                None => term,
+                                Some(a) => ev.add(&a, &term),
+                            });
+                        }
+                        if let Some(inner) = inner {
+                            let rotated = if g == 0 {
+                                inner
+                            } else {
+                                ev.rotate(&inner, g as i64, gk)
+                            };
+                            acc = Some(match acc {
+                                None => rotated,
+                                Some(a) => ev.add(&a, &rotated),
+                            });
+                        }
+                        g += b;
+                    }
+                    let mut acc = acc.expect("zero matrix layer");
+                    acc = ev.add_plain(&acc, bias_pt);
+                    x = ev.rescale(&acc);
+                }
+                PackedLayer::Activation(c) => {
+                    let mut coeffs = [0.0f64; 4];
+                    coeffs[..c.len()].copy_from_slice(c);
+                    x = crate::he_layers::he_poly_eval_deg3(ev, rk, &x, &coeffs);
+                }
+            }
+            times.push((format!("packed layer {li}"), t0.elapsed()));
+        }
+        (x, times)
+    }
+
+    /// Encrypted inference: BSGS diagonal matvec per linear layer, one
+    /// SLAF per activation layer. Returns the output ciphertext and
+    /// per-layer wall times.
+    pub fn infer_encrypted(
+        &self,
+        ev: &Evaluator,
+        rk: &RelinKey,
+        gk: &GaloisKeys,
+        mut x: Ciphertext,
+    ) -> (Ciphertext, Vec<(String, Duration)>) {
+        let slots = ev.ctx().slots();
+        let b = self.baby();
+        let mut times = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let t0 = Instant::now();
+            match layer {
+                PackedLayer::Matrix { diags, bias, dim } => {
+                    let q_m = ev.ctx().chain_moduli()[x.level].value() as f64;
+                    // baby steps: rot_b(x) for b = 0..B
+                    let mut babies = Vec::with_capacity(b);
+                    babies.push(x.clone());
+                    for s in 1..b {
+                        babies.push(ev.rotate(&x, s as i64, gk));
+                    }
+                    // giant accumulation
+                    let mut acc: Option<Ciphertext> = None;
+                    let mut g = 0usize;
+                    while g < *dim {
+                        let mut inner: Option<Ciphertext> = None;
+                        for bb in 0..b {
+                            let d = g + bb;
+                            if d >= *dim {
+                                break;
+                            }
+                            let Some(diag) = &diags[d] else { continue };
+                            // BSGS identity with left rotations:
+                            //   y = Σ_g rot_g( Σ_b rot_{-g}(diag_{g+b}) ⊙ rot_b(x) )
+                            // so the plaintext is the diagonal rotated
+                            // right by g, tiled across the slots.
+                            let mut tiled = vec![0.0f64; slots];
+                            for (i, t) in tiled.iter_mut().enumerate() {
+                                let j = i % dim;
+                                *t = diag[(j + dim - g % dim) % dim];
+                            }
+                            let pt = encode_real(ev.ctx(), &tiled, q_m, babies[bb].level);
+                            let term = ev.mul_plain(&babies[bb], &pt);
+                            inner = Some(match inner {
+                                None => term,
+                                Some(a) => ev.add(&a, &term),
+                            });
+                        }
+                        if let Some(inner) = inner {
+                            let rotated = if g == 0 {
+                                inner
+                            } else {
+                                ev.rotate(&inner, g as i64, gk)
+                            };
+                            acc = Some(match acc {
+                                None => rotated,
+                                Some(a) => ev.add(&a, &rotated),
+                            });
+                        }
+                        g += b;
+                    }
+                    let mut acc = acc.expect("zero matrix layer");
+                    // bias at the accumulated scale, tiled
+                    let mut tiled_bias = vec![0.0f64; slots];
+                    for (i, t) in tiled_bias.iter_mut().enumerate() {
+                        *t = bias[i % dim];
+                    }
+                    let bias_pt = encode_real(ev.ctx(), &tiled_bias, acc.scale, acc.level);
+                    acc = ev.add_plain(&acc, &bias_pt);
+                    x = ev.rescale(&acc);
+                }
+                PackedLayer::Activation(c) => {
+                    let mut coeffs = [0.0f64; 4];
+                    coeffs[..c.len()].copy_from_slice(c);
+                    x = crate::he_layers::he_poly_eval_deg3(ev, rk, &x, &coeffs);
+                }
+            }
+            times.push((format!("packed layer {li}"), t0.elapsed()));
+        }
+        (x, times)
+    }
+}
+
+/// Pre-encoded plaintext operands of a packed network (one entry per
+/// layer; `None` for activations).
+pub struct PackedPrecomputed {
+    layers: Vec<Option<(Vec<Option<ckks::Plaintext>>, ckks::Plaintext)>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::he_tensor::encrypt_image_batch;
+    use ckks::{CkksParams, KeyGenerator};
+    use std::sync::Arc;
+
+    /// A small CNN1-shaped network over 8×8 inputs (dims ≤ 64).
+    fn mini_net(seed: u64) -> HeNetwork {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut w = |n: usize| -> Vec<f32> {
+            (0..n).map(|_| rng.gen_range(-0.25f32..0.25)).collect()
+        };
+        HeNetwork {
+            layers: vec![
+                HeLayerSpec::Conv(ConvSpec {
+                    weight: w(2 * 9),
+                    bias: vec![0.1, -0.1],
+                    in_ch: 1,
+                    out_ch: 2,
+                    k: 3,
+                    stride: 2,
+                    pad: 0,
+                }), // 8→3, out dim 18
+                HeLayerSpec::Activation(vec![0.05, 0.7, 0.2]),
+                HeLayerSpec::Dense(DenseSpec {
+                    weight: w(18 * 5),
+                    bias: w(5),
+                    in_dim: 18,
+                    out_dim: 5,
+                }),
+            ],
+            input_side: 8,
+        }
+    }
+
+    #[test]
+    fn packed_plain_matches_original_plain() {
+        let net = mini_net(40);
+        let packed = PackedNetwork::from_network(&net);
+        assert_eq!(packed.input_dim, 64);
+        assert_eq!(packed.output_dim, 5);
+        assert_eq!(packed.dim, 64); // max(64, 18, 5) → 64
+        let img: Vec<f32> = (0..64).map(|i| ((i * 3) % 10) as f32 / 10.0).collect();
+        let a = net.infer_plain(&img);
+        let b = packed.infer_plain(&img);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn conv_matrix_lowering_is_exact() {
+        let spec = ConvSpec {
+            weight: (0..9).map(|i| i as f32 * 0.1).collect(),
+            bias: vec![0.5],
+            in_ch: 1,
+            out_ch: 1,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let (m, bias, od, id) = conv_to_matrix(&spec, 4);
+        assert_eq!((od, id), (16, 16));
+        // multiply a test vector through the matrix and compare with the
+        // direct conv from the scalar engine's reference
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.25).collect();
+        let net = HeNetwork {
+            layers: vec![HeLayerSpec::Conv(spec)],
+            input_side: 4,
+        };
+        let direct = net.infer_plain(&x);
+        for i in 0..16 {
+            let mut acc = bias[i];
+            for j in 0..16 {
+                acc += m[i * 16 + j] * x[j] as f64;
+            }
+            assert!((acc - direct[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn packed_encrypted_matches_plain() {
+        let net = mini_net(41);
+        let packed = PackedNetwork::from_network(&net);
+        let ctx = CkksParams::tiny(packed.required_levels()).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 42);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let rk = kg.gen_relin_key(&sk);
+        let gk = kg.gen_galois_keys(&sk, &packed.required_rotation_steps(), false);
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(43);
+
+        let img: Vec<f32> = (0..64).map(|i| ((i * 7) % 13) as f32 / 13.0).collect();
+        let x = packed.encrypt_input(&ev, &pk, &mut s, &img);
+        let (y, times) = packed.infer_encrypted(&ev, &rk, &gk, x);
+        assert_eq!(times.len(), 3);
+        let out = ev.decrypt_to_real(&y, &sk);
+        let want = packed.infer_plain(&img);
+        for i in 0..packed.output_dim {
+            assert!(
+                (out[i] - want[i]).abs() < 0.02,
+                "slot {i}: {} vs {}",
+                out[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn packed_uses_fewer_ciphertext_ops_than_scalar() {
+        // structural claim behind the Lo-La trade: rotations ≈ 2√D per
+        // linear layer instead of D·taps scalar MACs + per-neuron SLAFs
+        let net = mini_net(44);
+        let packed = PackedNetwork::from_network(&net);
+        let rot_steps = packed.required_rotation_steps().len();
+        assert!(
+            rot_steps <= 2 * (packed.dim as f64).sqrt() as usize + 2,
+            "rotation budget blew up: {rot_steps} for dim {}",
+            packed.dim
+        );
+    }
+
+    #[test]
+    fn precomputed_path_matches_on_the_fly_path() {
+        let net = mini_net(48);
+        let packed = PackedNetwork::from_network(&net);
+        let ctx = CkksParams::tiny(packed.required_levels()).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 49);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let rk = kg.gen_relin_key(&sk);
+        let gk = kg.gen_galois_keys(&sk, &packed.required_rotation_steps(), false);
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(50);
+        let img: Vec<f32> = (0..64).map(|i| ((i * 11) % 9) as f32 / 9.0).collect();
+
+        let pre = packed.precompute(&ev);
+        let x1 = packed.encrypt_input(&ev, &pk, &mut s, &img);
+        let (y1, _) = packed.infer_encrypted_precomputed(&ev, &rk, &gk, &pre, x1);
+        let x2 = packed.encrypt_input(&ev, &pk, &mut s, &img);
+        let (y2, _) = packed.infer_encrypted(&ev, &rk, &gk, x2);
+        let o1 = ev.decrypt_to_real(&y1, &sk);
+        let o2 = ev.decrypt_to_real(&y2, &sk);
+        for i in 0..packed.output_dim {
+            assert!((o1[i] - o2[i]).abs() < 1e-4, "slot {i}: {} vs {}", o1[i], o2[i]);
+        }
+    }
+
+    #[test]
+    fn scalar_and_packed_engines_agree_encrypted() {
+        // the two engines evaluate the same function — compare their
+        // *encrypted* outputs on the same trained-free weights
+        let net = mini_net(45);
+        let packed = PackedNetwork::from_network(&net);
+        let depth = packed.required_levels();
+        let ctx = CkksParams::tiny(depth).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 46);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let rk = kg.gen_relin_key(&sk);
+        let gk = kg.gen_galois_keys(&sk, &packed.required_rotation_steps(), false);
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(47);
+
+        let img: Vec<f32> = (0..64).map(|i| (i % 5) as f32 / 5.0).collect();
+
+        // scalar engine
+        let xt = encrypt_image_batch(&ev, &pk, &mut s, &[&img], 8, depth);
+        let (scalar_out, _) = net.infer_encrypted(&ev, &rk, xt);
+        let scalar_logits = crate::he_tensor::decrypt_tensor(&ev, &sk, &scalar_out, 1);
+
+        // packed engine
+        let xp = packed.encrypt_input(&ev, &pk, &mut s, &img);
+        let (packed_out, _) = packed.infer_encrypted(&ev, &rk, &gk, xp);
+        let packed_logits = ev.decrypt_to_real(&packed_out, &sk);
+
+        for i in 0..packed.output_dim {
+            assert!(
+                (scalar_logits[0][i] - packed_logits[i]).abs() < 0.03,
+                "logit {i}: scalar {} vs packed {}",
+                scalar_logits[0][i],
+                packed_logits[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Fixed-point quantization of images and kernels into the integer
+//! domain where RNS decomposition (Fig. 2) operates.
+//!
+//! Pixels `[0,1]` quantize to `[0, 255]` (the paper's MNIST range);
+//! kernel weights quantize at a configurable scale. Integer convolution
+//! then matches real convolution up to the quantization step, and is
+//! *exactly* reproducible through residue arithmetic.
+
+/// Quantization parameters for the integer conv domain.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantSpec {
+    /// Pixel scale (MNIST uses 255).
+    pub input_scale: i64,
+    /// Weight scale (power of two keeps dequantization exact in binary).
+    pub weight_scale: i64,
+}
+
+impl Default for QuantSpec {
+    fn default() -> Self {
+        Self {
+            input_scale: 255,
+            weight_scale: 1 << 10,
+        }
+    }
+}
+
+impl QuantSpec {
+    /// Quantizes normalized pixels to integers.
+    pub fn quantize_input(&self, xs: &[f32]) -> Vec<i64> {
+        xs.iter()
+            .map(|&x| (x as f64 * self.input_scale as f64).round() as i64)
+            .collect()
+    }
+
+    /// Quantizes weights to integers.
+    pub fn quantize_weights(&self, ws: &[f32]) -> Vec<i64> {
+        ws.iter()
+            .map(|&w| (w as f64 * self.weight_scale as f64).round() as i64)
+            .collect()
+    }
+
+    /// Dequantizes an integer conv output back to the real domain.
+    pub fn dequantize_output(&self, v: i64) -> f64 {
+        v as f64 / (self.input_scale as f64 * self.weight_scale as f64)
+    }
+
+    /// Upper bound on `|conv output|` for a conv with `taps` taps, given
+    /// max normalized pixel 1.0 and max |weight| `w_max` — used to size
+    /// the RNS basis dynamic range.
+    pub fn output_bound(&self, taps: usize, w_max: f32) -> i64 {
+        let per_tap = self.input_scale as f64
+            * (w_max as f64 * self.weight_scale as f64 + 1.0);
+        (taps as f64 * per_tap).ceil() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_precision() {
+        let q = QuantSpec::default();
+        let xs = [0.0f32, 0.25, 0.5, 1.0];
+        let qi = q.quantize_input(&xs);
+        assert_eq!(qi, vec![0, 64, 128, 255]);
+        let ws = [0.5f32, -0.125, 0.0009765625];
+        let qw = q.quantize_weights(&ws);
+        assert_eq!(qw, vec![512, -128, 1]);
+    }
+
+    #[test]
+    fn integer_conv_approximates_real_conv() {
+        let q = QuantSpec::default();
+        let xs = [0.3f32, 0.7, 0.1];
+        let ws = [0.5f32, -0.25, 0.125];
+        let real: f64 = xs.iter().zip(&ws).map(|(&x, &w)| x as f64 * w as f64).sum();
+        let qi = q.quantize_input(&xs);
+        let qw = q.quantize_weights(&ws);
+        let int_out: i64 = qi.iter().zip(&qw).map(|(a, b)| a * b).sum();
+        let approx = q.dequantize_output(int_out);
+        assert!((approx - real).abs() < 0.01, "{approx} vs {real}");
+    }
+
+    #[test]
+    fn output_bound_is_conservative() {
+        let q = QuantSpec::default();
+        let bound = q.output_bound(25, 1.0);
+        // worst case per tap: 255 · 1024
+        assert!(bound >= 25 * 255 * 1024);
+        assert!(bound < 2 * 25 * 255 * 1025);
+    }
+}

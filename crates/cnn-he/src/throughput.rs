@@ -1,0 +1,100 @@
+//! Throughput analysis — the Lo-La/E2DM-style amortized view.
+//!
+//! The scalar packing carries a *batch* of images through the CKKS
+//! slots at no extra homomorphic cost, so latency per classification
+//! request and amortized latency per image diverge by up to the slot
+//! count. E2DM's Table I row ("ten likelihoods of 64 MNIST images in
+//! 1.69 s") is exactly this effect; this module quantifies it for our
+//! engine.
+
+use crate::exec::{ExecPlan, InferenceTiming};
+use std::time::Duration;
+
+/// Throughput summary for a batched encrypted classification.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputReport {
+    /// Number of images in the batch.
+    pub batch: usize,
+    /// Wall-clock of the request under the plan.
+    pub request_latency: Duration,
+    /// Amortized latency per image.
+    pub per_image: Duration,
+    /// Images per second.
+    pub images_per_sec: f64,
+}
+
+/// Computes the throughput report for a measured inference under a plan.
+pub fn throughput(timing: &InferenceTiming, batch: usize, plan: ExecPlan) -> ThroughputReport {
+    assert!(batch >= 1);
+    let wall = timing.simulated_wall(plan);
+    let per_image = wall / batch as u32;
+    ThroughputReport {
+        batch,
+        request_latency: wall,
+        per_image,
+        images_per_sec: batch as f64 / wall.as_secs_f64().max(1e-12),
+    }
+}
+
+/// The largest batch a context supports (slot count).
+pub fn max_batch(slots: usize) -> usize {
+    slots
+}
+
+impl std::fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch {:>5}: request {:.2}s, {:.4}s/image, {:.1} images/s",
+            self.batch,
+            self.request_latency.as_secs_f64(),
+            self.per_image.as_secs_f64(),
+            self.images_per_sec
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::LayerTiming;
+
+    fn timing() -> InferenceTiming {
+        InferenceTiming {
+            layers: vec![LayerTiming {
+                name: "conv".into(),
+                unit_times: vec![Duration::from_millis(10); 100],
+                parallel: true,
+                fixed: Duration::ZERO,
+            }],
+        }
+    }
+
+    #[test]
+    fn amortization_scales_linearly_in_batch() {
+        let t = timing();
+        let r1 = throughput(&t, 1, ExecPlan::baseline());
+        let r64 = throughput(&t, 64, ExecPlan::baseline());
+        // same request latency, 64× better per-image
+        assert_eq!(r1.request_latency, r64.request_latency);
+        assert!((r64.per_image.as_secs_f64() * 64.0 - r1.per_image.as_secs_f64()).abs() < 1e-9);
+        assert!(r64.images_per_sec > r1.images_per_sec * 60.0);
+    }
+
+    #[test]
+    fn parallel_plan_improves_request_latency_too() {
+        let t = timing();
+        let seq = throughput(&t, 8, ExecPlan::baseline());
+        let par = throughput(&t, 8, ExecPlan::rns(4));
+        assert!(par.request_latency < seq.request_latency);
+        assert!(par.images_per_sec > seq.images_per_sec);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = timing();
+        let s = throughput(&t, 2, ExecPlan::baseline()).to_string();
+        assert!(s.contains("batch"));
+        assert!(s.contains("images/s"));
+    }
+}

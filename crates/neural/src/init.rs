@@ -1,0 +1,69 @@
+//! Kaiming (He) weight initialization — the paper's §V.D choice for
+//! convolutional layers.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples from N(0, std²) via Box–Muller.
+fn normal(rng: &mut StdRng, std: f32) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Kaiming-normal init for a conv weight `[out, in, k, k]`:
+/// `std = √(2 / fan_in)`, `fan_in = in·k·k`.
+pub fn kaiming_conv(out_ch: usize, in_ch: usize, k: usize, rng: &mut StdRng) -> Tensor {
+    let fan_in = (in_ch * k * k) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    let data = (0..out_ch * in_ch * k * k)
+        .map(|_| normal(rng, std))
+        .collect();
+    Tensor::from_vec(&[out_ch, in_ch, k, k], data)
+}
+
+/// Kaiming-normal init for a dense weight `[out, in]`.
+pub fn kaiming_dense(out_dim: usize, in_dim: usize, rng: &mut StdRng) -> Tensor {
+    let std = (2.0 / in_dim as f32).sqrt();
+    let data = (0..out_dim * in_dim).map(|_| normal(rng, std)).collect();
+    Tensor::from_vec(&[out_dim, in_dim], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_init_statistics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = kaiming_conv(64, 16, 3, &mut rng);
+        let n = w.numel() as f32;
+        let mean = w.data().iter().sum::<f32>() / n;
+        let var = w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let want_var = 2.0 / (16.0 * 9.0);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!(
+            (var - want_var).abs() / want_var < 0.15,
+            "var {var} vs {want_var}"
+        );
+    }
+
+    #[test]
+    fn dense_init_statistics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = kaiming_dense(100, 400, &mut rng);
+        let n = w.numel() as f32;
+        let var = w.data().iter().map(|v| v * v).sum::<f32>() / n;
+        let want = 2.0 / 400.0;
+        assert!((var - want).abs() / want < 0.2, "var {var} vs {want}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = kaiming_dense(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = kaiming_dense(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,140 @@
+//! Average pooling — the HE-compatible pooling (max has no polynomial
+//! form; CryptoNets-style networks use mean/scaled-mean pooling).
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// `AvgPool2d(k, stride)`, no padding.
+pub struct AvgPool2d {
+    pub k: usize,
+    pub stride: usize,
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    pub fn new(k: usize, stride: usize) -> Self {
+        assert!(k >= 1 && stride >= 1);
+        Self {
+            k,
+            stride,
+            cache_shape: None,
+        }
+    }
+
+    pub fn out_size(&self, h: usize) -> usize {
+        (h - self.k) / self.stride + 1
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let oh = self.out_size(h);
+        let ow = self.out_size(w);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let inv = 1.0 / (self.k * self.k) as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..self.k {
+                            for kx in 0..self.k {
+                                acc += x.at4(ni, ci, oy * self.stride + ky, ox * self.stride + kx);
+                            }
+                        }
+                        *out.at4_mut(ni, ci, oy, ox) = acc * inv;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache_shape = Some(x.shape().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cache_shape.take().expect("backward before forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let oh = self.out_size(h);
+        let ow = self.out_size(w);
+        let inv = 1.0 / (self.k * self.k) as f32;
+        let mut dx = Tensor::zeros(&shape);
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.at4(ni, ci, oy, ox) * inv;
+                        for ky in 0..self.k {
+                            for kx in 0..self.k {
+                                *dx.at4_mut(ni, ci, oy * self.stride + ky, ox * self.stride + kx) +=
+                                    g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+
+    fn describe(&self) -> String {
+        format!("AvgPool2d({}×{}, stride {})", self.k, self.k, self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_windows() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            (0..16).map(|i| i as f32).collect(),
+        );
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // window (0,0): 0,1,4,5 → 2.5
+        assert!((y.at4(0, 0, 0, 0) - 2.5).abs() < 1e-6);
+        assert!((y.at4(0, 0, 1, 1) - 12.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_distributes_evenly() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let _ = p.forward(&x, true);
+        let g = Tensor::full(&[1, 1, 2, 2], 4.0);
+        let dx = p.backward(&g);
+        // every input cell receives 4/4 = 1
+        assert!(dx.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn overlapping_windows_accumulate() {
+        let mut p = AvgPool2d::new(2, 1);
+        let x = Tensor::zeros(&[1, 1, 3, 3]);
+        let _ = p.forward(&x, true);
+        let g = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let dx = p.backward(&g);
+        // center cell is in all 4 windows → 4 * 0.25 = 1.0
+        assert!((dx.at4(0, 0, 1, 1) - 1.0).abs() < 1e-6);
+        // corner cell is in 1 window → 0.25
+        assert!((dx.at4(0, 0, 0, 0) - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,108 @@
+//! Softmax cross-entropy — the paper's training loss.
+
+use crate::tensor::Tensor;
+
+/// Computes mean cross-entropy loss over a batch of logits `[n, classes]`
+/// with integer labels, returning `(loss, dL/dlogits)`.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2);
+    let n = logits.shape()[0];
+    let c = logits.shape()[1];
+    assert_eq!(labels.len(), n);
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut loss = 0.0f32;
+    for i in 0..n {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let label = labels[i];
+        assert!(label < c, "label {label} out of range");
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let log_sum = sum.ln() + max;
+        loss += log_sum - row[label];
+        for j in 0..c {
+            let p = exps[j] / sum;
+            *grad.at2_mut(i, j) = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    (loss / n as f32, grad)
+}
+
+/// Classification accuracy of logits against labels.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let n = logits.shape()[0];
+    let c = logits.shape()[1];
+    let mut correct = 0usize;
+    for i in 0..n {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        if pred == labels[i] {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let logits = Tensor::from_vec(&[2, 3], vec![10.0, 0.0, 0.0, 0.0, 0.0, 10.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 2]);
+        assert!(loss < 0.01, "loss {loss}");
+        assert_eq!(accuracy(&logits, &[0, 2]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 2]), 0.5);
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_log_c() {
+        let logits = Tensor::zeros(&[1, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[4]);
+        assert!((loss - 10f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let logits = Tensor::from_vec(&[2, 4], vec![0.5, -1.0, 2.0, 0.1, -0.3, 0.8, 0.0, 1.5]);
+        let labels = [2usize, 1];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..8 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (l1, _) = softmax_cross_entropy(&lp, &labels);
+            let (l2, _) = softmax_cross_entropy(&lm, &labels);
+            let numeric = (l1 - l2) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[idx]).abs() < 1e-3,
+                "idx {idx}: {numeric} vs {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(&[1, 5], vec![1.0, 2.0, 3.0, -1.0, 0.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[3]);
+        let sum: f32 = grad.data().iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn numerical_stability_large_logits() {
+        let logits = Tensor::from_vec(&[1, 3], vec![1000.0, 999.0, -1000.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+}

@@ -1,0 +1,155 @@
+//! SGD with momentum and the 1-cycle learning-rate policy
+//! (Smith & Topin's "super-convergence", the paper's §V.D schedule).
+
+use crate::layers::Sequential;
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum }
+    }
+
+    /// Applies one update step: `v ← μ·v − lr·g; w ← w + v`, then clears
+    /// the gradients.
+    pub fn step(&self, model: &mut Sequential) {
+        let (lr, mu) = (self.lr, self.momentum);
+        model.visit_params(&mut |p| {
+            for i in 0..p.value.numel() {
+                let g = p.grad.data()[i];
+                let v = mu * p.velocity.data()[i] - lr * g;
+                p.velocity.data_mut()[i] = v;
+                p.value.data_mut()[i] += v;
+            }
+            p.grad.zero_();
+        });
+    }
+}
+
+/// 1-cycle learning-rate schedule: linear warm-up to `max_lr` over the
+/// first `pct_up` fraction of steps, then linear annealing down to
+/// `max_lr / final_div`.
+pub struct OneCycle {
+    pub max_lr: f32,
+    pub total_steps: usize,
+    pub pct_up: f32,
+    pub final_div: f32,
+}
+
+impl OneCycle {
+    pub fn new(max_lr: f32, total_steps: usize) -> Self {
+        Self {
+            max_lr,
+            total_steps: total_steps.max(1),
+            pct_up: 0.3,
+            final_div: 25.0,
+        }
+    }
+
+    /// Learning rate at step `t` (0-based).
+    pub fn lr_at(&self, t: usize) -> f32 {
+        let t = t.min(self.total_steps - 1) as f32;
+        let up = (self.total_steps as f32 * self.pct_up).max(1.0);
+        let start = self.max_lr / self.final_div;
+        let end = self.max_lr / self.final_div;
+        if t < up {
+            start + (self.max_lr - start) * (t / up)
+        } else {
+            let down = (self.total_steps as f32 - up).max(1.0);
+            self.max_lr - (self.max_lr - end) * ((t - up) / down)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Sequential};
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = Sequential::new(vec![Box::new(Dense::new(2, 1, &mut rng))]);
+        // fabricate a gradient of +1 on every weight
+        model.visit_params(&mut |p| {
+            for g in p.grad.data_mut() {
+                *g = 1.0;
+            }
+        });
+        let mut before = Vec::new();
+        model.visit_params(&mut |p| before.extend_from_slice(p.value.data()));
+        Sgd::new(0.1, 0.0).step(&mut model);
+        let mut after = Vec::new();
+        model.visit_params(&mut |p| after.extend_from_slice(p.value.data()));
+        for (b, a) in before.iter().zip(&after) {
+            assert!((a - (b - 0.1)).abs() < 1e-6);
+        }
+        // grads cleared
+        model.visit_params(&mut |p| assert!(p.grad.data().iter().all(|&g| g == 0.0)));
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model = Sequential::new(vec![Box::new(Dense::new(1, 1, &mut rng))]);
+        let opt = Sgd::new(0.1, 0.9);
+        let mut before = Vec::new();
+        model.visit_params(&mut |p| before.extend_from_slice(p.value.data()));
+        // two steps of unit gradient: Δ = -0.1 then -0.1 + 0.9·(-0.1) = -0.19
+        for _ in 0..2 {
+            model.visit_params(&mut |p| p.grad.data_mut().iter_mut().for_each(|g| *g = 1.0));
+            opt.step(&mut model);
+        }
+        let mut after = Vec::new();
+        model.visit_params(&mut |p| after.extend_from_slice(p.value.data()));
+        for (b, a) in before.iter().zip(&after) {
+            assert!((a - (b - 0.29)).abs() < 1e-5, "before {b} after {a}");
+        }
+    }
+
+    #[test]
+    fn one_cycle_shape() {
+        let sched = OneCycle::new(1.0, 100);
+        let start = sched.lr_at(0);
+        let peak = sched.lr_at(30);
+        let end = sched.lr_at(99);
+        assert!(start < peak);
+        assert!((peak - 1.0).abs() < 0.05);
+        assert!(end < peak);
+        assert!((start - 1.0 / 25.0).abs() < 1e-5);
+        // monotone up then down
+        assert!(sched.lr_at(10) < sched.lr_at(20));
+        assert!(sched.lr_at(60) > sched.lr_at(90));
+    }
+
+    #[test]
+    fn sgd_can_fit_a_line() {
+        // y = 3x - 1 learned by a 1-1 dense layer
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = Sequential::new(vec![Box::new(Dense::new(1, 1, &mut rng))]);
+        let opt = Sgd::new(0.05, 0.9);
+        let xs: Vec<f32> = (0..20).map(|i| i as f32 * 0.1 - 1.0).collect();
+        for _ in 0..300 {
+            let x = Tensor::from_vec(&[20, 1], xs.clone());
+            let y = model.forward(&x, true);
+            // L2 loss against 3x-1
+            let mut grad = Tensor::zeros(&[20, 1]);
+            for i in 0..20 {
+                let want = 3.0 * xs[i] - 1.0;
+                *grad.at2_mut(i, 0) = (y.at2(i, 0) - want) / 20.0;
+            }
+            model.backward(&grad);
+            opt.step(&mut model);
+        }
+        let x = Tensor::from_vec(&[1, 1], vec![0.5]);
+        let y = model.forward(&x, false);
+        assert!((y.at2(0, 0) - 0.5).abs() < 0.05, "{}", y.at2(0, 0));
+    }
+}

@@ -1,0 +1,276 @@
+//! Whole-model persistence for [`Sequential`] networks: every trainable
+//! parameter plus BatchNorm running statistics, in a small versioned
+//! binary format. Lets the benchmark harness train once and reuse models
+//! across binaries, and gives downstream users checkpointing.
+
+use crate::layers::{BatchNorm, Sequential};
+use crate::tensor::Tensor;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x4e4e_4d31; // "NNM1"
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    out.extend_from_slice(&(t.shape().len() as u32).to_le_bytes());
+    for &d in t.shape() {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_tensor(data: &[u8], pos: &mut usize) -> Option<Tensor> {
+    let u32_at = |data: &[u8], pos: &mut usize| -> Option<u32> {
+        let b = data.get(*pos..*pos + 4)?;
+        *pos += 4;
+        Some(u32::from_le_bytes(b.try_into().unwrap()))
+    };
+    let rank = u32_at(data, pos)? as usize;
+    if rank > 8 {
+        return None;
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(u32_at(data, pos)? as usize);
+    }
+    let numel: usize = shape.iter().product();
+    let bytes = data.get(*pos..*pos + 4 * numel)?;
+    *pos += 4 * numel;
+    let vals: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Some(Tensor::from_vec(&shape, vals))
+}
+
+/// Serializes a model's state (parameters + BN running statistics) to
+/// bytes. The *architecture* is not stored — loading requires a
+/// freshly-built model of the same shape (the usual state-dict
+/// convention).
+pub fn state_to_bytes(model: &mut Sequential) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    // parameters in visit order
+    let mut params = Vec::new();
+    model.visit_params(&mut |p| params.push(p.value.clone()));
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for t in &params {
+        put_tensor(&mut out, t);
+    }
+    // BN running stats in layer order
+    let mut stats = Vec::new();
+    for layer in &model.layers {
+        if let Some(bn) = layer.as_any().downcast_ref::<BatchNorm>() {
+            stats.push(bn.running_mean.clone());
+            stats.push(bn.running_var.clone());
+        }
+    }
+    out.extend_from_slice(&(stats.len() as u32).to_le_bytes());
+    for t in &stats {
+        put_tensor(&mut out, t);
+    }
+    out
+}
+
+/// Error type for state loading.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LoadError {
+    BadFormat,
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadFormat => write!(f, "unrecognized or truncated model blob"),
+            LoadError::ShapeMismatch => write!(f, "parameter shapes do not match the model"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Loads a state blob into a same-architecture model.
+pub fn load_state(model: &mut Sequential, data: &[u8]) -> Result<(), LoadError> {
+    let mut pos = 0usize;
+    let magic = data.get(0..4).ok_or(LoadError::BadFormat)?;
+    if u32::from_le_bytes(magic.try_into().unwrap()) != MAGIC {
+        return Err(LoadError::BadFormat);
+    }
+    pos += 4;
+    let count_b = data.get(pos..pos + 4).ok_or(LoadError::BadFormat)?;
+    let count = u32::from_le_bytes(count_b.try_into().unwrap()) as usize;
+    pos += 4;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        tensors.push(get_tensor(data, &mut pos).ok_or(LoadError::BadFormat)?);
+    }
+    // validate shapes first so a mismatch leaves the model untouched
+    let mut shapes_ok = true;
+    {
+        let mut i = 0usize;
+        model.visit_params(&mut |p| {
+            if i >= tensors.len() || tensors[i].shape() != p.value.shape() {
+                shapes_ok = false;
+            }
+            i += 1;
+        });
+        if i != tensors.len() {
+            shapes_ok = false;
+        }
+    }
+    if !shapes_ok {
+        return Err(LoadError::ShapeMismatch);
+    }
+    {
+        let mut i = 0usize;
+        model.visit_params(&mut |p| {
+            p.value = tensors[i].clone();
+            p.grad.zero_();
+            p.velocity.zero_();
+            i += 1;
+        });
+    }
+
+    // BN stats
+    let count_b = data.get(pos..pos + 4).ok_or(LoadError::BadFormat)?;
+    let scount = u32::from_le_bytes(count_b.try_into().unwrap()) as usize;
+    pos += 4;
+    let mut stats = Vec::with_capacity(scount);
+    for _ in 0..scount {
+        stats.push(get_tensor(data, &mut pos).ok_or(LoadError::BadFormat)?);
+    }
+    let mut si = 0usize;
+    for layer in model.layers.iter_mut() {
+        if layer.name() == "BatchNorm" {
+            if si + 1 >= stats.len() + 1 {
+                return Err(LoadError::ShapeMismatch);
+            }
+            // downcast via Any is immutable; rebuild through the public
+            // fields requires a mutable downcast — use the trait object's
+            // as_any + unsafe-free approach: we re-visit with a concrete
+            // check below.
+            si += 2;
+        }
+    }
+    if si != scount {
+        return Err(LoadError::ShapeMismatch);
+    }
+    // second pass with mutable access
+    let mut si = 0usize;
+    for layer in model.layers.iter_mut() {
+        if layer.name() == "BatchNorm" {
+            let any = layer.as_any_mut();
+            let bn = any
+                .downcast_mut::<BatchNorm>()
+                .ok_or(LoadError::ShapeMismatch)?;
+            if stats[si].shape() != bn.running_mean.shape() {
+                return Err(LoadError::ShapeMismatch);
+            }
+            bn.running_mean = stats[si].clone();
+            bn.running_var = stats[si + 1].clone();
+            si += 2;
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: save to a file.
+pub fn save_model(model: &mut Sequential, path: &Path) -> std::io::Result<()> {
+    let bytes = state_to_bytes(model);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)
+}
+
+/// Convenience: load from a file.
+pub fn load_model(model: &mut Sequential, path: &Path) -> Result<(), LoadError> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)
+        .map_err(|_| LoadError::BadFormat)?
+        .read_to_end(&mut data)
+        .map_err(|_| LoadError::BadFormat)?;
+    load_state(model, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist;
+    use crate::models::{cnn1, cnn2, ActKind};
+    use crate::train::{evaluate, train, TrainConfig};
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let data = mnist::synthetic(120, 77);
+        let mut model = cnn1(ActKind::Relu, 77);
+        train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
+        let acc_before = evaluate(&mut model, &data);
+        let blob = state_to_bytes(&mut model);
+
+        let mut fresh = cnn1(ActKind::Relu, 12345); // different init
+        let acc_fresh = evaluate(&mut fresh, &data);
+        load_state(&mut fresh, &blob).unwrap();
+        let acc_after = evaluate(&mut fresh, &data);
+        assert_eq!(acc_before, acc_after);
+        assert_ne!(acc_fresh, acc_after);
+    }
+
+    #[test]
+    fn bn_running_stats_roundtrip() {
+        let data = mnist::synthetic(60, 78);
+        let mut model = cnn2(ActKind::Relu, 78);
+        train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
+        let blob = state_to_bytes(&mut model);
+        let mut fresh = cnn2(ActKind::Relu, 999);
+        load_state(&mut fresh, &blob).unwrap();
+        // eval-mode outputs (which use running stats) must agree exactly
+        let x = data.batch(&[0, 1, 2]).0;
+        let a = model.forward(&x, false);
+        let b = fresh.forward(&x, false);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn mismatched_architecture_rejected() {
+        let mut m1 = cnn1(ActKind::Relu, 1);
+        let blob = state_to_bytes(&mut m1);
+        let mut m2 = cnn2(ActKind::Relu, 1);
+        assert_eq!(load_state(&mut m2, &blob), Err(LoadError::ShapeMismatch));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let mut m = cnn1(ActKind::Relu, 2);
+        assert_eq!(load_state(&mut m, b"nope"), Err(LoadError::BadFormat));
+        assert_eq!(load_state(&mut m, &[]), Err(LoadError::BadFormat));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ckks_rns_cnn_model_io");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("m.nnm");
+        let mut m = cnn1(ActKind::slaf3(), 3);
+        save_model(&mut m, &path).unwrap();
+        let mut fresh = cnn1(ActKind::slaf3(), 999);
+        load_model(&mut fresh, &path).unwrap();
+        let x = crate::tensor::Tensor::zeros(&[1, 1, 28, 28]);
+        assert_eq!(m.forward(&x, false).data(), fresh.forward(&x, false).data());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

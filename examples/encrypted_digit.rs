@@ -1,0 +1,78 @@
+//! Encrypted digit classification end-to-end — the paper's headline
+//! scenario at example scale.
+//!
+//! Trains CNN1 with the SLAF protocol on synthetic MNIST, then classifies
+//! encrypted digits and compares against the plaintext model. Uses a
+//! reduced ring (2^11) so the example finishes in about a minute on a
+//! laptop core; the benchmark binaries (`table3` … `table6`) run the
+//! full Table II parameters.
+//!
+//! Run: `cargo run --release -p examples --bin encrypted_digit`
+
+use cnn_he::{CnnHePipeline, HeNetwork};
+use neural::mnist;
+use neural::models::{cnn1, ActKind};
+use neural::slaf::{run_protocol, SlafProtocol};
+use neural::train::TrainConfig;
+
+fn main() {
+    // ---- phase 1+2: SLAF training protocol ------------------------
+    println!("generating synthetic MNIST (no network access; see DESIGN.md §4) ...");
+    let train = mnist::synthetic(1500, 42);
+    let test = mnist::synthetic(200, 4242);
+
+    println!("training CNN1 (ReLU) then retraining with degree-3 SLAF ...");
+    let mut model = cnn1(ActKind::Relu, 42);
+    let proto = SlafProtocol {
+        pretrain: TrainConfig {
+            epochs: 5,
+            max_lr: 0.08,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let outcome = run_protocol(&mut model, &train, &proto);
+    println!(
+        "  ReLU train acc {:.2}%  →  SLAF train acc {:.2}%",
+        outcome.relu_train_acc * 100.0,
+        outcome.slaf_train_acc * 100.0
+    );
+
+    // ---- extraction + pipeline ------------------------------------
+    let network = HeNetwork::from_trained(&model, mnist::SIDE);
+    println!("\nextracted HE network:\n{}", network.describe());
+    let mut pipe = CnnHePipeline::new(network, 1 << 11, 42);
+
+    // ---- encrypted classification ---------------------------------
+    let n_images = 4usize;
+    println!("classifying {n_images} encrypted digits ...\n");
+    let mut he_correct = 0;
+    let mut agree = 0;
+    for i in 0..n_images {
+        let img = test.image(i);
+        let label = test.labels[i];
+        let result = pipe.classify(&[img]);
+        let plain = pipe.network.infer_plain(img);
+        let plain_pred = plain
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let he_pred = result.predictions[0];
+        println!(
+            "  digit {label}: encrypted → {he_pred}, plaintext → {plain_pred}  (cpu {:.2}s)",
+            result.timing.cpu_total().as_secs_f64()
+        );
+        if he_pred == label {
+            he_correct += 1;
+        }
+        if he_pred == plain_pred {
+            agree += 1;
+        }
+    }
+    println!(
+        "\nencrypted accuracy {he_correct}/{n_images}; encrypted/plaintext agreement {agree}/{n_images}"
+    );
+    assert_eq!(agree, n_images, "HE predictions must match the plaintext model");
+}

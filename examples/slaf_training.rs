@@ -1,0 +1,76 @@
+//! Self-Learning Activation Functions (paper §III.B) — the degree
+//! ablation promised in DESIGN.md §8.
+//!
+//! Trains CNN1 with ReLU, then retrains SLAF variants of degree 2, 3 and
+//! 4 and reports the accuracy / multiplicative-depth trade-off. Degree 3
+//! (the paper's choice) typically recovers ReLU accuracy; degree 2 (the
+//! CryptoNets square family) loses a little; degree 4 buys nothing at
+//! extra depth.
+//!
+//! Run: `cargo run --release -p examples --bin slaf_training`
+
+use neural::layers::activation::relu_poly_fit;
+use neural::mnist;
+use neural::models::{cnn1, swap_activations_for_slaf, ActKind};
+use neural::train::{evaluate, train, TrainConfig};
+
+fn main() {
+    let train_set = mnist::synthetic(2000, 99);
+    let test_set = mnist::synthetic(400, 9999);
+    println!(
+        "synthetic MNIST: {} train / {} test",
+        train_set.len(),
+        test_set.len()
+    );
+
+    // Phase 1: ReLU pre-training (shared by all variants).
+    println!("\nphase 1: training CNN1 with ReLU ...");
+    let mut relu_model = cnn1(ActKind::Relu, 99);
+    let cfg = TrainConfig {
+        epochs: 6,
+        max_lr: 0.08,
+        verbose: false,
+        ..Default::default()
+    };
+    train(&mut relu_model, &train_set, &cfg);
+    let relu_acc = evaluate(&mut relu_model, &test_set);
+    println!("  ReLU test accuracy: {:.2}%", relu_acc * 100.0);
+
+    // Show the warm-start fits.
+    println!("\nleast-squares ReLU fits on [-6, 6] (warm starts):");
+    for degree in [2usize, 3, 4] {
+        let c = relu_poly_fit(degree, 6.0, 512);
+        let terms: Vec<String> = c
+            .iter()
+            .enumerate()
+            .map(|(k, v)| format!("{v:+.4}·x^{k}"))
+            .collect();
+        println!("  degree {degree}: {}", terms.join(" "));
+    }
+
+    // Phase 2: per-degree SLAF retraining from the same ReLU weights.
+    println!("\nphase 2: SLAF retraining (2 epochs each)");
+    println!("  degree | HE mult. depth per act | test acc | Δ vs ReLU");
+    let retrain_cfg = TrainConfig {
+        epochs: 2,
+        max_lr: 0.004,
+        grad_clip: 0.5,
+        ..Default::default()
+    };
+    for degree in [2usize, 3, 4] {
+        // fresh copy of the ReLU-trained weights for a fair comparison
+        let mut m = cnn1(ActKind::Relu, 99);
+        train(&mut m, &train_set, &cfg);
+        swap_activations_for_slaf(&mut m, degree, 6.0);
+        train(&mut m, &train_set, &retrain_cfg);
+        let acc = evaluate(&mut m, &test_set);
+        // depth: ⌈log2 d⌉ + 1 per the paper's §V.B
+        let depth = (degree as f64).log2().ceil() as usize + 1;
+        println!(
+            "  {degree:>6} | {depth:>22} | {:>7.2}% | {:+.2} pts",
+            acc * 100.0,
+            (acc - relu_acc) * 100.0
+        );
+    }
+    println!("\nthe paper's experiments use degree 3 (depth 2, ReLU-level accuracy).");
+}

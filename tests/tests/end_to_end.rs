@@ -1,0 +1,109 @@
+//! Integration: the full paper pipeline across all four crates —
+//! synthetic data → SLAF training → extraction → encrypted inference →
+//! accuracy parity between the encrypted and plaintext worlds.
+
+use cnn_he::exec::ExecPlan;
+use cnn_he::{CnnHePipeline, HeNetwork};
+use neural::mnist;
+use neural::models::{cnn1, cnn2, ActKind};
+use neural::slaf::{run_protocol, SlafProtocol};
+use neural::train::TrainConfig;
+
+fn quick_protocol() -> SlafProtocol {
+    SlafProtocol {
+        pretrain: TrainConfig {
+            epochs: 3,
+            max_lr: 0.08,
+            batch_size: 32,
+            ..Default::default()
+        },
+        retrain: TrainConfig {
+            epochs: 1,
+            max_lr: 0.004,
+            grad_clip: 0.5,
+            batch_size: 32,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn cnn1_trained_encrypted_inference_agrees_with_plaintext() {
+    let data = mnist::synthetic(400, 1);
+    let mut model = cnn1(ActKind::Relu, 1);
+    run_protocol(&mut model, &data, &quick_protocol());
+    let network = HeNetwork::from_trained(&model, mnist::SIDE);
+    let mut pipe = CnnHePipeline::new(network, 1 << 10, 1);
+
+    let test = mnist::synthetic(6, 101);
+    let images: Vec<&[f32]> = (0..test.len()).map(|i| test.image(i)).collect();
+    let result = pipe.classify(&images);
+    for (b, img) in images.iter().enumerate() {
+        let plain = pipe.network.infer_plain(img);
+        // logits agree numerically
+        for (he, pl) in result.logits[b].iter().zip(&plain) {
+            assert!(
+                (he - pl).abs() < 0.05,
+                "image {b}: encrypted logit {he} vs plaintext {pl}"
+            );
+        }
+        // argmax agrees
+        let ppred = plain
+            .iter()
+            .enumerate()
+            .max_by(|a, c| a.1.partial_cmp(c.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(result.predictions[b], ppred, "image {b}");
+    }
+}
+
+#[test]
+fn cnn2_with_batchnorm_fold_encrypted_inference() {
+    let data = mnist::synthetic(300, 2);
+    let mut model = cnn2(ActKind::Relu, 2);
+    run_protocol(&mut model, &data, &quick_protocol());
+    let network = HeNetwork::from_trained(&model, mnist::SIDE);
+    assert_eq!(network.required_levels(), 10);
+    let mut pipe = CnnHePipeline::new(network, 1 << 10, 2);
+
+    let test = mnist::synthetic(3, 202);
+    let images: Vec<&[f32]> = (0..test.len()).map(|i| test.image(i)).collect();
+    let result = pipe.classify(&images);
+    for (b, img) in images.iter().enumerate() {
+        let plain = pipe.network.infer_plain(img);
+        for (he, pl) in result.logits[b].iter().zip(&plain) {
+            assert!(
+                (he - pl).abs() < 0.08,
+                "image {b}: encrypted logit {he} vs plaintext {pl} (BN fold or depth bug?)"
+            );
+        }
+    }
+}
+
+#[test]
+fn rns_plans_preserve_results_and_order_latency() {
+    // The RNS execution plan is a scheduling construct: results are
+    // byte-identical (same ciphertext math), only the simulated latency
+    // changes, monotonically in k up to saturation.
+    let data = mnist::synthetic(200, 3);
+    let mut model = cnn1(ActKind::Relu, 3);
+    run_protocol(&mut model, &data, &quick_protocol());
+    let network = HeNetwork::from_trained(&model, mnist::SIDE);
+    let mut pipe = CnnHePipeline::new(network, 1 << 10, 3);
+
+    let test = mnist::synthetic(1, 303);
+    let result = pipe.classify(&[test.image(0)]);
+    let base = result.timing.simulated_wall(ExecPlan::baseline());
+    let mut prev = base;
+    for k in [3usize, 6, 9, 12] {
+        let wall = result.timing.simulated_wall(ExecPlan::rns(k));
+        assert!(wall <= prev, "k={k} slower than k-1 plan");
+        prev = wall;
+    }
+    assert!(
+        prev.as_secs_f64() < base.as_secs_f64() * 0.5,
+        "k=12 should be far below baseline"
+    );
+}

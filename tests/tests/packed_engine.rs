@@ -1,0 +1,95 @@
+//! Integration: the packed (Lo-La-style) engine against a trained SLAF
+//! model, plus the evaluation-metrics layer on encrypted predictions.
+
+use ckks::{CkksParams, Evaluator, KeyGenerator, SecurityLevel};
+use ckks_math::sampler::Sampler;
+use cnn_he::packed::PackedNetwork;
+use cnn_he::HeNetwork;
+use neural::metrics::ConfusionMatrix;
+use neural::mnist;
+use neural::models::{cnn1, ActKind};
+use neural::slaf::{run_protocol, SlafProtocol};
+use neural::train::TrainConfig;
+use std::sync::Arc;
+
+fn small_trained_network() -> HeNetwork {
+    let data = mnist::synthetic(300, 60);
+    let mut model = cnn1(ActKind::Relu, 60);
+    let proto = SlafProtocol {
+        pretrain: TrainConfig {
+            epochs: 2,
+            max_lr: 0.08,
+            batch_size: 32,
+            ..Default::default()
+        },
+        retrain: TrainConfig {
+            epochs: 1,
+            max_lr: 0.004,
+            grad_clip: 0.5,
+            batch_size: 32,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    run_protocol(&mut model, &data, &proto);
+    HeNetwork::from_trained(&model, mnist::SIDE)
+}
+
+#[test]
+fn packed_engine_classifies_trained_cnn1() {
+    let net = small_trained_network();
+    let packed = PackedNetwork::from_network(&net);
+    assert_eq!(packed.input_dim, 784);
+    assert_eq!(packed.output_dim, 10);
+    assert_eq!(packed.dim, 1024); // max(845, 784, 100, 10) → 1024
+
+    // dim 1024 needs slots ≥ 1024 → N ≥ 2^11
+    let depth = packed.required_levels();
+    let mut chain_bits = vec![40u32];
+    chain_bits.extend(std::iter::repeat(26).take(depth));
+    let ctx = CkksParams {
+        n: 1 << 11,
+        chain_bits,
+        special_bits: vec![40],
+        scale_bits: 26,
+        security: SecurityLevel::None,
+    }
+    .build();
+    let mut kg = KeyGenerator::new(Arc::clone(&ctx), 61);
+    let sk = kg.gen_secret_key();
+    let pk = kg.gen_public_key(&sk);
+    let rk = kg.gen_relin_key(&sk);
+    let gk = kg.gen_galois_keys(&sk, &packed.required_rotation_steps(), false);
+    let ev = Evaluator::new(Arc::clone(&ctx));
+    let mut s = Sampler::from_seed(62);
+    let pre = packed.precompute(&ev);
+
+    let test = mnist::synthetic(4, 6060);
+    let mut cm = ConfusionMatrix::new(10);
+    for i in 0..test.len() {
+        let img = test.image(i);
+        let x = packed.encrypt_input(&ev, &pk, &mut s, img);
+        let (y, _) = packed.infer_encrypted_precomputed(&ev, &rk, &gk, &pre, x);
+        let logits = ev.decrypt_to_real(&y, &sk);
+        let he_pred = logits[..10]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // agreement with the f64 reference is the correctness criterion
+        let plain = net.infer_plain(img);
+        let plain_pred = plain
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(he_pred, plain_pred, "image {i}");
+        cm.record(test.labels[i], he_pred);
+    }
+    assert_eq!(cm.total(), 4);
+    // the matrix renders without panicking and accuracy is defined
+    let _ = cm.render();
+    let _ = cm.accuracy();
+}

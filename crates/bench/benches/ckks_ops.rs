@@ -15,7 +15,7 @@ fn bench_ckks(c: &mut Criterion) {
     let n = 1usize << log_n;
     let depth = 7usize;
     let mut chain_bits = vec![40u32];
-    chain_bits.extend(std::iter::repeat(26).take(depth));
+    chain_bits.extend(std::iter::repeat_n(26, depth));
     let ctx = CkksParams {
         n,
         chain_bits,
@@ -40,19 +40,23 @@ fn bench_ckks(c: &mut Criterion) {
     let mut g = c.benchmark_group(format!("ckks_n2pow{log_n}_L{depth}"));
     g.sample_size(10);
     g.bench_function("encode", |b| {
-        b.iter(|| encode_real(&ctx, &vals, ctx.params().scale(), ctx.max_level()))
+        b.iter(|| encode_real(&ctx, &vals, ctx.params().scale(), ctx.max_level()));
     });
     g.bench_function("encrypt", |b| b.iter(|| ev.encrypt(&pt, &pk, &mut s)));
-    g.bench_function("decrypt_decode", |b| b.iter(|| ev.decrypt_to_real(&ct_a, &sk)));
+    g.bench_function("decrypt_decode", |b| {
+        b.iter(|| ev.decrypt_to_real(&ct_a, &sk));
+    });
     g.bench_function("add", |b| b.iter(|| ev.add(&ct_a, &ct_b)));
     g.bench_function("mul_plain", |b| b.iter(|| ev.mul_plain(&ct_a, &pt)));
     g.bench_function("mul_scalar_fastpath", |b| {
-        b.iter(|| ev.mul_scalar(&ct_a, 1.2345, ctx.params().scale()))
+        b.iter(|| ev.mul_scalar(&ct_a, 1.2345, ctx.params().scale()));
     });
-    g.bench_function("multiply_relin", |b| b.iter(|| ev.multiply(&ct_a, &ct_b, &rk)));
+    g.bench_function("multiply_relin", |b| {
+        b.iter(|| ev.multiply(&ct_a, &ct_b, &rk));
+    });
     g.bench_function("rescale", |b| {
         let prod = ev.multiply(&ct_a, &ct_b, &rk);
-        b.iter(|| ev.rescale(&prod))
+        b.iter(|| ev.rescale(&prod));
     });
     g.bench_function("rotate_1", |b| b.iter(|| ev.rotate(&ct_a, 1, &gk)));
     g.finish();

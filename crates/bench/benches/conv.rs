@@ -2,10 +2,10 @@
 //! weighted sum) and one SLAF activation unit — the building blocks
 //! whose per-unit times the Table III–VI simulation schedules.
 
-use cnn_he::he_layers::{he_conv2d, he_poly_eval_deg3, ConvSpec};
-use cnn_he::he_tensor::encrypt_image_batch;
 use ckks::{CkksParams, Evaluator, KeyGenerator, SecurityLevel};
 use ckks_math::sampler::Sampler;
+use cnn_he::he_layers::{he_conv2d, he_poly_eval_deg3, ConvSpec};
+use cnn_he::he_tensor::encrypt_image_batch;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
@@ -13,7 +13,7 @@ fn bench_conv(c: &mut Criterion) {
     let n = 1usize << 12;
     let depth = 7usize;
     let mut chain_bits = vec![40u32];
-    chain_bits.extend(std::iter::repeat(26).take(depth));
+    chain_bits.extend(std::iter::repeat_n(26, depth));
     let ctx = CkksParams {
         n,
         chain_bits,
@@ -46,11 +46,11 @@ fn bench_conv(c: &mut Criterion) {
     let mut g = c.benchmark_group("he_conv_units_n2pow12");
     g.sample_size(10);
     g.bench_function("conv_4x4_outputs_25taps", |b| {
-        b.iter(|| he_conv2d(&ev, &x, &spec))
+        b.iter(|| he_conv2d(&ev, &x, &spec));
     });
     g.bench_function("slaf_deg3_single_unit", |b| {
         let ct = &x.cts[0];
-        b.iter(|| he_poly_eval_deg3(&ev, &rk, ct, &[0.1, 0.5, 0.2, 0.05]))
+        b.iter(|| he_poly_eval_deg3(&ev, &rk, ct, &[0.1, 0.5, 0.2, 0.05]));
     });
     g.finish();
 }

@@ -11,7 +11,7 @@ fn bench_keyswitch(c: &mut Criterion) {
     let n = 1usize << 12;
     let depth = 7usize;
     let mut chain_bits = vec![40u32];
-    chain_bits.extend(std::iter::repeat(26).take(depth));
+    chain_bits.extend(std::iter::repeat_n(26, depth));
     let ctx = CkksParams {
         n,
         chain_bits,
@@ -32,8 +32,12 @@ fn bench_keyswitch(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("keyswitch_ablation_n2pow12_L7");
     g.sample_size(10);
-    g.bench_function("multiply_relin_ghs", |b| b.iter(|| ev.multiply(&ct, &ct, &rk_ghs)));
-    g.bench_function("multiply_relin_bv", |b| b.iter(|| ev.multiply(&ct, &ct, &rk_bv)));
+    g.bench_function("multiply_relin_ghs", |b| {
+        b.iter(|| ev.multiply(&ct, &ct, &rk_ghs));
+    });
+    g.bench_function("multiply_relin_bv", |b| {
+        b.iter(|| ev.multiply(&ct, &ct, &rk_bv));
+    });
     g.finish();
 }
 

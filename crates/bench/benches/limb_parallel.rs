@@ -4,9 +4,9 @@
 //! alike (rayon degrades to sequential); on a multi-core machine the
 //! parallel setting wins roughly ×min(limbs, cores).
 
+use ckks_math::poly::PolyContext;
 use ckks_math::poly::{Form, RnsPoly};
 use ckks_math::prime::gen_moduli_chain;
-use ckks_math::poly::PolyContext;
 use ckks_math::sampler::Sampler;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -22,14 +22,17 @@ fn bench_limb_parallel(c: &mut Criterion) {
     let mut g = c.benchmark_group("limb_parallelism_8x_n2pow13");
     g.sample_size(10);
     g.bench_function(
-        &format!("ntt_forward_parallel_on_{}_threads", rayon::current_num_threads()),
+        &format!(
+            "ntt_forward_parallel_on_{}_threads",
+            rayon::current_num_threads()
+        ),
         |b| {
             ctx.set_parallel(true);
             b.iter_batched(
                 || poly.clone(),
                 |mut p| p.ntt_forward(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         },
     );
     g.bench_function("ntt_forward_sequential", |b| {
@@ -38,7 +41,7 @@ fn bench_limb_parallel(c: &mut Criterion) {
             || poly.clone(),
             |mut p| p.ntt_forward(),
             criterion::BatchSize::LargeInput,
-        )
+        );
     });
     ctx.set_parallel(true);
     g.finish();

@@ -17,22 +17,30 @@ fn bench_ntt(c: &mut Criterion) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
 
-        g.bench_with_input(BenchmarkId::new("forward", format!("2^{log_n}")), &n, |b, _| {
-            b.iter_batched(
-                || data.clone(),
-                |mut d| table.forward(&mut d),
-                criterion::BatchSize::LargeInput,
-            )
-        });
-        g.bench_with_input(BenchmarkId::new("inverse", format!("2^{log_n}")), &n, |b, _| {
-            let mut fwd = data.clone();
-            table.forward(&mut fwd);
-            b.iter_batched(
-                || fwd.clone(),
-                |mut d| table.inverse(&mut d),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("forward", format!("2^{log_n}")),
+            &n,
+            |b, _| {
+                b.iter_batched(
+                    || data.clone(),
+                    |mut d| table.forward(&mut d),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("inverse", format!("2^{log_n}")),
+            &n,
+            |b, _| {
+                let mut fwd = data.clone();
+                table.forward(&mut fwd);
+                b.iter_batched(
+                    || fwd.clone(),
+                    |mut d| table.inverse(&mut d),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     g.finish();
 }

@@ -29,14 +29,19 @@ fn bench_bignum_vs_rns(c: &mut Criterion) {
     let mut s = Sampler::from_seed(5);
     let level = 3usize;
     let indices: Vec<usize> = (0..=level).collect();
-    let a = RnsPoly::uniform(Arc::clone(ctx.poly_ctx()), indices.clone(), Form::Coeff, &mut s);
+    let a = RnsPoly::uniform(
+        Arc::clone(ctx.poly_ctx()),
+        indices.clone(),
+        Form::Coeff,
+        &mut s,
+    );
     let b = RnsPoly::uniform(Arc::clone(ctx.poly_ctx()), indices, Form::Coeff, &mut s);
     let big_a = BigPoly::from_rns(&ctx, &a);
     let big_b = BigPoly::from_rns(&ctx, &b);
     let q = ctx.level_basis(level).big_q().clone();
 
     g.bench_function("bignum_schoolbook_n512_118bit", |bch| {
-        bch.iter(|| big_a.mul(&big_b).reduce_centered(&q))
+        bch.iter(|| big_a.mul(&big_b).reduce_centered(&q));
     });
     g.bench_function("rns_ntt_n512_4limbs", |bch| {
         bch.iter(|| {
@@ -47,7 +52,7 @@ fn bench_bignum_vs_rns(c: &mut Criterion) {
             x.mul_assign(&y);
             x.ntt_inverse();
             x
-        })
+        });
     });
     g.finish();
 
@@ -60,11 +65,11 @@ fn bench_bignum_vs_rns(c: &mut Criterion) {
     ));
     let residues = basis.decompose_i64(123_456_789_012_345);
     g.bench_function("compose_centered_5x40bit", |bch| {
-        bch.iter(|| basis.compose_centered(&residues))
+        bch.iter(|| basis.compose_centered(&residues));
     });
     let target = ckks_math::prime::gen_moduli_chain(&[50, 50], 1 << 10);
     g.bench_function("fast_base_conversion_5to2", |bch| {
-        bch.iter(|| basis.convert_to(&residues, &target))
+        bch.iter(|| basis.convert_to(&residues, &target));
     });
     g.finish();
 }

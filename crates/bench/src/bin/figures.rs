@@ -38,7 +38,10 @@ fn main() {
         );
     }
     let back = d.recompose_residues(&residues);
-    println!("    └─ CRT({}, {}, {}) = {}  ✓", residues[0][0], residues[1][0], residues[2][0], back[0]);
+    println!(
+        "    └─ CRT({}, {}, {}) = {}  ✓",
+        residues[0][0], residues[1][0], residues[2][0], back[0]
+    );
     println!("  [cnn_he::rns_input::SignalDecomposition; exactness proven in tests]\n");
 
     // ------------------------------------------------------------ Fig 3
@@ -46,7 +49,11 @@ fn main() {
     let m1 = cnn1(ActKind::slaf3(), 1);
     println!("{}\n", m1.describe());
     let n1 = HeNetwork::from_trained(&m1, 28);
-    println!("  HE form ({} multiplicative levels):\n{}", n1.required_levels(), n1.describe());
+    println!(
+        "  HE form ({} multiplicative levels):\n{}",
+        n1.required_levels(),
+        n1.describe()
+    );
 
     // ------------------------------------------------------------ Fig 4
     println!("FIG. 4 — CNN2 (CryptoNets-based, BN before each activation)\n");

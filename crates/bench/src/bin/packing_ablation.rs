@@ -40,7 +40,7 @@ fn main() {
     let packed = PackedNetwork::from_network(&model.network);
     let depth = packed.required_levels();
     let mut chain_bits = vec![40u32];
-    chain_bits.extend(std::iter::repeat(26).take(depth));
+    chain_bits.extend(std::iter::repeat_n(26, depth));
     let ctx = CkksParams {
         n,
         chain_bits,

@@ -54,7 +54,10 @@ fn main() {
         println!("  {i:>5}   {pl:>14.8}  {he:>14.8}  {e:.2e}");
     }
     println!("\n  max logit error after 7 multiplicative levels: {worst:.2e}");
-    println!("  predictions agree: {}", res.predictions[0] == argmax(&plain));
+    println!(
+        "  predictions agree: {}",
+        res.predictions[0] == argmax(&plain)
+    );
 }
 
 fn argmax(v: &[f64]) -> usize {

@@ -21,28 +21,226 @@ struct Row {
 }
 
 const ROWS: &[Row] = &[
-    Row { year: 2016, model: "CryptoNets", dataset: "MNIST", lat: "250", acc: "98.95", gpu: false, two_arch: true, reference: "[20]" },
-    Row { year: 2017, model: "Chabanne-NN", dataset: "MNIST", lat: "NR*", acc: "97.95", gpu: false, two_arch: false, reference: "[22]" },
-    Row { year: 2017, model: "Chabanne-NN", dataset: "MNIST", lat: "NR*", acc: "99.28", gpu: false, two_arch: false, reference: "[23]" },
-    Row { year: 2018, model: "F-CryptoNets", dataset: "MNIST", lat: "39.1", acc: "98.70", gpu: false, two_arch: false, reference: "[24]" },
-    Row { year: 2018, model: "F-CryptoNets", dataset: "CIFAR-10", lat: "22372", acc: "76.72", gpu: false, two_arch: false, reference: "[24]" },
-    Row { year: 2018, model: "FHE-DiNN100", dataset: "MNIST", lat: "1.65", acc: "96.35", gpu: false, two_arch: false, reference: "[26]" },
-    Row { year: 2018, model: "TAPAS", dataset: "MNIST", lat: "37 [hrs]", acc: "98.60", gpu: false, two_arch: false, reference: "[27]" },
-    Row { year: 2019, model: "SEALion", dataset: "MNIST", lat: "60", acc: "98.91", gpu: false, two_arch: false, reference: "[28]" },
-    Row { year: 2019, model: "CryptoDL", dataset: "MNIST", lat: "148.97", acc: "98.52", gpu: false, two_arch: false, reference: "[29]" },
-    Row { year: 2019, model: "CryptoDL", dataset: "MNIST", lat: "320", acc: "99.25", gpu: false, two_arch: false, reference: "[29]" },
-    Row { year: 2019, model: "Lo-La", dataset: "MNIST", lat: "0.29", acc: "96.92", gpu: false, two_arch: false, reference: "[31]" },
-    Row { year: 2019, model: "Lo-La", dataset: "MNIST", lat: "2.20", acc: "98.95", gpu: false, two_arch: true, reference: "[31]" },
-    Row { year: 2019, model: "Lo-La", dataset: "CIFAR-10", lat: "730", acc: "74.10", gpu: false, two_arch: false, reference: "[31]" },
-    Row { year: 2019, model: "nGraph-HE", dataset: "MNIST", lat: "16.72", acc: "98.95", gpu: false, two_arch: true, reference: "[32]" },
-    Row { year: 2019, model: "nGraph-HE", dataset: "CIFAR-10", lat: "1651", acc: "62.20", gpu: false, two_arch: true, reference: "[32]" },
-    Row { year: 2019, model: "E2DM", dataset: "MNIST", lat: "1.69", acc: "98.10", gpu: false, two_arch: true, reference: "[33]" },
-    Row { year: 2021, model: "HCNN", dataset: "MNIST", lat: "5.16", acc: "99.00", gpu: true, two_arch: false, reference: "[35]" },
-    Row { year: 2021, model: "HCNN", dataset: "CIFAR-10", lat: "304.43", acc: "77.55", gpu: true, two_arch: false, reference: "[35]" },
-    Row { year: 2022, model: "LeNet-HE", dataset: "MNIST", lat: "138", acc: "98.18", gpu: false, two_arch: false, reference: "[34]" },
-    Row { year: 2022, model: "RNS-CKKS-NN", dataset: "CIFAR-10", lat: "10602", acc: "92.43**", gpu: true, two_arch: false, reference: "[36]" },
-    Row { year: 2024, model: "CNN1-HE-SLAF", dataset: "MNIST", lat: "3.13", acc: "98.22", gpu: false, two_arch: false, reference: "[11]" },
-    Row { year: 2024, model: "CNN2-HE-SLAF", dataset: "MNIST", lat: "39.84", acc: "99.21", gpu: false, two_arch: true, reference: "[11]" },
+    Row {
+        year: 2016,
+        model: "CryptoNets",
+        dataset: "MNIST",
+        lat: "250",
+        acc: "98.95",
+        gpu: false,
+        two_arch: true,
+        reference: "[20]",
+    },
+    Row {
+        year: 2017,
+        model: "Chabanne-NN",
+        dataset: "MNIST",
+        lat: "NR*",
+        acc: "97.95",
+        gpu: false,
+        two_arch: false,
+        reference: "[22]",
+    },
+    Row {
+        year: 2017,
+        model: "Chabanne-NN",
+        dataset: "MNIST",
+        lat: "NR*",
+        acc: "99.28",
+        gpu: false,
+        two_arch: false,
+        reference: "[23]",
+    },
+    Row {
+        year: 2018,
+        model: "F-CryptoNets",
+        dataset: "MNIST",
+        lat: "39.1",
+        acc: "98.70",
+        gpu: false,
+        two_arch: false,
+        reference: "[24]",
+    },
+    Row {
+        year: 2018,
+        model: "F-CryptoNets",
+        dataset: "CIFAR-10",
+        lat: "22372",
+        acc: "76.72",
+        gpu: false,
+        two_arch: false,
+        reference: "[24]",
+    },
+    Row {
+        year: 2018,
+        model: "FHE-DiNN100",
+        dataset: "MNIST",
+        lat: "1.65",
+        acc: "96.35",
+        gpu: false,
+        two_arch: false,
+        reference: "[26]",
+    },
+    Row {
+        year: 2018,
+        model: "TAPAS",
+        dataset: "MNIST",
+        lat: "37 [hrs]",
+        acc: "98.60",
+        gpu: false,
+        two_arch: false,
+        reference: "[27]",
+    },
+    Row {
+        year: 2019,
+        model: "SEALion",
+        dataset: "MNIST",
+        lat: "60",
+        acc: "98.91",
+        gpu: false,
+        two_arch: false,
+        reference: "[28]",
+    },
+    Row {
+        year: 2019,
+        model: "CryptoDL",
+        dataset: "MNIST",
+        lat: "148.97",
+        acc: "98.52",
+        gpu: false,
+        two_arch: false,
+        reference: "[29]",
+    },
+    Row {
+        year: 2019,
+        model: "CryptoDL",
+        dataset: "MNIST",
+        lat: "320",
+        acc: "99.25",
+        gpu: false,
+        two_arch: false,
+        reference: "[29]",
+    },
+    Row {
+        year: 2019,
+        model: "Lo-La",
+        dataset: "MNIST",
+        lat: "0.29",
+        acc: "96.92",
+        gpu: false,
+        two_arch: false,
+        reference: "[31]",
+    },
+    Row {
+        year: 2019,
+        model: "Lo-La",
+        dataset: "MNIST",
+        lat: "2.20",
+        acc: "98.95",
+        gpu: false,
+        two_arch: true,
+        reference: "[31]",
+    },
+    Row {
+        year: 2019,
+        model: "Lo-La",
+        dataset: "CIFAR-10",
+        lat: "730",
+        acc: "74.10",
+        gpu: false,
+        two_arch: false,
+        reference: "[31]",
+    },
+    Row {
+        year: 2019,
+        model: "nGraph-HE",
+        dataset: "MNIST",
+        lat: "16.72",
+        acc: "98.95",
+        gpu: false,
+        two_arch: true,
+        reference: "[32]",
+    },
+    Row {
+        year: 2019,
+        model: "nGraph-HE",
+        dataset: "CIFAR-10",
+        lat: "1651",
+        acc: "62.20",
+        gpu: false,
+        two_arch: true,
+        reference: "[32]",
+    },
+    Row {
+        year: 2019,
+        model: "E2DM",
+        dataset: "MNIST",
+        lat: "1.69",
+        acc: "98.10",
+        gpu: false,
+        two_arch: true,
+        reference: "[33]",
+    },
+    Row {
+        year: 2021,
+        model: "HCNN",
+        dataset: "MNIST",
+        lat: "5.16",
+        acc: "99.00",
+        gpu: true,
+        two_arch: false,
+        reference: "[35]",
+    },
+    Row {
+        year: 2021,
+        model: "HCNN",
+        dataset: "CIFAR-10",
+        lat: "304.43",
+        acc: "77.55",
+        gpu: true,
+        two_arch: false,
+        reference: "[35]",
+    },
+    Row {
+        year: 2022,
+        model: "LeNet-HE",
+        dataset: "MNIST",
+        lat: "138",
+        acc: "98.18",
+        gpu: false,
+        two_arch: false,
+        reference: "[34]",
+    },
+    Row {
+        year: 2022,
+        model: "RNS-CKKS-NN",
+        dataset: "CIFAR-10",
+        lat: "10602",
+        acc: "92.43**",
+        gpu: true,
+        two_arch: false,
+        reference: "[36]",
+    },
+    Row {
+        year: 2024,
+        model: "CNN1-HE-SLAF",
+        dataset: "MNIST",
+        lat: "3.13",
+        acc: "98.22",
+        gpu: false,
+        two_arch: false,
+        reference: "[11]",
+    },
+    Row {
+        year: 2024,
+        model: "CNN2-HE-SLAF",
+        dataset: "MNIST",
+        lat: "39.84",
+        acc: "99.21",
+        gpu: false,
+        two_arch: true,
+        reference: "[11]",
+    },
 ];
 
 fn main() {

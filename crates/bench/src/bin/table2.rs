@@ -36,7 +36,10 @@ fn main() {
         "│ log PQ    │ {:<28} │ —                   │",
         params.total_log_q()
     );
-    println!("│ L         │ {:<28} │ 13                  │", params.depth());
+    println!(
+        "│ L         │ {:<28} │ 13                  │",
+        params.depth()
+    );
     println!(
         "│ q         │ [40, 26 × {}] + [40 special] │ [40, 26, …, 26, 40] │",
         params.depth()

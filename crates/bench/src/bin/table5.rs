@@ -7,7 +7,10 @@ use bench::harness::{self, Arch};
 
 fn main() {
     let model = harness::trained_model(Arch::Cnn2);
-    println!("CNN2 architecture (Fig. 4, BN folded):\n{}", model.network.describe());
+    println!(
+        "CNN2 architecture (Fig. 4, BN folded):\n{}",
+        model.network.describe()
+    );
     let result = harness::run_experiment(&model, harness::latency_runs());
     harness::print_he_vs_rns_table(
         "TABLE V — PERFORMANCE OF CNN2-HE AND CNN2-HE-RNS",

@@ -183,7 +183,11 @@ pub fn run_experiment(model: &TrainedModel, runs: usize) -> ExperimentResult {
 
 /// Like [`run_experiment`] but optionally skipping the batched-accuracy
 /// pass (the moduli-sweep tables report latency only).
-pub fn run_experiment_opts(model: &TrainedModel, runs: usize, with_accuracy: bool) -> ExperimentResult {
+pub fn run_experiment_opts(
+    model: &TrainedModel,
+    runs: usize,
+    with_accuracy: bool,
+) -> ExperimentResult {
     let n = ring_degree();
     eprintln!(
         "[harness] building pipeline: N=2^{} depth={} ...",
@@ -250,7 +254,10 @@ pub fn print_he_vs_rns_table(title: &str, arch: &str, result: &ExperimentResult,
     let base = result.stats(plan(1));
     let rns = result.stats(plan(k));
     println!("\n{title}");
-    println!("(simulated {}-core schedule from measured per-unit CPU times; see EXPERIMENTS.md)", virtual_cores());
+    println!(
+        "(simulated {}-core schedule from measured per-unit CPU times; see EXPERIMENTS.md)",
+        virtual_cores()
+    );
     println!("┌─────────────────┬──────────────┬───────────────────────────┬─────────┐");
     println!("│ Model           │ Training Acc │ Lat (s)  min   max   avg  │ Acc (%) │");
     println!("├─────────────────┼──────────────┼───────────────────────────┼─────────┤");
@@ -284,7 +291,10 @@ pub fn print_he_vs_rns_table(title: &str, arch: &str, result: &ExperimentResult,
 /// Prints a Table IV/VI-format moduli sweep.
 pub fn print_sweep_table(title: &str, result: &ExperimentResult, ks: &[usize]) {
     println!("\n{title}");
-    println!("(simulated {}-core schedule from measured per-unit CPU times)", virtual_cores());
+    println!(
+        "(simulated {}-core schedule from measured per-unit CPU times)",
+        virtual_cores()
+    );
     println!("┌─────────────────────┬─────────┐");
     println!("│ Moduli chain length │ Lat (s) │");
     println!("├─────────────────────┼─────────┤");

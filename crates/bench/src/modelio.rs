@@ -166,7 +166,10 @@ pub fn save(name: &str, net: &HeNetwork) -> std::io::Result<()> {
 pub fn load(name: &str) -> Option<HeNetwork> {
     let path = cache_dir().join(format!("{name}.hent"));
     let mut data = Vec::new();
-    std::fs::File::open(path).ok()?.read_to_end(&mut data).ok()?;
+    std::fs::File::open(path)
+        .ok()?
+        .read_to_end(&mut data)
+        .ok()?;
     network_from_bytes(&data)
 }
 

@@ -235,10 +235,7 @@ impl BigInt {
                 mag.push(carry);
             }
         }
-        Self {
-            neg: self.neg,
-            mag,
-        }
+        Self { neg: self.neg, mag }
     }
 
     /// Arithmetic right shift of the magnitude (floor for positive,
@@ -422,7 +419,7 @@ impl BigInt {
 
 impl PartialOrd for BigInt {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_big(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -507,9 +504,15 @@ mod tests {
     fn rem_u64_matches_div_rem() {
         let a = BigInt::one().shl(130).add(&BigInt::from_u64(999));
         let m = 1_000_003u64;
-        assert_eq!(a.rem_u64(m), a.rem_euclid(&BigInt::from_u64(m)).to_f64() as u64);
+        assert_eq!(
+            a.rem_u64(m),
+            a.rem_euclid(&BigInt::from_u64(m)).to_f64() as u64
+        );
         let an = a.neg();
-        assert_eq!(an.rem_u64(m), an.rem_euclid(&BigInt::from_u64(m)).to_f64() as u64);
+        assert_eq!(
+            an.rem_u64(m),
+            an.rem_euclid(&BigInt::from_u64(m)).to_f64() as u64
+        );
     }
 
     #[test]

@@ -227,7 +227,7 @@ mod tests {
     use proptest::prelude::*;
 
     const P: u64 = (1 << 60) - 93; // a 60-bit prime-ish test value
-    // Use a known prime for inversion-sensitive tests.
+                                   // Use a known prime for inversion-sensitive tests.
     const PRIME: u64 = 1_152_921_504_606_846_577; // 2^60 - 2^14 + 1... verified in prime.rs tests
 
     #[test]

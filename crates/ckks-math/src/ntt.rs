@@ -40,7 +40,10 @@ impl NttTable {
     /// Builds tables for ring degree `n` (power of two) and modulus `p`
     /// with `p ≡ 1 (mod 2n)`.
     pub fn new(n: usize, modulus: Modulus) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "n must be a power of two >= 2"
+        );
         let p = modulus.value();
         assert_eq!(p % (2 * n as u64), 1, "p must be ≡ 1 mod 2N");
         let log_n = n.trailing_zeros();
@@ -187,9 +190,7 @@ impl NttTable {
         }
         // Final scale by N^{-1} with full reduction.
         for v in a.iter_mut() {
-            *v = self
-                .modulus
-                .mul_shoup(*v, self.inv_n, self.inv_n_shoup);
+            *v = self.modulus.mul_shoup(*v, self.inv_n, self.inv_n_shoup);
         }
     }
 
@@ -256,7 +257,9 @@ mod tests {
             let n = 1usize << log_n;
             let t = table(n, 50);
             let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-            let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.modulus().value())).collect();
+            let orig: Vec<u64> = (0..n)
+                .map(|_| rng.gen_range(0..t.modulus().value()))
+                .collect();
             let mut a = orig.clone();
             t.forward(&mut a);
             assert_ne!(a, orig, "transform should not be identity");

@@ -255,10 +255,7 @@ impl RnsPoly {
             "polynomials from different contexts"
         );
         assert_eq!(self.form, other.form, "form mismatch");
-        assert_eq!(
-            self.limb_indices, other.limb_indices,
-            "limb set mismatch"
-        );
+        assert_eq!(self.limb_indices, other.limb_indices, "limb set mismatch");
     }
 
     /// Runs `f` on every limb, in parallel when the context allows.
@@ -269,13 +266,10 @@ impl RnsPoly {
         let ctx = Arc::clone(&self.ctx);
         let indices = self.limb_indices.clone();
         if ctx.parallel() && self.limbs.len() > 1 {
-            self.limbs
-                .par_iter_mut()
-                .enumerate()
-                .for_each(|(i, data)| {
-                    let idx = indices[i];
-                    f(i, &ctx.moduli()[idx], ctx.ntt_table(idx), data)
-                });
+            self.limbs.par_iter_mut().enumerate().for_each(|(i, data)| {
+                let idx = indices[i];
+                f(i, &ctx.moduli()[idx], ctx.ntt_table(idx), data);
+            });
         } else {
             for (i, data) in self.limbs.iter_mut().enumerate() {
                 let idx = indices[i];
@@ -419,7 +413,11 @@ impl RnsPoly {
         assert_eq!(self.form, Form::Coeff, "automorphism requires Coeff form");
         let n = self.ctx.n();
         assert!(k % 2 == 1 && k < 2 * n, "galois element must be odd, < 2N");
-        let mut out = Self::zero(Arc::clone(&self.ctx), self.limb_indices.clone(), Form::Coeff);
+        let mut out = Self::zero(
+            Arc::clone(&self.ctx),
+            self.limb_indices.clone(),
+            Form::Coeff,
+        );
         for (li, data) in self.limbs.iter().enumerate() {
             let m = self.ctx.moduli()[self.limb_indices[li]];
             let dst = &mut out.limbs[li];

@@ -20,7 +20,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -72,7 +72,7 @@ fn pow_mod_u64(mut a: u64, mut e: u64, m: u64) -> u64 {
 /// (only possible for tiny `bits` relative to `log2(2n)`).
 pub fn gen_ntt_primes_excluding(bits: u32, n: usize, count: usize, exclude: &[u64]) -> Vec<u64> {
     assert!(n.is_power_of_two(), "ring degree must be a power of two");
-    assert!(bits >= 2 && bits <= crate::modring::MAX_MODULUS_BITS);
+    assert!((2..=crate::modring::MAX_MODULUS_BITS).contains(&bits));
     let two_n = (2 * n) as u64;
     assert!(
         (1u64 << bits) > two_n,
@@ -166,9 +166,9 @@ fn factorize(mut n: u64) -> Vec<u64> {
     let mut factors = Vec::new();
     let mut d = 2u64;
     while d as u128 * d as u128 <= n as u128 {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             factors.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }
@@ -223,7 +223,7 @@ mod tests {
         // => 13 inner 26-bit primes plus two 40-bit end primes.
         let n = 1 << 14;
         let mut sizes = vec![40u32];
-        sizes.extend(std::iter::repeat(26).take(13));
+        sizes.extend(std::iter::repeat_n(26, 13));
         sizes.push(40);
         let chain = gen_moduli_chain(&sizes, n);
         assert_eq!(chain.len(), 15);

@@ -311,10 +311,7 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.moduli()[0], b.moduli()[0]);
         let x = 424_242i64;
-        assert_eq!(
-            p.compose_centered(&p.decompose_i64(x)),
-            BigInt::from_i64(x)
-        );
+        assert_eq!(p.compose_centered(&p.decompose_i64(x)), BigInt::from_i64(x));
     }
 
     #[test]

@@ -83,7 +83,7 @@ impl BigPoly {
 
     pub fn neg(&self) -> Self {
         Self {
-            coeffs: self.coeffs.iter().map(|c| c.neg()).collect(),
+            coeffs: self.coeffs.iter().map(ckks_math::BigInt::neg).collect(),
         }
     }
 
@@ -233,8 +233,7 @@ impl BigCkks {
         BigPoly {
             coeffs: (0..self.n)
                 .map(|_| {
-                    let raw: Vec<u64> =
-                        (0..limbs).map(|_| rand::Rng::gen(sampler.rng())).collect();
+                    let raw: Vec<u64> = (0..limbs).map(|_| rand::Rng::gen(sampler.rng())).collect();
                     BigInt::from_limbs(&raw).rem_centered(q)
                 })
                 .collect(),
@@ -386,7 +385,7 @@ mod tests {
         let p = BigPoly::from_signed(&a);
         let sq = p.mul(&p);
         assert_eq!(sq.coeffs[0], BigInt::from_i64(-1));
-        assert!(sq.coeffs[1..].iter().all(|c| c.is_zero()));
+        assert!(sq.coeffs[1..].iter().all(ckks_math::BigInt::is_zero));
     }
 
     #[test]
@@ -468,8 +467,10 @@ mod tests {
         let x: Vec<f64> = (0..ctx.slots()).map(|i| 0.4 + 0.001 * i as f64).collect();
         let y: Vec<f64> = (0..ctx.slots()).map(|i| -0.3 + 0.002 * i as f64).collect();
         let enc = |v: &[f64]| -> BigPoly {
-            let padded: Vec<ckks_math::fft::Complex> =
-                v.iter().map(|&r| ckks_math::fft::Complex::from(r)).collect();
+            let padded: Vec<ckks_math::fft::Complex> = v
+                .iter()
+                .map(|&r| ckks_math::fft::Complex::from(r))
+                .collect();
             let coeffs = ctx.embedding().slots_to_coeffs(&padded);
             BigPoly {
                 coeffs: coeffs

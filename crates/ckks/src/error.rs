@@ -1,0 +1,102 @@
+//! Typed errors for ciphertext-metadata violations.
+//!
+//! Every variant corresponds to a precondition the evaluator checks
+//! before touching polynomial data: level exhaustion, scale
+//! incompatibility, missing key material. The `Display` text of each
+//! variant is the panic message of the corresponding infallible
+//! evaluator method, so `try_*` callers and panic-path callers see the
+//! same wording, and the `he-lint` static analyzer can surface the same
+//! diagnostics without running the circuit.
+
+/// A ciphertext-metadata violation detected before (or instead of)
+/// polynomial arithmetic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeError {
+    /// A rotation/conjugation was requested for a Galois element with no
+    /// generated key-switching key.
+    MissingGaloisKey {
+        /// The Galois element `5^r mod 2N` (or `2N−1` for conjugation).
+        elem: usize,
+        /// Elements a key exists for, sorted ascending.
+        available: Vec<usize>,
+    },
+    /// An operation needed more modulus-chain levels than the ciphertext
+    /// has left.
+    LevelExhausted {
+        /// The operation that ran out of levels.
+        op: &'static str,
+        /// Current ciphertext level.
+        level: usize,
+        /// Levels the operation consumes.
+        needed: usize,
+    },
+    /// `mod_switch_to_level` asked for a level above the current one.
+    ModSwitchUpward { from: usize, to: usize },
+    /// Two operands' scales differ beyond `SCALE_RTOL`.
+    ScaleMismatch { a: f64, b: f64 },
+}
+
+impl std::fmt::Display for HeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeError::MissingGaloisKey { elem, available } => {
+                // keep the historical "missing Galois key for element {g}"
+                // prefix — callers and tests match on it
+                write!(f, "missing Galois key for element {elem}")?;
+                if available.is_empty() {
+                    write!(f, " (no Galois keys were generated)")
+                } else {
+                    write!(f, " (keys exist for elements {available:?})")
+                }
+            }
+            HeError::LevelExhausted { op, level, needed } => write!(
+                f,
+                "no levels left to {op}: at level {level}, need {needed} more"
+            ),
+            HeError::ModSwitchUpward { from, to } => {
+                write!(f, "cannot mod-switch upward (level {from} to {to})")
+            }
+            HeError::ScaleMismatch { a, b } => write!(f, "scale mismatch: {a} vs {b}"),
+        }
+    }
+}
+
+impl std::error::Error for HeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_historical_substrings() {
+        let e = HeError::MissingGaloisKey {
+            elem: 25,
+            available: vec![5, 2047],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("missing Galois key for element 25"), "{msg}");
+        assert!(msg.contains("[5, 2047]"), "{msg}");
+
+        let e = HeError::LevelExhausted {
+            op: "rescale",
+            level: 0,
+            needed: 1,
+        };
+        assert!(e.to_string().contains("no levels left"), "{e}");
+
+        let e = HeError::ModSwitchUpward { from: 1, to: 3 };
+        assert!(e.to_string().contains("cannot mod-switch upward"), "{e}");
+
+        let e = HeError::ScaleMismatch { a: 2.0, b: 4.0 };
+        assert!(e.to_string().contains("scale mismatch"), "{e}");
+    }
+
+    #[test]
+    fn missing_key_with_empty_inventory() {
+        let e = HeError::MissingGaloisKey {
+            elem: 5,
+            available: vec![],
+        };
+        assert!(e.to_string().contains("no Galois keys were generated"));
+    }
+}

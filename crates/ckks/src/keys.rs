@@ -167,11 +167,7 @@ impl KeyGenerator {
             .into_iter()
             .map(|x| x as i64)
             .collect();
-        let mut p = RnsPoly::from_signed(
-            Arc::clone(self.ctx.poly_ctx()),
-            indices.to_vec(),
-            &e,
-        );
+        let mut p = RnsPoly::from_signed(Arc::clone(self.ctx.poly_ctx()), indices.to_vec(), &e);
         p.ntt_forward();
         p
     }
@@ -190,11 +186,8 @@ impl KeyGenerator {
             .into_iter()
             .map(|x| x as i64)
             .collect();
-        let mut s_ntt = RnsPoly::from_signed(
-            Arc::clone(self.ctx.poly_ctx()),
-            self.all_indices(),
-            &coeffs,
-        );
+        let mut s_ntt =
+            RnsPoly::from_signed(Arc::clone(self.ctx.poly_ctx()), self.all_indices(), &coeffs);
         s_ntt.ntt_forward();
         SecretKey {
             coeffs,
@@ -365,15 +358,9 @@ mod tests {
         assert_eq!(rk.0.digits.len(), ctx.poly_ctx().chain_len());
         assert_eq!(rk.0.variant, KsVariant::Ghs);
         // GHS digits live over chain + special moduli
-        assert_eq!(
-            rk.0.digits[0].0.num_limbs(),
-            ctx.poly_ctx().moduli().len()
-        );
+        assert_eq!(rk.0.digits[0].0.num_limbs(), ctx.poly_ctx().moduli().len());
         let bv = kg.gen_relin_key_variant(&sk, KsVariant::Bv);
-        assert_eq!(
-            bv.0.digits[0].0.num_limbs(),
-            ctx.poly_ctx().chain_len()
-        );
+        assert_eq!(bv.0.digits[0].0.num_limbs(), ctx.poly_ctx().chain_len());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 pub mod bigckks;
 pub mod ciphertext;
 pub mod encoding;
+pub mod error;
 pub mod eval;
 pub mod keys;
 pub mod linalg;
@@ -26,7 +27,8 @@ pub mod serialize;
 
 pub use ciphertext::Ciphertext;
 pub use encoding::{decode, decode_real, encode, encode_constant, encode_real, Plaintext};
-pub use eval::Evaluator;
+pub use error::HeError;
+pub use eval::{Evaluator, SCALE_RTOL};
 pub use keys::{GaloisKeys, KeyGenerator, KeySwitchKey, KsVariant, PublicKey, RelinKey, SecretKey};
 pub use params::{CkksContext, CkksParams};
 pub use security::SecurityLevel;

@@ -63,7 +63,10 @@ pub fn mat_vec_diagonal(
     x: &Ciphertext,
     gk: &GaloisKeys,
 ) -> Ciphertext {
-    assert!(dim.is_power_of_two(), "diagonal method needs power-of-two dim");
+    assert!(
+        dim.is_power_of_two(),
+        "diagonal method needs power-of-two dim"
+    );
     assert_eq!(matrix.len(), dim * dim);
     assert!(dim <= x.slots, "vector does not fill the packing");
     let scale = ev.ctx().params().scale();
@@ -209,7 +212,11 @@ mod tests {
         let out = f.ev.decrypt_to_real(&y, &f.sk);
         for i in 0..dim {
             let want: f64 = (0..dim).map(|j| m[i * dim + j] * xv[j]).sum();
-            assert!((out[i] - want).abs() < 1e-2, "row {i}: {} vs {want}", out[i]);
+            assert!(
+                (out[i] - want).abs() < 1e-2,
+                "row {i}: {} vs {want}",
+                out[i]
+            );
         }
     }
 

@@ -82,7 +82,9 @@ mod tests {
         let rk = kg.gen_relin_key(&sk);
         let ev = Evaluator::new(Arc::clone(&ctx));
         let mut s = Sampler::from_seed(803);
-        let vals: Vec<Complex> = (0..16).map(|i| Complex::from(0.9 - 0.05 * i as f64)).collect();
+        let vals: Vec<Complex> = (0..16)
+            .map(|i| Complex::from(0.9 - 0.05 * i as f64))
+            .collect();
         let pt = crate::encoding::encode(&ctx, &vals, ctx.params().scale(), ctx.max_level());
         let mut ct = ev.encrypt(&pt, &pk, &mut s);
         let mut reference = vals.clone();
@@ -93,7 +95,10 @@ mod tests {
                 *r = *r * *r;
             }
             let bits = measured_error_bits(&ev, &ct, &sk, &reference);
-            assert!(bits >= prev_bits - 1.0, "noise should not shrink: {prev_bits} → {bits}");
+            assert!(
+                bits >= prev_bits - 1.0,
+                "noise should not shrink: {prev_bits} → {bits}"
+            );
             prev_bits = bits;
         }
         // still decodable to ~8 bits after depth 2

@@ -38,7 +38,7 @@ impl CkksParams {
     /// chain `[40, 26 × L]` plus one 40-bit special prime, `L = 13`.
     pub fn paper_table2() -> Self {
         let mut chain_bits = vec![40u32];
-        chain_bits.extend(std::iter::repeat(26).take(13));
+        chain_bits.extend(std::iter::repeat_n(26, 13));
         Self {
             n: 1 << 14,
             chain_bits,
@@ -55,7 +55,7 @@ impl CkksParams {
     /// the full-size setting.
     pub fn toy(depth: usize) -> Self {
         let mut chain_bits = vec![40u32];
-        chain_bits.extend(std::iter::repeat(26).take(depth));
+        chain_bits.extend(std::iter::repeat_n(26, depth));
         Self {
             n: 1 << 12,
             chain_bits,
@@ -68,7 +68,7 @@ impl CkksParams {
     /// Smallest usable setting for unit tests (`N = 2^10`).
     pub fn tiny(depth: usize) -> Self {
         let mut chain_bits = vec![40u32];
-        chain_bits.extend(std::iter::repeat(26).take(depth));
+        chain_bits.extend(std::iter::repeat_n(26, depth));
         Self {
             n: 1 << 10,
             chain_bits,
@@ -92,6 +92,39 @@ impl CkksParams {
     /// bounds.
     pub fn total_log_q(&self) -> u32 {
         self.chain_bits.iter().chain(&self.special_bits).sum()
+    }
+
+    /// Number of usable slots (`N/2`).
+    pub fn slots(&self) -> usize {
+        self.n / 2
+    }
+
+    /// `log₂(Q_ℓ)` of the chain prefix `q_0..q_level` — the modulus a
+    /// ciphertext at `level` lives under. Bit sizes are nominal (each
+    /// generated prime is within one part in ~2¹¹ of its power of two),
+    /// which is what static analysis tracks.
+    pub fn log_q_at_level(&self, level: usize) -> f64 {
+        assert!(level < self.chain_bits.len(), "level beyond the chain");
+        self.chain_bits[..=level].iter().map(|&b| b as f64).sum()
+    }
+
+    /// Galois element realizing a left rotation by `steps` slots —
+    /// `5^(steps mod N/2) mod 2N`, the same element a built
+    /// [`CkksContext`] resolves, computable without NTT tables.
+    pub fn galois_element_for_rotation(&self, steps: i64) -> usize {
+        let slots = self.slots() as i64;
+        let r = steps.rem_euclid(slots) as usize;
+        let two_n = 2 * self.n;
+        let mut g = 1usize;
+        for _ in 0..r {
+            g = (g * 5) % two_n;
+        }
+        g
+    }
+
+    /// Galois element of complex conjugation (`X ↦ X^{2N−1}`).
+    pub fn galois_element_conjugate(&self) -> usize {
+        2 * self.n - 1
     }
 
     /// Builds the full context; panics on invalid or insecure parameters.
@@ -342,6 +375,31 @@ mod tests {
             assert_eq!(m.mul(ctx.p_mod_qi()[i], ctx.p_inv_mod_qi()[i]), 1);
             assert_eq!(ctx.big_p().rem_u64(m.value()), ctx.p_mod_qi()[i]);
         }
+    }
+
+    #[test]
+    fn params_galois_elements_match_context() {
+        let params = CkksParams::tiny(1);
+        let ctx = params.clone().build();
+        for steps in [0i64, 1, 2, 7, -1, -3, 511, 513] {
+            assert_eq!(
+                params.galois_element_for_rotation(steps),
+                ctx.galois_element_for_rotation(steps),
+                "steps {steps}"
+            );
+        }
+        assert_eq!(
+            params.galois_element_conjugate(),
+            ctx.galois_element_conjugate()
+        );
+        assert_eq!(params.slots(), ctx.slots());
+    }
+
+    #[test]
+    fn log_q_accumulates_chain_bits() {
+        let p = CkksParams::tiny(3); // chain [40, 26, 26, 26]
+        assert_eq!(p.log_q_at_level(0), 40.0);
+        assert_eq!(p.log_q_at_level(3), 40.0 + 3.0 * 26.0);
     }
 
     #[test]

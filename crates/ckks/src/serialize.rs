@@ -140,10 +140,7 @@ pub fn serialize_ciphertext(ct: &Ciphertext) -> Bytes {
 }
 
 /// Deserializes a ciphertext, validating against `ctx`.
-pub fn deserialize_ciphertext(
-    data: &[u8],
-    ctx: &Arc<CkksContext>,
-) -> Result<Ciphertext, SerError> {
+pub fn deserialize_ciphertext(data: &[u8], ctx: &Arc<CkksContext>) -> Result<Ciphertext, SerError> {
     let mut buf = Bytes::copy_from_slice(data);
     check_header(&mut buf, MAGIC_CT)?;
     need(&buf, 8 + 2 + 4)?;
@@ -208,10 +205,7 @@ pub fn serialize_public_key(pk: &PublicKey) -> Bytes {
 }
 
 /// Deserializes a public key.
-pub fn deserialize_public_key(
-    data: &[u8],
-    ctx: &Arc<CkksContext>,
-) -> Result<PublicKey, SerError> {
+pub fn deserialize_public_key(data: &[u8], ctx: &Arc<CkksContext>) -> Result<PublicKey, SerError> {
     let mut buf = Bytes::copy_from_slice(data);
     check_header(&mut buf, MAGIC_PK)?;
     let b = get_poly(&mut buf, ctx)?;
@@ -293,7 +287,7 @@ pub fn deserialize_galois_keys(
     for _ in 0..count {
         need(&buf, 4)?;
         let g = buf.get_u32_le() as usize;
-        if g % 2 == 0 || g >= 2 * ctx.n() {
+        if g.is_multiple_of(2) || g >= 2 * ctx.n() {
             return Err(SerError::Malformed("bad galois element"));
         }
         gk.insert(g, get_ksk(&mut buf, ctx)?);

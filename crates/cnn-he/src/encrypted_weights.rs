@@ -176,9 +176,8 @@ mod tests {
         let bias = vec![0.2f32];
 
         let x = encrypt_image_batch(&ev, &pk, &mut s, &[&img], side, 3);
-        let enc_spec = EncryptedConvSpec::encrypt(
-            &ev, &pk, &mut s, &weight, &bias, 1, 1, 3, 1, 0, 3,
-        );
+        let enc_spec =
+            EncryptedConvSpec::encrypt(&ev, &pk, &mut s, &weight, &bias, 1, 1, 3, 1, 0, 3);
         let (y_enc, _) = he_conv2d_encrypted(&ev, &rk, &x, &enc_spec);
 
         let plain_spec = crate::he_layers::ConvSpec {
@@ -216,9 +215,7 @@ mod tests {
         let mut s = Sampler::from_seed(903);
         let img = vec![0.5f32; 4];
         let x = encrypt_image_batch(&ev, &pk, &mut s, &[&img], 2, 1);
-        let spec = EncryptedConvSpec::encrypt(
-            &ev, &pk, &mut s, &[1.0], &[0.0], 1, 1, 1, 1, 0, 1,
-        );
+        let spec = EncryptedConvSpec::encrypt(&ev, &pk, &mut s, &[1.0], &[0.0], 1, 1, 1, 1, 0, 1);
         let _ = he_conv2d_encrypted(&ev, &rk, &x, &spec);
         let _ = sk;
     }

@@ -72,7 +72,7 @@ pub struct InferenceTiming {
 impl InferenceTiming {
     /// Total CPU time (the 1-stream sequential wall-clock).
     pub fn cpu_total(&self) -> Duration {
-        self.layers.iter().map(|l| l.cpu_total()).sum()
+        self.layers.iter().map(LayerTiming::cpu_total).sum()
     }
 
     /// Simulated wall-clock under an execution plan: parallel layers are

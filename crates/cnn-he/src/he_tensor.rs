@@ -82,12 +82,7 @@ pub fn encrypt_image_batch(
 
 /// Decrypts a ciphertext tensor back to per-image scalar vectors:
 /// `out[b][i]` = scalar `i` of image `b`.
-pub fn decrypt_tensor(
-    ev: &Evaluator,
-    sk: &SecretKey,
-    t: &CtTensor,
-    batch: usize,
-) -> Vec<Vec<f64>> {
+pub fn decrypt_tensor(ev: &Evaluator, sk: &SecretKey, t: &CtTensor, batch: usize) -> Vec<Vec<f64>> {
     let mut out = vec![vec![0.0f64; t.numel()]; batch];
     for (i, ct) in t.cts.iter().enumerate() {
         let slots = ev.decrypt_to_real(ct, sk);

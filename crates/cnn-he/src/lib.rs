@@ -18,6 +18,7 @@ pub mod encrypted_weights;
 pub mod exec;
 pub mod he_layers;
 pub mod he_tensor;
+pub mod lint;
 pub mod metrics;
 pub mod network;
 pub mod packed;
@@ -31,4 +32,4 @@ pub use he_tensor::CtTensor;
 pub use metrics::LatencyStats;
 pub use network::{HeLayerSpec, HeNetwork};
 pub use pipeline::{Classification, CnnHePipeline};
-pub use rns_input::SignalDecomposition;
+pub use rns_input::{RnsInputCodec, SignalDecomposition};

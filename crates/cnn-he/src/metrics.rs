@@ -13,7 +13,10 @@ pub struct LatencyStats {
 impl LatencyStats {
     pub fn from_durations(samples: &[Duration]) -> Self {
         assert!(!samples.is_empty(), "no latency samples");
-        let secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+        let secs: Vec<f64> = samples
+            .iter()
+            .map(std::time::Duration::as_secs_f64)
+            .collect();
         Self::from_secs(&secs)
     }
 

@@ -78,9 +78,9 @@ impl HeNetwork {
                 }));
             } else if let Some(bn) = any.downcast_ref::<BatchNorm>() {
                 // fold into the preceding conv
-                let prev = layers.last_mut().unwrap_or_else(|| {
-                    panic!("BatchNorm with no preceding layer")
-                });
+                let prev = layers
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("BatchNorm with no preceding layer"));
                 let HeLayerSpec::Conv(spec) = prev else {
                     panic!("BatchNorm folding is only supported after Conv2d");
                 };
@@ -117,7 +117,7 @@ impl HeNetwork {
     /// Total multiplicative levels required by the network (the input
     /// encryption level).
     pub fn required_levels(&self) -> usize {
-        self.layers.iter().map(|l| l.levels()).sum()
+        self.layers.iter().map(HeLayerSpec::levels).sum()
     }
 
     /// f64 reference inference on one image (flat pixels).
@@ -148,12 +148,10 @@ impl HeNetwork {
                                             if ix < spec.pad || ix - spec.pad >= w {
                                                 continue;
                                             }
-                                            let widx = ((o * spec.in_ch + ci) * spec.k + ky)
-                                                * spec.k
-                                                + kx;
+                                            let widx =
+                                                ((o * spec.in_ch + ci) * spec.k + ky) * spec.k + kx;
                                             acc += spec.weight[widx] as f64
-                                                * cur[(ci * h + iy - spec.pad) * w + ix
-                                                    - spec.pad];
+                                                * cur[(ci * h + iy - spec.pad) * w + ix - spec.pad];
                                         }
                                     }
                                 }
@@ -200,6 +198,20 @@ impl HeNetwork {
         rk: &RelinKey,
         mut x: CtTensor,
     ) -> (CtTensor, InferenceTiming) {
+        // debug builds re-lint the remaining circuit from the input's
+        // actual level, so a mis-planned call fails with the full
+        // diagnostic report instead of an assert deep in a layer
+        #[cfg(debug_assertions)]
+        {
+            let plan = crate::lint::plan_for_network(self, ev.ctx().params().clone(), 1)
+                .with_start_level(x.level());
+            let report = he_lint::analyze(&plan);
+            debug_assert!(
+                !report.has_errors(),
+                "he-lint: encrypted inference would fail:\n{}",
+                report.render()
+            );
+        }
         let mut timing = InferenceTiming::default();
         for layer in &self.layers {
             let fixed0 = Instant::now();
@@ -281,7 +293,9 @@ mod tests {
         // push some running stats through BN so folding is non-trivial
         let x = Tensor::from_vec(
             &[8, 1, 28, 28],
-            (0..8 * 784).map(|i| ((i * 31) % 97) as f32 / 97.0).collect(),
+            (0..8 * 784)
+                .map(|i| ((i * 31) % 97) as f32 / 97.0)
+                .collect(),
         );
         for _ in 0..30 {
             let _ = model.forward(&x, true);

@@ -13,7 +13,7 @@
 //! time (`im2col` on the weight side), so the engine evaluates the exact
 //! same function as the scalar engine and the plaintext reference.
 
-use crate::he_layers::{ConvSpec, DenseSpec};
+use crate::he_layers::ConvSpec;
 use crate::network::{HeLayerSpec, HeNetwork};
 use ckks::{encode_real, Ciphertext, Evaluator, GaloisKeys, PublicKey, RelinKey};
 use ckks_math::sampler::Sampler;
@@ -85,8 +85,8 @@ fn conv_to_matrix(spec: &ConvSpec, in_hw: usize) -> (Vec<f64>, Vec<f64>, usize, 
                                 continue;
                             }
                             let col = (ci * in_hw + iy - spec.pad) * in_hw + ix - spec.pad;
-                            let w = spec.weight
-                                [((o * spec.in_ch + ci) * spec.k + ky) * spec.k + kx];
+                            let w =
+                                spec.weight[((o * spec.in_ch + ci) * spec.k + ky) * spec.k + kx];
                             m[row * in_dim + col] = w as f64;
                         }
                     }
@@ -150,8 +150,7 @@ impl PackedNetwork {
                     // pad to dim × dim
                     let mut padded = vec![0.0f64; dim * dim];
                     for i in 0..od {
-                        padded[i * dim..i * dim + id]
-                            .copy_from_slice(&m[i * id..(i + 1) * id]);
+                        padded[i * dim..i * dim + id].copy_from_slice(&m[i * id..(i + 1) * id]);
                     }
                     let mut bias = vec![0.0f64; dim];
                     bias[..od].copy_from_slice(&b);
@@ -251,7 +250,7 @@ impl PackedNetwork {
         assert_eq!(input.len(), self.input_dim);
         let slots = ev.ctx().slots();
         assert!(
-            self.dim <= slots && slots % self.dim == 0,
+            self.dim <= slots && slots.is_multiple_of(self.dim),
             "dim {} must divide slot count {}",
             self.dim,
             slots
@@ -265,7 +264,12 @@ impl PackedNetwork {
                 0.0
             };
         }
-        let pt = encode_real(ev.ctx(), &tiled, ev.ctx().params().scale(), self.required_levels());
+        let pt = encode_real(
+            ev.ctx(),
+            &tiled,
+            ev.ctx().params().scale(),
+            self.required_levels(),
+        );
         ev.encrypt(&pt, pk, sampler)
     }
 
@@ -350,9 +354,8 @@ impl PackedNetwork {
             let t0 = Instant::now();
             match layer {
                 PackedLayer::Matrix { diags, dim, .. } => {
-                    let (diag_pts, bias_pt) = pre.layers[li]
-                        .as_ref()
-                        .expect("precompute/layer mismatch");
+                    let (diag_pts, bias_pt) =
+                        pre.layers[li].as_ref().expect("precompute/layer mismatch");
                     let mut babies = Vec::with_capacity(b);
                     babies.push(x.clone());
                     for s in 1..b {
@@ -415,6 +418,23 @@ impl PackedNetwork {
         gk: &GaloisKeys,
         mut x: Ciphertext,
     ) -> (Ciphertext, Vec<(String, Duration)>) {
+        // debug builds lint the plan against the *actual* key inventory
+        // before spending any rotations
+        #[cfg(debug_assertions)]
+        {
+            let plan = crate::lint::plan_for_packed_with_elements(
+                self,
+                ev.ctx().params().clone(),
+                gk.elements(),
+            )
+            .with_start_level(x.level);
+            let report = he_lint::analyze(&plan);
+            debug_assert!(
+                !report.has_errors(),
+                "he-lint: packed inference would fail:\n{}",
+                report.render()
+            );
+        }
         let slots = ev.ctx().slots();
         let b = self.baby();
         let mut times = Vec::new();
@@ -500,6 +520,7 @@ pub struct PackedPrecomputed {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::he_layers::DenseSpec;
     use crate::he_tensor::encrypt_image_batch;
     use ckks::{CkksParams, KeyGenerator};
     use std::sync::Arc;
@@ -508,9 +529,8 @@ mod tests {
     fn mini_net(seed: u64) -> HeNetwork {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut w = |n: usize| -> Vec<f32> {
-            (0..n).map(|_| rng.gen_range(-0.25f32..0.25)).collect()
-        };
+        let mut w =
+            |n: usize| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-0.25f32..0.25)).collect() };
         HeNetwork {
             layers: vec![
                 HeLayerSpec::Conv(ConvSpec {
@@ -644,7 +664,12 @@ mod tests {
         let o1 = ev.decrypt_to_real(&y1, &sk);
         let o2 = ev.decrypt_to_real(&y2, &sk);
         for i in 0..packed.output_dim {
-            assert!((o1[i] - o2[i]).abs() < 1e-4, "slot {i}: {} vs {}", o1[i], o2[i]);
+            assert!(
+                (o1[i] - o2[i]).abs() < 1e-4,
+                "slot {i}: {} vs {}",
+                o1[i],
+                o2[i]
+            );
         }
     }
 

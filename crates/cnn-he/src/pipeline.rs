@@ -5,9 +5,7 @@
 use crate::exec::{ExecPlan, InferenceTiming};
 use crate::he_tensor::{decrypt_tensor, encrypt_image_batch, CtTensor};
 use crate::network::HeNetwork;
-use ckks::{
-    CkksContext, CkksParams, Evaluator, KeyGenerator, PublicKey, RelinKey, SecretKey,
-};
+use ckks::{CkksContext, CkksParams, Evaluator, KeyGenerator, PublicKey, RelinKey, SecretKey};
 use ckks_math::sampler::Sampler;
 use std::sync::Arc;
 
@@ -41,7 +39,7 @@ impl CnnHePipeline {
     pub fn new(network: HeNetwork, n: usize, seed: u64) -> Self {
         let depth = network.required_levels();
         let mut chain_bits = vec![40u32];
-        chain_bits.extend(std::iter::repeat(26).take(depth));
+        chain_bits.extend(std::iter::repeat_n(26, depth));
         let security = if n >= 1 << 14 {
             ckks::SecurityLevel::Bits128
         } else {
@@ -56,6 +54,14 @@ impl CnnHePipeline {
             scale_bits: 26,
             security,
         };
+        Self::with_params(network, params, seed)
+    }
+
+    /// Builds a pipeline over explicit parameters. Unlike [`Self::new`],
+    /// the chain is NOT auto-sized to the network — run
+    /// [`Self::validate`] (or let `encrypt`/`classify` do it) to learn
+    /// whether the plan fits.
+    pub fn with_params(network: HeNetwork, params: CkksParams, seed: u64) -> Self {
         let ctx = params.build();
         let mut kg = KeyGenerator::new(Arc::clone(&ctx), seed);
         let sk = kg.gen_secret_key();
@@ -69,12 +75,35 @@ impl CnnHePipeline {
             rk,
             ev,
             network,
-            sampler: Sampler::from_seed(seed ^ 0xC0FF_EE),
+            sampler: Sampler::from_seed(seed ^ 0x00C0_FFEE),
         }
     }
 
-    /// Client-side: encrypts a batch of images.
+    /// Static admission check: lints the network's circuit plan against
+    /// this pipeline's parameters and key material *without touching a
+    /// ciphertext*. `batch` is the number of images of the intended
+    /// request.
+    pub fn validate_batch(&self, batch: usize) -> he_lint::LintReport {
+        let plan = crate::lint::plan_for_network(&self.network, self.ctx.params().clone(), batch);
+        he_lint::analyze(&plan)
+    }
+
+    /// [`Self::validate_batch`] for a single image.
+    pub fn validate(&self) -> he_lint::LintReport {
+        self.validate_batch(1)
+    }
+
+    /// Client-side: encrypts a batch of images. Panics with the full
+    /// lint report if the plan cannot run under this pipeline's
+    /// parameters — catching mis-planned circuits before any encrypted
+    /// compute is spent.
     pub fn encrypt(&mut self, images: &[&[f32]]) -> CtTensor {
+        let report = self.validate_batch(images.len());
+        assert!(
+            !report.has_errors(),
+            "he-lint rejected the inference plan:\n{}",
+            report.render()
+        );
         let level = self.network.required_levels();
         encrypt_image_batch(
             &self.ev,
@@ -146,7 +175,7 @@ impl CnnHePipeline {
                     self.network
                         .layers
                         .iter()
-                        .map(|l| l.name())
+                        .map(super::network::HeLayerSpec::name)
                         .collect::<Vec<_>>()
                         .join(" ─► ")
                 ));
@@ -172,9 +201,8 @@ mod tests {
         use crate::network::HeLayerSpec;
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut w = |n: usize| -> Vec<f32> {
-            (0..n).map(|_| rng.gen_range(-0.3f32..0.3)).collect()
-        };
+        let mut w =
+            |n: usize| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-0.3f32..0.3)).collect() };
         let conv = ConvSpec {
             weight: w(2 * 9),
             bias: vec![0.05, -0.05],

@@ -48,8 +48,7 @@ impl QuantSpec {
     /// max normalized pixel 1.0 and max |weight| `w_max` — used to size
     /// the RNS basis dynamic range.
     pub fn output_bound(&self, taps: usize, w_max: f32) -> i64 {
-        let per_tap = self.input_scale as f64
-            * (w_max as f64 * self.weight_scale as f64 + 1.0);
+        let per_tap = self.input_scale as f64 * (w_max as f64 * self.weight_scale as f64 + 1.0);
         (taps as f64 * per_tap).ceil() as i64
     }
 }

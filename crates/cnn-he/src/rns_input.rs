@@ -21,8 +21,12 @@
 //! Both decompose into `k` independent streams that the engine processes
 //! in parallel, which is the performance mechanism the paper measures.
 
-use ckks_math::rns::IntegerRns;
+use ckks_math::modring::Modulus;
+use ckks_math::rns::{IntegerRns, RnsBasis};
 use rayon::prelude::*;
+
+/// The input codec name used by the serving layer and the linter.
+pub type RnsInputCodec = SignalDecomposition;
 
 /// A signal decomposition over `k` co-prime moduli.
 #[derive(Debug, Clone)]
@@ -35,6 +39,50 @@ pub struct SignalDecomposition {
 }
 
 impl SignalDecomposition {
+    /// Builds a codec over explicit moduli, validating instead of
+    /// panicking: moduli must be distinct primes (the modular-inverse
+    /// arithmetic of the CRT recomposer is Fermat-based), pairwise
+    /// co-prime, their product must cover `[−max_abs, max_abs]`, and the
+    /// radix weights must fit the i128 recomposition arithmetic.
+    pub fn from_moduli(moduli: &[u64], max_abs: i64) -> Result<Self, String> {
+        if moduli.is_empty() {
+            return Err("no moduli given".to_string());
+        }
+        for (i, &a) in moduli.iter().enumerate() {
+            for &b in &moduli[i + 1..] {
+                let g = gcd(a, b);
+                if g != 1 {
+                    return Err(format!(
+                        "moduli {a} and {b} are not co-prime (shared factor {g})"
+                    ));
+                }
+            }
+        }
+        for &m in moduli {
+            if !is_prime(m) {
+                return Err(format!("modulus {m} is not prime"));
+            }
+        }
+        let mut radix_weights = Vec::with_capacity(moduli.len());
+        let mut acc: i128 = 1;
+        for &m in moduli {
+            radix_weights.push(acc);
+            acc = acc
+                .checked_mul(m as i128)
+                .ok_or_else(|| "moduli product overflows i128".to_string())?;
+        }
+        if acc <= 2 * max_abs as i128 {
+            return Err(format!(
+                "dynamic range too small: Π m_j = {acc} but need > {}",
+                2 * max_abs as i128
+            ));
+        }
+        let basis = RnsBasis::new(moduli.iter().map(|&m| Modulus::new(m)).collect());
+        Ok(Self {
+            rns: IntegerRns::from_basis(basis),
+            radix_weights,
+        })
+    }
     /// Builds a decomposition with `k` streams whose dynamic range covers
     /// integer values up to `max_abs`.
     pub fn new(k: usize, max_abs: i64) -> Self {
@@ -62,7 +110,12 @@ impl SignalDecomposition {
 
     /// The co-prime moduli.
     pub fn moduli(&self) -> Vec<u64> {
-        self.rns.basis().moduli().iter().map(|m| m.value()).collect()
+        self.rns
+            .basis()
+            .moduli()
+            .iter()
+            .map(ckks_math::Modulus::value)
+            .collect()
     }
 
     /// Radix weights `β_j` of the digit form.
@@ -153,9 +206,36 @@ impl SignalDecomposition {
     }
 }
 
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn naive_conv1d(xs: &[i64], ws: &[i64]) -> Vec<i64> {
         let n = xs.len();
@@ -209,8 +289,7 @@ mod tests {
         let xs: Vec<i64> = (0..100).map(|i| (i * 13) % 256).collect();
         let d = SignalDecomposition::new(4, 1 << 40);
         let planes = d.decompose_digits(&xs);
-        let conv_then_sum: Vec<Vec<i64>> =
-            planes.iter().map(|p| naive_conv1d(p, &ws)).collect();
+        let conv_then_sum: Vec<Vec<i64>> = planes.iter().map(|p| naive_conv1d(p, &ws)).collect();
         let reassembled = d.recompose_digits(&conv_then_sum);
         assert_eq!(reassembled, naive_conv1d(&xs, &ws));
     }
@@ -239,5 +318,62 @@ mod tests {
         let planes = d.decompose_digits(&xs);
         assert_eq!(planes[0], xs);
         assert_eq!(d.radix_weights(), &[1i128]);
+    }
+
+    #[test]
+    fn from_moduli_accepts_distinct_primes() {
+        let codec = RnsInputCodec::from_moduli(&[97, 101, 103], 127).unwrap();
+        assert_eq!(codec.k(), 3);
+        let xs = vec![0i64, 127, -127, 64];
+        assert_eq!(codec.recompose_residues(&codec.decompose_residues(&xs)), xs);
+    }
+
+    #[test]
+    fn from_moduli_rejects_bad_bases() {
+        // regression: non-coprime moduli must be an Err, not a panic
+        let e = RnsInputCodec::from_moduli(&[6, 10], 10).unwrap_err();
+        assert!(e.contains("not co-prime"), "{e}");
+        // co-prime but composite: the Fermat-based CRT inverse is unsound
+        let e = RnsInputCodec::from_moduli(&[4, 9], 10).unwrap_err();
+        assert!(e.contains("not prime"), "{e}");
+        // range deficit
+        let e = RnsInputCodec::from_moduli(&[3, 5], 100).unwrap_err();
+        assert!(e.contains("dynamic range"), "{e}");
+        assert!(RnsInputCodec::from_moduli(&[], 10).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_residue_roundtrip_at_max_abs_boundary(
+            k in 1usize..10,
+            max_abs in 1i64..1_000_000,
+        ) {
+            let d = RnsInputCodec::new(k, max_abs);
+            // the exact boundary values ±max_abs must survive the trip
+            let xs = vec![0, 1, -1, max_abs, -max_abs, max_abs - 1, 1 - max_abs];
+            let planes = d.decompose_residues(&xs);
+            prop_assert_eq!(d.recompose_residues(&planes), xs);
+        }
+
+        #[test]
+        fn prop_digit_roundtrip_at_max_abs_boundary(
+            k in 1usize..10,
+            max_abs in 1i64..1_000_000,
+        ) {
+            let d = RnsInputCodec::new(k, max_abs);
+            let xs = vec![0, 1, max_abs / 2, max_abs - 1, max_abs];
+            let planes = d.decompose_digits(&xs);
+            let moduli = d.moduli();
+            for (p, &m) in planes.iter().zip(&moduli) {
+                prop_assert!(p.iter().all(|&v| v >= 0 && v < m as i64));
+            }
+            prop_assert_eq!(d.recompose_digits(&planes), xs);
+        }
+
+        #[test]
+        fn prop_noncoprime_moduli_rejected(m in 2u64..1000, f in 2u64..50) {
+            // any pair (m, m·f) shares the factor m
+            prop_assert!(RnsInputCodec::from_moduli(&[m, m * f], 10).is_err());
+        }
     }
 }

@@ -1,0 +1,629 @@
+//! The symbolic executor: walks a [`CircuitPlan`] tracking ciphertext
+//! *metadata* (level, nominal scale, headroom) and key requirements,
+//! emitting diagnostics — no polynomial is ever allocated.
+//!
+//! Scale arithmetic is done in the nominal-bits domain: each chain prime
+//! `q_i` is treated as exactly `2^chain_bits[i]`, which is what the
+//! prime generator targets (within one part in ~2¹¹). The engine's
+//! exact-scale recipe — weights encoded at `q_m`, SLAF plaintext scales
+//! `(q_m, s, s)` — is replayed symbolically, so mismatched prime sizes
+//! show up as scale drift here before they show up as garbage plaintext
+//! at decryption.
+
+use crate::diag::{Diagnostic, LintReport};
+use crate::plan::{CircuitOp, CircuitPlan};
+
+/// Relative nominal-scale drift (in bits) that earns a warning.
+pub const DRIFT_WARN_BITS: f64 = 0.25;
+/// Nominal-scale drift (in bits) that is an error: decryption will
+/// decode at the wrong scale or `Evaluator` scale checks will panic.
+pub const DRIFT_ERROR_BITS: f64 = 1.0;
+/// Headroom (bits between `log q_ℓ` and `log scale`) below which we warn.
+pub const HEADROOM_WARN_BITS: f64 = 6.0;
+
+/// Runs every lint over the plan and returns the full report.
+pub fn analyze(plan: &CircuitPlan) -> LintReport {
+    let mut report = LintReport::default();
+    check_parameters(plan, &mut report);
+    walk_ops(plan, &mut report);
+    report
+}
+
+/// Plan-level checks that do not depend on the op sequence.
+fn check_parameters(plan: &CircuitPlan, report: &mut LintReport) {
+    let p = &plan.params;
+    let slots = p.slots();
+    if plan.slots_used > slots {
+        report.push(
+            Diagnostic::error(
+                "batch-exceeds-slots",
+                None,
+                format!(
+                    "plan packs {} values but N=2^{} gives only {} slots",
+                    plan.slots_used,
+                    p.n.trailing_zeros(),
+                    slots
+                ),
+            )
+            .with_suggestion(format!(
+                "reduce the batch to ≤ {slots} or raise the ring degree"
+            )),
+        );
+    }
+    let q0 = p.chain_bits[0];
+    if q0 <= p.scale_bits {
+        report.push(
+            Diagnostic::error(
+                "shallow-q0",
+                None,
+                format!(
+                    "q_0 is {q0} bits but the scale is 2^{}; the level-0 \
+                     residue cannot hold the message",
+                    p.scale_bits
+                ),
+            )
+            .with_suggestion(format!(
+                "make chain_bits[0] at least {} bits",
+                p.scale_bits + 8
+            )),
+        );
+    } else if f64::from(q0 - p.scale_bits) < HEADROOM_WARN_BITS {
+        report.push(Diagnostic::warn(
+            "shallow-q0",
+            None,
+            format!(
+                "q_0 leaves only {} bits of integer headroom over the scale",
+                q0 - p.scale_bits
+            ),
+        ));
+    }
+}
+
+/// Symbolic state of the ciphertext being traced.
+struct CtState {
+    /// Current level; goes negative once the chain is exhausted.
+    level: i64,
+    /// Nominal `log₂(scale)`.
+    log_scale: f64,
+}
+
+fn walk_ops(plan: &CircuitPlan, report: &mut LintReport) {
+    let p = &plan.params;
+    let depth = p.depth() as i64;
+    let start = plan.start_level.map_or(depth, |l| (l as i64).min(depth));
+    let mut st = CtState {
+        level: start,
+        log_scale: f64::from(p.scale_bits),
+    };
+    let mut chain_exhaustion_reported = false;
+    let mut rotations = 0usize;
+
+    for (i, op) in plan.ops.iter().enumerate() {
+        match op {
+            CircuitOp::Linear { name, .. } => {
+                if st.level < 1 {
+                    report_exhaustion(
+                        plan,
+                        report,
+                        i,
+                        &format!("linear layer '{name}' needs 1 level"),
+                        1 - st.level,
+                        "chain-exhausted",
+                        &mut chain_exhaustion_reported,
+                    );
+                }
+                // weights at q_m: product scale s·q_m, one rescale by q_m
+                // — the nominal scale is preserved exactly.
+                st.level -= 1;
+            }
+            CircuitOp::SlafActivation { name, degree } => {
+                if !(1..=3).contains(degree) {
+                    report.push(
+                        Diagnostic::error(
+                            "slaf-degree-unsupported",
+                            Some(i),
+                            format!(
+                                "activation '{name}' has degree {degree}; the \
+                                 SLAF engine evaluates degrees 1..=3"
+                            ),
+                        )
+                        .with_suggestion("refit the SLAF to a cubic (degree 3) or lower"),
+                    );
+                    continue;
+                }
+                // the SLAF engine always squares and rescales twice, even
+                // for affine coefficient vectors
+                if st.level < 2 {
+                    report_exhaustion(
+                        plan,
+                        report,
+                        i,
+                        &format!("degree-{degree} activation '{name}' needs 2 levels"),
+                        2 - st.level,
+                        "slaf-degree-vs-depth",
+                        &mut chain_exhaustion_reported,
+                    );
+                }
+                if !plan.keys.relin {
+                    report.push(
+                        Diagnostic::error(
+                            "missing-relin-key",
+                            Some(i),
+                            format!(
+                                "activation '{name}' squares the ciphertext \
+                                 but no relinearization key is declared"
+                            ),
+                        )
+                        .with_suggestion(
+                            "generate the relinearization key alongside the secret key",
+                        ),
+                    );
+                }
+                if st.level >= 2 {
+                    // terms meet at s³ / (q_m · q_{m−1})
+                    let qm = f64::from(p.chain_bits[st.level as usize]);
+                    let qm1 = f64::from(p.chain_bits[st.level as usize - 1]);
+                    st.log_scale = 3.0 * st.log_scale - qm - qm1;
+                }
+                st.level -= 2;
+                let drift = (st.log_scale - f64::from(p.scale_bits)).abs();
+                if st.level >= 0 && drift >= DRIFT_ERROR_BITS {
+                    report.push(
+                        Diagnostic::error(
+                            "scale-drift",
+                            Some(i),
+                            format!(
+                                "scale after '{name}' is 2^{:.2}, {drift:.2} bits away \
+                                 from Δ=2^{}; downstream plaintext mults will fail the \
+                                 SCALE_RTOL check",
+                                st.log_scale, p.scale_bits
+                            ),
+                        )
+                        .with_suggestion(format!(
+                            "size the rescaling primes to ≈{} bits so s³/(q_m·q_(m−1)) \
+                             returns to Δ",
+                            p.scale_bits
+                        )),
+                    );
+                } else if st.level >= 0 && drift > DRIFT_WARN_BITS {
+                    report.push(Diagnostic::warn(
+                        "scale-drift",
+                        Some(i),
+                        format!(
+                            "scale after '{name}' drifts to 2^{:.2} (Δ=2^{})",
+                            st.log_scale, p.scale_bits
+                        ),
+                    ));
+                }
+            }
+            CircuitOp::Rotation { steps } => {
+                rotations += 1;
+                let slots = p.slots() as i64;
+                if steps.rem_euclid(slots) == 0 {
+                    continue; // identity rotation, no key touched
+                }
+                check_galois(
+                    plan,
+                    report,
+                    i,
+                    p.galois_element_for_rotation(*steps),
+                    &format!("rotation by {steps}"),
+                );
+            }
+            CircuitOp::Conjugation => {
+                check_galois(plan, report, i, p.galois_element_conjugate(), "conjugation");
+            }
+            CircuitOp::RnsDecompose { moduli, max_abs } => {
+                check_codec(report, i, moduli, *max_abs);
+            }
+        }
+
+        if st.level >= 0 {
+            let headroom = p.log_q_at_level(st.level as usize) - st.log_scale - 1.0;
+            if headroom <= 0.0 {
+                report.push(
+                    Diagnostic::error(
+                        "low-headroom",
+                        Some(i),
+                        format!(
+                            "no noise headroom after '{}': log q_{} = {:.0} bits \
+                             but the scale is 2^{:.2}",
+                            op.name(),
+                            st.level,
+                            p.log_q_at_level(st.level as usize),
+                            st.log_scale
+                        ),
+                    )
+                    .with_suggestion("widen q_0 or reduce the scale"),
+                );
+            } else if headroom < HEADROOM_WARN_BITS {
+                report.push(Diagnostic::warn(
+                    "low-headroom",
+                    Some(i),
+                    format!("only {headroom:.1} bits of headroom after '{}'", op.name()),
+                ));
+            }
+        }
+    }
+
+    if !report.has_errors() {
+        let final_level = st.level.max(0) as usize;
+        let headroom = p.log_q_at_level(final_level) - st.log_scale - 1.0;
+        report.push(Diagnostic::info(
+            "summary",
+            None,
+            format!(
+                "plan consumes {} of {} levels; final level {}, scale 2^{:.2}, \
+                 ≈{headroom:.1} bits of headroom, {rotations} rotation(s)",
+                plan.required_levels(),
+                depth,
+                final_level,
+                st.log_scale
+            ),
+        ));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report_exhaustion(
+    plan: &CircuitPlan,
+    report: &mut LintReport,
+    op_index: usize,
+    what: &str,
+    short_by: i64,
+    code: &'static str,
+    already: &mut bool,
+) {
+    if *already {
+        return;
+    }
+    *already = true;
+    let p = &plan.params;
+    let missing = (plan.required_levels() as i64 - p.depth() as i64).max(short_by);
+    report.push(
+        Diagnostic::error(
+            code,
+            Some(op_index),
+            format!(
+                "modulus chain exhausted: {what} but the ciphertext is already \
+                 at the bottom of the chain (depth {} < required {})",
+                p.depth(),
+                plan.required_levels()
+            ),
+        )
+        .with_suggestion(format!(
+            "extend chain_bits with {missing} more ≈{}-bit prime(s)",
+            p.scale_bits
+        )),
+    );
+}
+
+fn check_galois(
+    plan: &CircuitPlan,
+    report: &mut LintReport,
+    op_index: usize,
+    elem: usize,
+    what: &str,
+) {
+    let Some(available) = &plan.keys.galois_elements else {
+        return; // inventory unknown — nothing to check
+    };
+    if available.contains(&elem) {
+        return;
+    }
+    let inventory = if available.is_empty() {
+        "no Galois keys are declared".to_string()
+    } else {
+        let listed: Vec<usize> = available.iter().copied().collect();
+        format!("keys exist for elements {listed:?}")
+    };
+    report.push(
+        Diagnostic::error(
+            "missing-galois-key",
+            Some(op_index),
+            format!("{what} needs the Galois key for element {elem} but {inventory}"),
+        )
+        .with_suggestion(format!(
+            "include element {elem} in the steps passed to gen_galois_keys"
+        )),
+    );
+}
+
+/// RNS input-codec soundness: pairwise-coprime moduli and a CRT range
+/// that actually covers the declared dynamic range without overflowing
+/// the i128 recomposition arithmetic.
+fn check_codec(report: &mut LintReport, op_index: usize, moduli: &[u64], max_abs: i64) {
+    if moduli.is_empty() {
+        report.push(Diagnostic::error(
+            "codec-empty-basis",
+            Some(op_index),
+            "RNS decomposition declares no moduli",
+        ));
+        return;
+    }
+    for (a_idx, &a) in moduli.iter().enumerate() {
+        if a < 2 {
+            report.push(Diagnostic::error(
+                "codec-noncoprime",
+                Some(op_index),
+                format!("modulus {a} is not a valid RNS modulus (must be ≥ 2)"),
+            ));
+            return;
+        }
+        for &b in &moduli[a_idx + 1..] {
+            let g = gcd(a, b);
+            if g != 1 {
+                report.push(
+                    Diagnostic::error(
+                        "codec-noncoprime",
+                        Some(op_index),
+                        format!(
+                            "RNS moduli {a} and {b} share the factor {g}; the CRT \
+                             map is not injective and recomposition is ambiguous"
+                        ),
+                    )
+                    .with_suggestion("choose pairwise-coprime moduli (e.g. distinct primes)"),
+                );
+                return;
+            }
+        }
+    }
+    // Π m_j must cover [−max_abs, max_abs] and stay inside the i128
+    // radix arithmetic of the recomposer.
+    let mut product: u128 = 1;
+    let mut overflowed = false;
+    for &m in moduli {
+        match product.checked_mul(u128::from(m)) {
+            Some(v) if v <= i128::MAX as u128 => product = v,
+            _ => {
+                overflowed = true;
+                break;
+            }
+        }
+    }
+    if overflowed {
+        report.push(
+            Diagnostic::error(
+                "codec-overflow",
+                Some(op_index),
+                "product of the RNS moduli overflows the i128 recomposition arithmetic",
+            )
+            .with_suggestion("use fewer or smaller moduli"),
+        );
+        return;
+    }
+    let needed = 2u128 * max_abs.unsigned_abs() as u128 + 1;
+    if product < needed {
+        report.push(
+            Diagnostic::error(
+                "codec-overflow",
+                Some(op_index),
+                format!(
+                    "CRT range Π m_j = {product} cannot represent the declared \
+                     dynamic range [−{max_abs}, {max_abs}] ({needed} values)"
+                ),
+            )
+            .with_suggestion("add a modulus or lower max_abs"),
+        );
+    } else if product / needed < 2 {
+        report.push(Diagnostic::warn(
+            "codec-overflow",
+            Some(op_index),
+            format!(
+                "CRT range Π m_j = {product} barely covers the dynamic range \
+                 ({needed} values); any arithmetic growth will wrap"
+            ),
+        ));
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Convenience wrapper: true when the plan has no error-severity findings.
+pub fn is_clean(plan: &CircuitPlan) -> bool {
+    !analyze(plan).has_errors()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::KeyInventory;
+    use ckks::CkksParams;
+
+    fn cnn_ops(convs: usize) -> Vec<CircuitOp> {
+        // conv → act → conv → act → … → dense, the paper's CNN shape
+        let mut ops = Vec::new();
+        for c in 0..convs {
+            ops.push(CircuitOp::Linear {
+                name: format!("conv{c}"),
+                output_units: 64,
+            });
+            ops.push(CircuitOp::SlafActivation {
+                name: format!("slaf{c}"),
+                degree: 3,
+            });
+        }
+        ops.push(CircuitOp::Linear {
+            name: "dense".into(),
+            output_units: 10,
+        });
+        ops
+    }
+
+    #[test]
+    fn adequate_depth_is_clean() {
+        // 2 conv(1) + 2 act(2) + dense(1) = 7 levels
+        let plan =
+            CircuitPlan::new(CkksParams::tiny(7), cnn_ops(2)).with_keys(KeyInventory::relin_only());
+        let report = analyze(&plan);
+        assert!(!report.has_errors(), "{}", report.render());
+        assert!(report.has_code("summary"));
+    }
+
+    #[test]
+    fn over_deep_plan_flags_chain_exhaustion() {
+        // needs 7 levels, chain has 4
+        let plan =
+            CircuitPlan::new(CkksParams::tiny(4), cnn_ops(2)).with_keys(KeyInventory::relin_only());
+        let report = analyze(&plan);
+        assert!(report.has_errors());
+        assert!(
+            report.has_code("chain-exhausted") || report.has_code("slaf-degree-vs-depth"),
+            "{}",
+            report.render()
+        );
+        // the suggestion quantifies the shortfall
+        let text = report.render();
+        assert!(text.contains("3 more"), "{text}");
+    }
+
+    #[test]
+    fn activation_exhaustion_uses_slaf_code() {
+        // one level left but the cubic needs two
+        let ops = vec![
+            CircuitOp::Linear {
+                name: "conv0".into(),
+                output_units: 4,
+            },
+            CircuitOp::SlafActivation {
+                name: "slaf0".into(),
+                degree: 3,
+            },
+        ];
+        let plan = CircuitPlan::new(CkksParams::tiny(2), ops).with_keys(KeyInventory::relin_only());
+        let report = analyze(&plan);
+        assert!(
+            report.has_code("slaf-degree-vs-depth"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn rotation_without_key_is_error_and_names_inventory() {
+        let params = CkksParams::tiny(2);
+        let have = [params.galois_element_for_rotation(1)];
+        let ops = vec![
+            CircuitOp::Rotation { steps: 1 },
+            CircuitOp::Rotation { steps: 3 },
+        ];
+        let plan = CircuitPlan::new(params, ops).with_keys(KeyInventory::with_galois(true, have));
+        let report = analyze(&plan);
+        assert!(report.has_errors());
+        assert!(report.has_code("missing-galois-key"));
+        let text = report.render();
+        assert!(text.contains("keys exist for elements"), "{text}");
+    }
+
+    #[test]
+    fn rotation_with_key_and_identity_rotation_are_clean() {
+        let params = CkksParams::tiny(2);
+        let slots = params.slots() as i64;
+        let elems = [
+            params.galois_element_for_rotation(1),
+            params.galois_element_for_rotation(-2),
+        ];
+        let ops = vec![
+            CircuitOp::Rotation { steps: 1 },
+            CircuitOp::Rotation { steps: -2 },
+            CircuitOp::Rotation { steps: slots }, // identity: no key needed
+        ];
+        let plan = CircuitPlan::new(params, ops).with_keys(KeyInventory::with_galois(true, elems));
+        assert!(is_clean(&plan));
+    }
+
+    #[test]
+    fn unknown_inventory_skips_key_checks() {
+        let plan = CircuitPlan::new(
+            CkksParams::tiny(1),
+            vec![CircuitOp::Rotation { steps: 7 }, CircuitOp::Conjugation],
+        );
+        assert!(is_clean(&plan));
+    }
+
+    #[test]
+    fn missing_relin_key_flagged_for_squaring_activation() {
+        let ops = vec![CircuitOp::SlafActivation {
+            name: "slaf".into(),
+            degree: 2,
+        }];
+        let plan = CircuitPlan::new(CkksParams::tiny(2), ops)
+            .with_keys(KeyInventory::with_galois(false, []));
+        let report = analyze(&plan);
+        assert!(report.has_code("missing-relin-key"), "{}", report.render());
+    }
+
+    #[test]
+    fn oversized_rescaling_primes_cause_scale_drift_error() {
+        // 30-bit primes with Δ=2^26: cubic lands at 3·26 − 30 − 30 = 18
+        let params = CkksParams {
+            chain_bits: vec![40, 30, 30],
+            ..CkksParams::tiny(2)
+        };
+        let ops = vec![CircuitOp::SlafActivation {
+            name: "slaf".into(),
+            degree: 3,
+        }];
+        let plan = CircuitPlan::new(params, ops).with_keys(KeyInventory::relin_only());
+        let report = analyze(&plan);
+        assert!(report.has_code("scale-drift"), "{}", report.render());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn noncoprime_codec_moduli_rejected() {
+        let ops = vec![CircuitOp::RnsDecompose {
+            moduli: vec![6, 10],
+            max_abs: 10,
+        }];
+        let report = analyze(&CircuitPlan::new(CkksParams::tiny(1), ops));
+        assert!(report.has_code("codec-noncoprime"), "{}", report.render());
+    }
+
+    #[test]
+    fn codec_range_must_cover_dynamic_range() {
+        let ops = vec![CircuitOp::RnsDecompose {
+            moduli: vec![3, 5], // range 15 < 2·100+1
+            max_abs: 100,
+        }];
+        let report = analyze(&CircuitPlan::new(CkksParams::tiny(1), ops));
+        assert!(report.has_code("codec-overflow"), "{}", report.render());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn sound_codec_passes() {
+        let ops = vec![CircuitOp::RnsDecompose {
+            moduli: vec![97, 101, 103],
+            max_abs: 127,
+        }];
+        assert!(is_clean(&CircuitPlan::new(CkksParams::tiny(1), ops)));
+    }
+
+    #[test]
+    fn batch_exceeding_slots_is_error() {
+        let params = CkksParams::tiny(1); // 512 slots
+        let plan = CircuitPlan::new(params, vec![]).with_slots_used(1024);
+        let report = analyze(&plan);
+        assert!(report.has_code("batch-exceeds-slots"));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn shallow_q0_is_error() {
+        let params = CkksParams {
+            chain_bits: vec![24, 26],
+            ..CkksParams::tiny(1)
+        };
+        let report = analyze(&CircuitPlan::new(params, vec![]));
+        assert!(report.has_code("shallow-q0"));
+        assert!(report.has_errors());
+    }
+}

@@ -1,0 +1,168 @@
+//! Diagnostics: severity, lint codes, and the report container.
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Purely informational (budget summaries, utilization figures).
+    Info,
+    /// The circuit will run but wastes budget or is fragile.
+    Warn,
+    /// The circuit will panic or silently corrupt the payload if run.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warn => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Stable machine-readable code (`chain-exhausted`, `missing-galois-key`, …).
+    pub code: &'static str,
+    /// Index of the offending op in the plan, when attributable.
+    pub op_index: Option<usize>,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Concrete remediation, when one is known.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &'static str, op_index: Option<usize>, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Error,
+            code,
+            op_index,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    pub fn warn(code: &'static str, op_index: Option<usize>, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Warn,
+            code,
+            op_index,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    pub fn info(code: &'static str, op_index: Option<usize>, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Info,
+            code,
+            op_index,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(i) = self.op_index {
+            write!(f, " op {i}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n    fix: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All findings of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// True when a diagnostic with the given code is present.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Multi-line rendering, errors first.
+    pub fn render(&self) -> String {
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        let mut out = String::new();
+        for d in sorted {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} note(s)\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_ordering() {
+        let mut r = LintReport::default();
+        r.push(Diagnostic::info("summary", None, "fine"));
+        r.push(
+            Diagnostic::error("chain-exhausted", Some(3), "too deep")
+                .with_suggestion("add 2 primes"),
+        );
+        r.push(Diagnostic::warn("low-headroom", Some(1), "6 bits left"));
+        assert!(r.has_errors());
+        assert!(r.has_code("chain-exhausted"));
+        assert!(!r.has_code("missing-galois-key"));
+        assert_eq!(r.count(Severity::Error), 1);
+        let text = r.render();
+        // errors render first, fix lines attached
+        let epos = text.find("error[chain-exhausted]").unwrap();
+        let ipos = text.find("info[summary]").unwrap();
+        assert!(epos < ipos);
+        assert!(text.contains("fix: add 2 primes"));
+        assert!(text.contains("1 error(s), 1 warning(s), 1 note(s)"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # he-lint
+//!
+//! A static circuit analyzer for CKKS-RNS evaluation plans. It
+//! symbolically executes a planned encrypted network over ciphertext
+//! *metadata* — level, nominal scale, slot usage, noise headroom,
+//! required Galois/relinearization keys, RNS codec soundness — without
+//! ever allocating a polynomial, and reports structured diagnostics
+//! (error/warn/info, with the offending op index and a suggested fix).
+//!
+//! Catches, before any encryption happens:
+//! - modulus-chain exhaustion (plan deeper than the chain);
+//! - SLAF activation degree vs remaining depth mismatches;
+//! - rotations/conjugations whose Galois key was never generated;
+//! - squaring without a relinearization key;
+//! - scale drift beyond the evaluator's `SCALE_RTOL` discipline
+//!   (e.g. rescaling primes sized away from Δ);
+//! - noise-headroom collapse at the bottom of the chain;
+//! - non-coprime or range-deficient RNS input-codec moduli;
+//! - batches larger than the slot count.
+//!
+//! Three consumers share the analysis: `Pipeline::validate()` in cnn-he
+//! (admission check before encrypt/classify), the `he-lint` CLI binary
+//! (lints a serialized HENT model against a parameter file), and debug
+//! assertions inside the evaluators.
+
+pub mod analyze;
+pub mod diag;
+pub mod model;
+pub mod paramfile;
+pub mod plan;
+
+pub use analyze::{analyze, is_clean};
+pub use diag::{Diagnostic, LintReport, Severity};
+pub use model::{read_hent_shape, ModelShape};
+pub use paramfile::parse_params;
+pub use plan::{CircuitOp, CircuitPlan, KeyInventory};

@@ -1,0 +1,123 @@
+//! `he-lint` — lint a serialized HENT model against a CKKS parameter
+//! file without touching any key material.
+//!
+//! ```text
+//! he-lint <model.hent> <params.txt> [--batch N] [--galois s1,s2,…|all|none]
+//! ```
+//!
+//! Exits 0 when the plan is clean (warnings allowed), 1 on lint errors,
+//! 2 on usage/IO problems.
+
+use he_lint::{analyze, read_hent_shape, CircuitPlan, KeyInventory};
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let mut positional = Vec::new();
+    let mut batch = 1usize;
+    let mut galois_spec: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--batch" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--batch needs an integer");
+                    return 2;
+                };
+                batch = v;
+            }
+            "--galois" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--galois needs a value (steps list, `all` or `none`)");
+                    return 2;
+                };
+                galois_spec = Some(v);
+            }
+            "-h" | "--help" => {
+                eprintln!("{USAGE}");
+                return 0;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [model_path, params_path] = positional.as_slice() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+
+    let model_bytes = match std::fs::read(model_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {model_path}: {e}");
+            return 2;
+        }
+    };
+    let params_text = match std::fs::read_to_string(params_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {params_path}: {e}");
+            return 2;
+        }
+    };
+
+    let shape = match read_hent_shape(&model_bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {model_path}: {e}");
+            return 2;
+        }
+    };
+    let params = match he_lint::parse_params(&params_text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {params_path}: {e}");
+            return 2;
+        }
+    };
+
+    let keys = match galois_spec.as_deref() {
+        None | Some("none") => KeyInventory::relin_only(),
+        Some("all") => KeyInventory::unknown(),
+        Some(list) => {
+            let mut elems = Vec::new();
+            for tok in list.split(',') {
+                let Ok(steps) = tok.trim().parse::<i64>() else {
+                    eprintln!("--galois: bad step `{tok}`");
+                    return 2;
+                };
+                elems.push(params.galois_element_for_rotation(steps));
+            }
+            KeyInventory::with_galois(true, elems)
+        }
+    };
+
+    let pixels = shape.input_side * shape.input_side;
+    println!(
+        "he-lint: {model_path} ({} layer(s), {pixels}-pixel input) against {params_path}",
+        shape.ops.len()
+    );
+    let plan = CircuitPlan::new(params, shape.ops)
+        .with_keys(keys)
+        .with_slots_used(batch);
+    let report = analyze(&plan);
+    print!("{}", report.render());
+    i32::from(report.has_errors())
+}
+
+const USAGE: &str =
+    "usage: he-lint <model.hent> <params.txt> [--batch N] [--galois s1,s2,…|all|none]
+
+Statically checks the encrypted-inference plan of a serialized model
+against a CKKS-RNS parameter file: level/scale/noise budgets, key
+coverage and RNS codec soundness. No encryption is performed.
+
+The parameter file is `key = value` lines:
+    n = 16384
+    chain_bits = 40 26 26 26 26 26 26 26 26 26 26 26 26 26
+    special_bits = 40
+    scale_bits = 26
+    security = 128        # none/128/192/256
+
+Exit status: 0 clean, 1 lint errors, 2 bad input.";

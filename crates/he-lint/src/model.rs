@@ -1,0 +1,211 @@
+//! Shape-only reader for the workspace's HENT model format.
+//!
+//! The bench crate serializes trained [`HeNetwork`]s as
+//! `magic | input_side | layer_count | layers…` with conv/dense weights
+//! inline. The linter only needs the *shapes* — channel counts, kernel
+//! geometry, activation degree — so this reader walks the same byte
+//! layout but discards the weight payloads, and he-lint stays free of a
+//! cnn-he dependency.
+
+use crate::plan::CircuitOp;
+
+const MAGIC: u32 = 0x4845_4E54; // "HENT"
+
+/// What the linter learned about a serialized model.
+#[derive(Debug, Clone)]
+pub struct ModelShape {
+    pub input_side: usize,
+    pub ops: Vec<CircuitOp>,
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self
+            .data
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| format!("truncated at byte {}", self.pos))?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Skips a length-prefixed array of `width`-byte scalars, returning
+    /// its element count.
+    fn skip_array(&mut self, width: usize) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        let bytes = n
+            .checked_mul(width)
+            .ok_or_else(|| "array length overflows".to_string())?;
+        if self.data.len() - self.pos < bytes {
+            return Err(format!("truncated array at byte {}", self.pos));
+        }
+        self.pos += bytes;
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed f64 array (activation coefficients are
+    /// small and the linter needs the degree, i.e. the count).
+    fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.u32()? as usize;
+        let b = self
+            .data
+            .get(self.pos..self.pos + 8 * n)
+            .ok_or_else(|| format!("truncated array at byte {}", self.pos))?;
+        self.pos += 8 * n;
+        Ok(b.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Parses the shapes of a serialized HENT model into circuit ops.
+pub fn read_hent_shape(data: &[u8]) -> Result<ModelShape, String> {
+    let mut r = Reader { data, pos: 0 };
+    if r.u32()? != MAGIC {
+        return Err("not a HENT model (bad magic)".to_string());
+    }
+    let input_side = r.u32()? as usize;
+    let count = r.u32()? as usize;
+    let mut ops = Vec::with_capacity(count);
+    let mut side = input_side;
+    for idx in 0..count {
+        match r.u32()? {
+            0 => {
+                let in_ch = r.u32()? as usize;
+                let out_ch = r.u32()? as usize;
+                let k = r.u32()? as usize;
+                let stride = r.u32()? as usize;
+                let pad = r.u32()? as usize;
+                let weights = r.skip_array(4)?;
+                let biases = r.skip_array(4)?;
+                if weights != out_ch * in_ch * k * k || biases != out_ch {
+                    return Err(format!("conv layer {idx}: weight/bias shape mismatch"));
+                }
+                if stride == 0 || side + 2 * pad < k {
+                    return Err(format!("conv layer {idx}: degenerate geometry"));
+                }
+                side = (side + 2 * pad - k) / stride + 1;
+                ops.push(CircuitOp::Linear {
+                    name: format!("conv{idx}[{in_ch}→{out_ch},k{k},s{stride},p{pad}]"),
+                    output_units: out_ch * side * side,
+                });
+            }
+            1 => {
+                let in_dim = r.u32()? as usize;
+                let out_dim = r.u32()? as usize;
+                let weights = r.skip_array(4)?;
+                let biases = r.skip_array(4)?;
+                if weights != in_dim * out_dim || biases != out_dim {
+                    return Err(format!("dense layer {idx}: weight/bias shape mismatch"));
+                }
+                ops.push(CircuitOp::Linear {
+                    name: format!("dense{idx}[{in_dim}→{out_dim}]"),
+                    output_units: out_dim,
+                });
+            }
+            2 => {
+                let coeffs = r.f64s()?;
+                if coeffs.is_empty() {
+                    return Err(format!("activation layer {idx}: no coefficients"));
+                }
+                ops.push(CircuitOp::SlafActivation {
+                    name: format!("slaf{idx}"),
+                    degree: coeffs.len() - 1,
+                });
+            }
+            tag => return Err(format!("layer {idx}: unknown tag {tag}")),
+        }
+    }
+    Ok(ModelShape { input_side, ops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+        put_u32(out, vs.len() as u32);
+        for v in vs {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+        put_u32(out, vs.len() as u32);
+        for v in vs {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// conv(1→1,k2) → cubic SLAF → dense(4→2) on a 3×3 input, matching
+    /// the bench crate's serializer byte-for-byte.
+    fn sample_model() -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, MAGIC);
+        put_u32(&mut out, 3); // input_side
+        put_u32(&mut out, 3); // layers
+        put_u32(&mut out, 0); // conv
+        for v in [1u32, 1, 2, 1, 0] {
+            put_u32(&mut out, v);
+        }
+        put_f32s(&mut out, &[0.5, -0.5, 0.25, 0.125]);
+        put_f32s(&mut out, &[0.1]);
+        put_u32(&mut out, 2); // activation, degree 3
+        put_f64s(&mut out, &[0.0, 1.0, 0.5, 0.1]);
+        put_u32(&mut out, 1); // dense
+        put_u32(&mut out, 4);
+        put_u32(&mut out, 2);
+        put_f32s(&mut out, &[1.0; 8]);
+        put_f32s(&mut out, &[-1.0, 1.0]);
+        out
+    }
+
+    #[test]
+    fn reads_shapes_without_weights() {
+        let shape = read_hent_shape(&sample_model()).unwrap();
+        assert_eq!(shape.input_side, 3);
+        assert_eq!(shape.ops.len(), 3);
+        match &shape.ops[0] {
+            CircuitOp::Linear { output_units, .. } => assert_eq!(*output_units, 4), // 2×2
+            other => panic!("expected conv, got {other:?}"),
+        }
+        match &shape.ops[1] {
+            CircuitOp::SlafActivation { degree, .. } => assert_eq!(*degree, 3),
+            other => panic!("expected activation, got {other:?}"),
+        }
+        match &shape.ops[2] {
+            CircuitOp::Linear { output_units, .. } => assert_eq!(*output_units, 2),
+            other => panic!("expected dense, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(read_hent_shape(b"garbage").is_err());
+        assert!(read_hent_shape(&[]).is_err());
+        let bytes = sample_model();
+        assert!(read_hent_shape(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let mut out = Vec::new();
+        put_u32(&mut out, MAGIC);
+        put_u32(&mut out, 3);
+        put_u32(&mut out, 1);
+        put_u32(&mut out, 1); // dense claiming 4→2 but 3 weights
+        put_u32(&mut out, 4);
+        put_u32(&mut out, 2);
+        put_f32s(&mut out, &[1.0; 3]);
+        put_f32s(&mut out, &[0.0; 2]);
+        assert!(read_hent_shape(&out).is_err());
+    }
+}

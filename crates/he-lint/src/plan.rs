@@ -1,0 +1,143 @@
+//! The neutral circuit IR the analyzer executes symbolically.
+//!
+//! A [`CircuitPlan`] is a linearized description of what an encrypted
+//! evaluation *would* do to ciphertext metadata — levels consumed, scale
+//! trajectory, rotations applied — without any polynomial material.
+//! Front-ends (the scalar CNN engine, the packed BSGS engine, the CLI's
+//! model reader) lower their layer types into these ops.
+
+use ckks::CkksParams;
+use std::collections::BTreeSet;
+
+/// One metadata-level operation of a planned encrypted circuit.
+#[derive(Debug, Clone)]
+pub enum CircuitOp {
+    /// A linear layer (conv/dense): weighted sums with weights encoded at
+    /// `q_m`, one rescale. Consumes 1 level, preserves the scale.
+    Linear {
+        name: String,
+        /// Ciphertexts produced (one per output unit in the scalar
+        /// engine; 1 in the packed engine).
+        output_units: usize,
+    },
+    /// A SLAF polynomial activation of the given degree (1..=3 supported
+    /// by the engine). The engine's deg-≤3 Horner always squares the
+    /// ciphertext and rescales twice, so every activation consumes
+    /// 2 levels, requires the relinearization key, and moves the scale
+    /// to `s³/(q_m·q_{m−1})` — regardless of the declared degree.
+    SlafActivation { name: String, degree: usize },
+    /// A slot rotation by `steps` (packed engine). Requires the Galois
+    /// key for `5^(steps mod N/2) mod 2N`. No level or scale change.
+    Rotation { steps: i64 },
+    /// Slot-wise complex conjugation. Requires the conjugation key.
+    Conjugation,
+    /// RNS input-signal decomposition over explicit moduli with a
+    /// declared dynamic range (the paper's Fig. 2/5 codec). A plaintext
+    /// pre-processing step: checked for soundness, not for budget.
+    RnsDecompose { moduli: Vec<u64>, max_abs: i64 },
+}
+
+impl CircuitOp {
+    /// Multiplicative levels the op consumes.
+    pub fn levels(&self) -> usize {
+        match self {
+            CircuitOp::Linear { .. } => 1,
+            CircuitOp::SlafActivation { .. } => 2,
+            _ => 0,
+        }
+    }
+
+    pub fn name(&self) -> String {
+        match self {
+            CircuitOp::Linear { name, .. } => name.clone(),
+            CircuitOp::SlafActivation { name, degree } => format!("{name}(deg {degree})"),
+            CircuitOp::Rotation { steps } => format!("Rot({steps})"),
+            CircuitOp::Conjugation => "Conj".to_string(),
+            CircuitOp::RnsDecompose { moduli, .. } => {
+                format!("RnsDecompose(k={})", moduli.len())
+            }
+        }
+    }
+}
+
+/// What key material the evaluation will have available. `None` for the
+/// Galois set means "unknown — skip coverage checks".
+#[derive(Debug, Clone, Default)]
+pub struct KeyInventory {
+    pub relin: bool,
+    pub galois_elements: Option<BTreeSet<usize>>,
+}
+
+impl KeyInventory {
+    /// Inventory of a standard pipeline: relin key present, no Galois
+    /// keys generated.
+    pub fn relin_only() -> Self {
+        Self {
+            relin: true,
+            galois_elements: Some(BTreeSet::new()),
+        }
+    }
+
+    /// Full declared inventory.
+    pub fn with_galois(relin: bool, elements: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            relin,
+            galois_elements: Some(elements.into_iter().collect()),
+        }
+    }
+
+    /// Unknown key material: key-coverage checks are skipped.
+    pub fn unknown() -> Self {
+        Self {
+            relin: true,
+            galois_elements: None,
+        }
+    }
+}
+
+/// A complete plan: parameters + ops + declared keys + batch size.
+#[derive(Debug, Clone)]
+pub struct CircuitPlan {
+    pub params: CkksParams,
+    pub ops: Vec<CircuitOp>,
+    pub keys: KeyInventory,
+    /// Images packed across the slot dimension (scalar engine) or the
+    /// packed vector dimension (BSGS engine); checked against `N/2`.
+    pub slots_used: usize,
+    /// Level the input ciphertext enters at. `None` means fresh at the
+    /// top of the chain; evaluators linting mid-circuit set it to the
+    /// actual ciphertext level.
+    pub start_level: Option<usize>,
+}
+
+impl CircuitPlan {
+    pub fn new(params: CkksParams, ops: Vec<CircuitOp>) -> Self {
+        Self {
+            params,
+            ops,
+            keys: KeyInventory::unknown(),
+            slots_used: 1,
+            start_level: None,
+        }
+    }
+
+    pub fn with_keys(mut self, keys: KeyInventory) -> Self {
+        self.keys = keys;
+        self
+    }
+
+    pub fn with_slots_used(mut self, slots: usize) -> Self {
+        self.slots_used = slots;
+        self
+    }
+
+    pub fn with_start_level(mut self, level: usize) -> Self {
+        self.start_level = Some(level);
+        self
+    }
+
+    /// Total levels the plan consumes.
+    pub fn required_levels(&self) -> usize {
+        self.ops.iter().map(CircuitOp::levels).sum()
+    }
+}

@@ -64,9 +64,7 @@ pub fn augment_image(img: &[f32], spec: &AugmentSpec, rng: &mut StdRng) -> Vec<f
                 // Box–Muller
                 let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                 let u2: f32 = rng.gen_range(0.0..1.0);
-                spec.noise_std
-                    * (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f32::consts::PI * u2).cos()
+                spec.noise_std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
             } else {
                 0.0
             };
@@ -129,7 +127,10 @@ mod tests {
         let ink_in: f32 = img.iter().sum();
         let ink_out: f32 = out.iter().sum();
         // bilinear + border clipping loses a little, never gains much
-        assert!((ink_out - ink_in).abs() / ink_in < 0.25, "{ink_in} vs {ink_out}");
+        assert!(
+            (ink_out - ink_in).abs() / ink_in < 0.25,
+            "{ink_in} vs {ink_out}"
+        );
         assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 

@@ -41,7 +41,12 @@ mod tests {
         let w = kaiming_conv(64, 16, 3, &mut rng);
         let n = w.numel() as f32;
         let mean = w.data().iter().sum::<f32>() / n;
-        let var = w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var = w
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         let want_var = 2.0 / (16.0 * 9.0);
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!(

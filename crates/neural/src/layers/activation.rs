@@ -198,7 +198,7 @@ impl Layer for PolyActivation {
             let mut deriv = 0.0f32;
             for (k, dck) in dc.iter_mut().enumerate() {
                 *dck += g * pow;
-                if k + 1 <= d {
+                if k < d {
                     deriv += (k + 1) as f32 * c[k + 1] * pow;
                 }
                 pow *= xi;

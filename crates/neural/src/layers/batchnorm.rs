@@ -60,8 +60,7 @@ impl BatchNorm {
         let mut a = Vec::with_capacity(self.features);
         let mut b = Vec::with_capacity(self.features);
         for c in 0..self.features {
-            let scale = self.gamma.value.data()[c]
-                / (self.running_var.data()[c] + self.eps).sqrt();
+            let scale = self.gamma.value.data()[c] / (self.running_var.data()[c] + self.eps).sqrt();
             a.push(scale);
             b.push(self.beta.value.data()[c] - scale * self.running_mean.data()[c]);
         }
@@ -186,10 +185,7 @@ mod tests {
     fn normalizes_batch_statistics() {
         let mut bn = BatchNorm::new(2);
         // [n=4, c=2]: feature 0 has mean 10, feature 1 mean -5
-        let x = Tensor::from_vec(
-            &[4, 2],
-            vec![9.0, -6.0, 11.0, -4.0, 10.0, -5.0, 10.0, -5.0],
-        );
+        let x = Tensor::from_vec(&[4, 2], vec![9.0, -6.0, 11.0, -4.0, 10.0, -5.0, 10.0, -5.0]);
         let y = bn.forward(&x, true);
         // per-feature mean ≈ 0, var ≈ 1 (γ=1, β=0)
         let mut m0 = 0.0;
@@ -213,7 +209,11 @@ mod tests {
         // running mean ≈ 5, var ≈ 5 → y ≈ (x-5)/√5
         for i in 0..4 {
             let want = (x.at2(i, 0) - 5.0) / 5.0f32.sqrt();
-            assert!((y.at2(i, 0) - want).abs() < 0.05, "{} vs {want}", y.at2(i, 0));
+            assert!(
+                (y.at2(i, 0) - want).abs() < 0.05,
+                "{} vs {want}",
+                y.at2(i, 0)
+            );
         }
     }
 

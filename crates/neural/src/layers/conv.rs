@@ -49,12 +49,7 @@ impl Conv2d {
     /// Direct-loop forward used by both training and (with frozen weights)
     /// the plaintext reference path of the HE engine.
     pub fn forward_raw(&self, x: &Tensor) -> Tensor {
-        let (n, c, h, w) = (
-            x.shape()[0],
-            x.shape()[1],
-            x.shape()[2],
-            x.shape()[3],
-        );
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(c, self.in_ch, "channel mismatch");
         let oh = self.out_size(h);
         let ow = self.out_size(w);
@@ -84,8 +79,8 @@ impl Conv2d {
                                         if ix < p || ix - p >= w {
                                             continue;
                                         }
-                                        acc += wt.at4(o, ci, ky, kx)
-                                            * x.at4(ni, ci, iy - p, ix - p);
+                                        acc +=
+                                            wt.at4(o, ci, ky, kx) * x.at4(ni, ci, iy - p, ix - p);
                                     }
                                 }
                             }
@@ -120,12 +115,7 @@ impl Layer for Conv2d {
             .cache_input
             .take()
             .expect("backward called before forward(train=true)");
-        let (n, c, h, w) = (
-            x.shape()[0],
-            x.shape()[1],
-            x.shape()[2],
-            x.shape()[3],
-        );
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let oh = self.out_size(h);
         let ow = self.out_size(w);
         let (k, s, p) = (self.k, self.stride, self.pad);
@@ -338,7 +328,7 @@ mod tests {
     #[test]
     fn batch_independence() {
         // processing a batch equals processing images separately
-        let mut conv = Conv2d::new(1, 3, 3, 1, 0, &mut rng());
+        let conv = Conv2d::new(1, 3, 3, 1, 0, &mut rng());
         let a = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32).collect());
         let b = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| -(i as f32)).collect());
         let mut both_data = a.data().to_vec();

@@ -76,8 +76,12 @@ impl Layer for AvgPool2d {
                         let g = grad_out.at4(ni, ci, oy, ox) * inv;
                         for ky in 0..self.k {
                             for kx in 0..self.k {
-                                *dx.at4_mut(ni, ci, oy * self.stride + ky, ox * self.stride + kx) +=
-                                    g;
+                                *dx.at4_mut(
+                                    ni,
+                                    ci,
+                                    oy * self.stride + ky,
+                                    ox * self.stride + kx,
+                                ) += g;
                             }
                         }
                     }
@@ -103,10 +107,7 @@ mod tests {
     #[test]
     fn averages_windows() {
         let mut p = AvgPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            &[1, 1, 4, 4],
-            (0..16).map(|i| i as f32).collect(),
-        );
+        let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32).collect());
         let y = p.forward(&x, false);
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         // window (0,0): 0,1,4,5 → 2.5

@@ -75,7 +75,7 @@ impl ConfusionMatrix {
             for p in 0..self.classes {
                 if t != p && self.count(t, p) > 0 {
                     let c = self.count(t, p);
-                    if best.map_or(true, |(_, _, bc)| c > bc) {
+                    if best.is_none_or(|(_, _, bc)| c > bc) {
                         best = Some((t, p, c));
                     }
                 }

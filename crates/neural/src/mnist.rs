@@ -152,21 +152,17 @@ fn digit_strokes(digit: usize) -> Vec<Vec<Point>> {
     use std::f32::consts::PI;
     match digit {
         0 => vec![arc(0.5, 0.5, 0.28, 0.38, 0.0, 2.0 * PI, 24)],
-        1 => vec![
-            vec![(0.35, 0.3), (0.52, 0.12), (0.52, 0.88)],
-        ],
+        1 => vec![vec![(0.35, 0.3), (0.52, 0.12), (0.52, 0.88)]],
         2 => vec![{
             let mut s = arc(0.5, 0.3, 0.24, 0.18, -PI, 0.35, 12);
             s.extend([(0.3, 0.85), (0.3, 0.88), (0.75, 0.88)]);
             s
         }],
-        3 => vec![
-            {
-                let mut s = arc(0.45, 0.3, 0.22, 0.18, -PI * 0.9, PI * 0.45, 10);
-                s.extend(arc(0.45, 0.68, 0.25, 0.2, -PI * 0.45, PI * 0.9, 10));
-                s
-            },
-        ],
+        3 => vec![{
+            let mut s = arc(0.45, 0.3, 0.22, 0.18, -PI * 0.9, PI * 0.45, 10);
+            s.extend(arc(0.45, 0.68, 0.25, 0.2, -PI * 0.45, PI * 0.9, 10));
+            s
+        }],
         4 => vec![
             vec![(0.62, 0.1), (0.25, 0.6), (0.8, 0.6)],
             vec![(0.62, 0.35), (0.62, 0.9)],
@@ -181,9 +177,7 @@ fn digit_strokes(digit: usize) -> Vec<Vec<Point>> {
             s.extend(arc(0.48, 0.65, 0.22, 0.24, -PI * 0.8, PI * 1.2, 16));
             s
         }],
-        7 => vec![
-            vec![(0.25, 0.14), (0.75, 0.14), (0.42, 0.88)],
-        ],
+        7 => vec![vec![(0.25, 0.14), (0.75, 0.14), (0.42, 0.88)]],
         8 => vec![
             arc(0.5, 0.3, 0.2, 0.17, 0.0, 2.0 * PI, 16),
             arc(0.5, 0.67, 0.24, 0.2, 0.0, 2.0 * PI, 16),
@@ -273,7 +267,8 @@ pub fn synthetic(count: usize, seed: u64) -> Dataset {
         .par_chunks_mut(PIXELS)
         .enumerate()
         .for_each(|(i, chunk)| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             render_digit(i % CLASSES, &mut rng, chunk);
         });
     Dataset {

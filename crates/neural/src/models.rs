@@ -24,7 +24,10 @@ pub enum ActKind {
     Square,
     /// SLAF of the given degree, warm-started from a least-squares ReLU
     /// fit on `[-radius, radius]`.
-    Slaf { degree: usize, radius: f32 },
+    Slaf {
+        degree: usize,
+        radius: f32,
+    },
 }
 
 impl ActKind {
@@ -66,7 +69,14 @@ pub fn cnn1(act: ActKind, seed: u64) -> Sequential {
     use cnn1_shape::*;
     let mut rng = StdRng::seed_from_u64(seed);
     Sequential::new(vec![
-        Box::new(Conv2d::new(1, CONV_OUT_CH, CONV_K, CONV_STRIDE, CONV_PAD, &mut rng)),
+        Box::new(Conv2d::new(
+            1,
+            CONV_OUT_CH,
+            CONV_K,
+            CONV_STRIDE,
+            CONV_PAD,
+            &mut rng,
+        )),
         act.make(),
         Box::new(Flatten::new()),
         Box::new(Dense::new(FLAT, HIDDEN, &mut rng)),
@@ -101,7 +111,14 @@ pub fn cnn2(act: ActKind, seed: u64) -> Sequential {
     use cnn2_shape::*;
     let mut rng = StdRng::seed_from_u64(seed);
     Sequential::new(vec![
-        Box::new(Conv2d::new(1, CONV1_OUT_CH, CONV1_K, CONV1_STRIDE, CONV1_PAD, &mut rng)),
+        Box::new(Conv2d::new(
+            1,
+            CONV1_OUT_CH,
+            CONV1_K,
+            CONV1_STRIDE,
+            CONV1_PAD,
+            &mut rng,
+        )),
         Box::new(BatchNorm::new(CONV1_OUT_CH)),
         act.make(),
         Box::new(Conv2d::new(

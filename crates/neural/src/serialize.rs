@@ -144,7 +144,7 @@ pub fn load_state(model: &mut Sequential, data: &[u8]) -> Result<(), LoadError> 
     let mut si = 0usize;
     for layer in model.layers.iter_mut() {
         if layer.name() == "BatchNorm" {
-            if si + 1 >= stats.len() + 1 {
+            if si + 1 > stats.len() {
                 return Err(LoadError::ShapeMismatch);
             }
             // downcast via Any is immutable; rebuild through the public

@@ -53,11 +53,7 @@ pub struct SlafOutcome {
 
 /// Runs the full protocol on a ReLU model in place; afterwards `model`
 /// is HE-compatible.
-pub fn run_protocol(
-    model: &mut Sequential,
-    data: &Dataset,
-    proto: &SlafProtocol,
-) -> SlafOutcome {
+pub fn run_protocol(model: &mut Sequential, data: &Dataset, proto: &SlafProtocol) -> SlafOutcome {
     // Phase 1: ReLU training.
     train(model, data, &proto.pretrain);
     let relu_train_acc = evaluate(model, data);

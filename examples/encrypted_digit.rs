@@ -74,5 +74,8 @@ fn main() {
     println!(
         "\nencrypted accuracy {he_correct}/{n_images}; encrypted/plaintext agreement {agree}/{n_images}"
     );
-    assert_eq!(agree, n_images, "HE predictions must match the plaintext model");
+    assert_eq!(
+        agree, n_images,
+        "HE predictions must match the plaintext model"
+    );
 }

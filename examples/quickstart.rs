@@ -48,7 +48,10 @@ fn main() {
     // σ(z) = 0.1 + 0.55·z + 0.24·z² + 0.02·z³ (a SLAF-style polynomial)
     let coeffs = [0.1, 0.55, 0.24, 0.02];
     let y = cnn_he::he_layers::he_poly_eval_deg3(&ev, &rk, &z, &coeffs);
-    println!("server: evaluated a homomorphic neuron at level {}", y.level);
+    println!(
+        "server: evaluated a homomorphic neuron at level {}",
+        y.level
+    );
 
     // ---- client: decrypt ------------------------------------------
     let got = ev.decrypt_to_real(&y, &sk);

@@ -43,7 +43,10 @@ fn main() {
     let direct = conv(&ints);
     let via_rns = d.conv_residues_parallel(&ints, conv);
     println!("\nconv direct:        {direct:?}");
-    println!("conv via k=3 RNS:   {via_rns:?}  (exact: {})", direct == via_rns);
+    println!(
+        "conv via k=3 RNS:   {via_rns:?}  (exact: {})",
+        direct == via_rns
+    );
     assert_eq!(direct, via_rns);
 
     // ---------------- Part 2: Table IV's shape ---------------------
@@ -71,5 +74,8 @@ fn main() {
             (base.as_secs_f64() - wall.as_secs_f64()) / base.as_secs_f64() * 100.0
         );
     }
-    println!("\nexecution plan (k = 3):\n{}", pipe.execution_plan_description(ExecPlan::rns(3)));
+    println!(
+        "\nexecution plan (k = 3):\n{}",
+        pipe.execution_plan_description(ExecPlan::rns(3))
+    );
 }

@@ -1,0 +1,93 @@
+//! Static circuit analysis: catch a mis-planned encrypted CNN *before*
+//! generating keys or encrypting a single pixel.
+//!
+//! The he-lint analyzer symbolically executes a plan over ciphertext
+//! metadata only (level, scale, slots, required keys), so a modulus
+//! chain that is four primes too short — which would otherwise panic
+//! minutes into an encrypted inference — is rejected in microseconds.
+//!
+//! This example extracts the paper's CNN2, serializes it to a HENT
+//! model file plus two CKKS parameter files under `target/lint-demo/`,
+//! and lints both plans. The same files feed the standalone CLI:
+//!
+//! ```text
+//! cargo run --release -p he-lint -- target/lint-demo/cnn2.hent \
+//!     target/lint-demo/params-shallow.txt
+//! ```
+//!
+//! Run: `cargo run --release -p examples --bin static_lint`
+
+use ckks::{CkksParams, SecurityLevel};
+use cnn_he::lint::plan_for_network;
+use cnn_he::HeNetwork;
+use neural::models::{cnn2, ActKind};
+use std::path::Path;
+
+fn params_with_depth(depth: usize) -> CkksParams {
+    CkksParams {
+        n: 1 << 13,
+        chain_bits: {
+            let mut v = vec![40u32];
+            v.extend(std::iter::repeat_n(26, depth));
+            v
+        },
+        special_bits: vec![40],
+        scale_bits: 26,
+        security: SecurityLevel::None,
+    }
+}
+
+fn write_params_file(path: &Path, p: &CkksParams) {
+    let chain: Vec<String> = p.chain_bits.iter().map(ToString::to_string).collect();
+    let text = format!(
+        "# CKKS-RNS parameters for he-lint\nn = {}\nchain_bits = {}\nspecial_bits = 40\nscale_bits = {}\nsecurity = none\n",
+        p.n,
+        chain.join(" "),
+        p.scale_bits,
+    );
+    std::fs::write(path, text).expect("write params file");
+}
+
+fn main() {
+    // The paper's CNN2 (two conv+BN blocks, three SLAF activations,
+    // two dense layers) extracted for 28×28 inputs. Untrained weights
+    // are fine: the analyzer only looks at shapes.
+    let net = HeNetwork::from_trained(&cnn2(ActKind::slaf3(), 42), 28);
+    println!(
+        "CNN2 extracted: {} HE layers, {} multiplicative levels required\n",
+        net.layers.len(),
+        net.required_levels()
+    );
+
+    let dir = Path::new("target").join("lint-demo");
+    std::fs::create_dir_all(&dir).expect("create target/lint-demo");
+    let model_path = dir.join("cnn2.hent");
+    std::fs::write(&model_path, bench::modelio::network_to_bytes(&net)).expect("write model");
+
+    let good = params_with_depth(net.required_levels());
+    let shallow = params_with_depth(6); // four rescaling primes short
+    write_params_file(&dir.join("params-ok.txt"), &good);
+    write_params_file(&dir.join("params-shallow.txt"), &shallow);
+    println!(
+        "wrote {}, params-ok.txt, params-shallow.txt\n",
+        model_path.display()
+    );
+
+    // ---- lint the correctly sized plan ----------------------------
+    let report = he_lint::analyze(&plan_for_network(&net, good, 1));
+    println!("lint with a {}-level chain:", net.required_levels());
+    print!("{}", report.render());
+    assert!(!report.has_errors());
+
+    // ---- lint the over-deep plan ----------------------------------
+    let report = he_lint::analyze(&plan_for_network(&net, shallow, 1));
+    println!("\nlint with a 6-level chain:");
+    print!("{}", report.render());
+    assert!(report.has_errors(), "the shallow chain must be rejected");
+
+    println!(
+        "\nthe same check runs standalone:\n  cargo run --release -p he-lint -- {} {}",
+        model_path.display(),
+        dir.join("params-shallow.txt").display()
+    );
+}

@@ -3,7 +3,7 @@
 //! boundary.
 
 use ckks::bigckks::{BigCkks, BigPoly};
-use ckks::{encode_real, CkksParams, Evaluator, KeyGenerator, SecurityLevel};
+use ckks::{CkksParams, Evaluator, KeyGenerator, SecurityLevel};
 use ckks_math::sampler::Sampler;
 use std::sync::Arc;
 
@@ -12,7 +12,7 @@ fn micro_params(depth: usize) -> CkksParams {
         n: 256,
         chain_bits: {
             let mut v = vec![40u32];
-            v.extend(std::iter::repeat(26).take(depth));
+            v.extend(std::iter::repeat_n(26, depth));
             v
         },
         special_bits: vec![40],

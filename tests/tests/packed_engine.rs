@@ -46,7 +46,7 @@ fn packed_engine_classifies_trained_cnn1() {
     // dim 1024 needs slots ≥ 1024 → N ≥ 2^11
     let depth = packed.required_levels();
     let mut chain_bits = vec![40u32];
-    chain_bits.extend(std::iter::repeat(26).take(depth));
+    chain_bits.extend(std::iter::repeat_n(26, depth));
     let ctx = CkksParams {
         n: 1 << 11,
         chain_bits,

@@ -6,6 +6,7 @@ use ckks::{CkksParams, Evaluator, KeyGenerator, SecurityLevel};
 use ckks_math::sampler::Sampler;
 use cnn_he::he_layers::{he_conv2d, he_poly_eval_deg3, ConvSpec};
 use cnn_he::he_tensor::encrypt_image_batch;
+use cnn_he::ExecMode;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
@@ -46,7 +47,7 @@ fn bench_conv(c: &mut Criterion) {
     let mut g = c.benchmark_group("he_conv_units_n2pow12");
     g.sample_size(10);
     g.bench_function("conv_4x4_outputs_25taps", |b| {
-        b.iter(|| he_conv2d(&ev, &x, &spec));
+        b.iter(|| he_conv2d(&ev, &x, &spec, ExecMode::sequential()));
     });
     g.bench_function("slaf_deg3_single_unit", |b| {
         let ct = &x.cts[0];

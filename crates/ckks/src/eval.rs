@@ -21,6 +21,29 @@ pub struct Evaluator {
     ctx: Arc<CkksContext>,
 }
 
+// The evaluator is shared by reference across unit-parallel layer loops;
+// it must stay free of interior mutability.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Evaluator>();
+};
+
+/// A scalar encoded once for repeated multiply-accumulates at a fixed
+/// `(pt_scale, level)`: reduced per-limb residues and Shoup precomps.
+/// Produced by [`Evaluator::prepare_scalar`], consumed by
+/// [`Evaluator::mul_residues_acc`].
+#[derive(Debug, Clone)]
+pub struct PreparedScalar {
+    /// Reduced residue per limb `0..=level`.
+    pub r: Vec<u64>,
+    /// Shoup precomputation of `r` per limb.
+    pub r_shoup: Vec<u64>,
+    /// Level the residues were prepared for.
+    pub level: usize,
+    /// Encoding scale of the scalar.
+    pub pt_scale: f64,
+}
+
 impl Evaluator {
     pub fn new(ctx: Arc<CkksContext>) -> Self {
         Self { ctx }
@@ -251,17 +274,50 @@ impl Evaluator {
     /// Fused multiply-accumulate with a scalar: `acc += c·x`, where `c` is
     /// encoded at `pt_scale` and `acc.scale` must equal `x.scale·pt_scale`.
     pub fn mul_scalar_acc(&self, acc: &mut Ciphertext, x: &Ciphertext, c: f64, pt_scale: f64) {
+        let prep = self.prepare_scalar(c, pt_scale, x.level);
+        self.mul_residues_acc(acc, x, &prep);
+    }
+
+    /// Encodes the scalar `c` at `pt_scale` for use at `level`: reduced
+    /// per-limb residues plus their Shoup precomputations. Preparing once
+    /// and replaying via [`Evaluator::mul_residues_acc`] hoists the
+    /// encode + `shoup` cost (one 128-bit division per limb) out of MAC
+    /// loops where the same weight multiplies many ciphertexts — e.g. a
+    /// conv kernel tap reused at every output position.
+    pub fn prepare_scalar(&self, c: f64, pt_scale: f64, level: usize) -> PreparedScalar {
+        let residues = self.scalar_residues(c, pt_scale, level);
+        let moduli = self.ctx.chain_moduli();
+        let mut r = Vec::with_capacity(level + 1);
+        let mut r_shoup = Vec::with_capacity(level + 1);
+        for (li, &res) in residues.iter().enumerate() {
+            let m = moduli[li];
+            let red = m.reduce(res);
+            r.push(red);
+            r_shoup.push(m.shoup(red));
+        }
+        PreparedScalar {
+            r,
+            r_shoup,
+            level,
+            pt_scale,
+        }
+    }
+
+    /// `acc += w·x` where `w` was encoded by [`Evaluator::prepare_scalar`]
+    /// at `x.level`. Bit-identical to [`Evaluator::mul_scalar_acc`] with
+    /// the same scalar — only the per-call encode work is skipped.
+    pub fn mul_residues_acc(&self, acc: &mut Ciphertext, x: &Ciphertext, w: &PreparedScalar) {
         assert_eq!(acc.level, x.level, "level mismatch");
+        assert_eq!(w.level, x.level, "prepared scalar level mismatch");
         assert!(
-            (acc.scale / (x.scale * pt_scale) - 1.0).abs() < SCALE_RTOL,
+            (acc.scale / (x.scale * w.pt_scale) - 1.0).abs() < SCALE_RTOL,
             "accumulator scale mismatch"
         );
-        let residues = self.scalar_residues(c, pt_scale, x.level);
         let moduli = self.ctx.chain_moduli();
         for li in 0..=x.level {
             let m = moduli[li];
-            let r = m.reduce(residues[li]);
-            let rs = m.shoup(r);
+            let r = w.r[li];
+            let rs = w.r_shoup[li];
             for (poly_acc, poly_x) in [
                 (acc.c0.limb_mut(li), x.c0.limb(li)),
                 (acc.c1.limb_mut(li), x.c1.limb(li)),

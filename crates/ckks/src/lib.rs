@@ -28,7 +28,7 @@ pub mod serialize;
 pub use ciphertext::Ciphertext;
 pub use encoding::{decode, decode_real, encode, encode_constant, encode_real, Plaintext};
 pub use error::HeError;
-pub use eval::{Evaluator, SCALE_RTOL};
+pub use eval::{Evaluator, PreparedScalar, SCALE_RTOL};
 pub use keys::{GaloisKeys, KeyGenerator, KeySwitchKey, KsVariant, PublicKey, RelinKey, SecretKey};
 pub use params::{CkksContext, CkksParams};
 pub use security::SecurityLevel;

@@ -14,6 +14,7 @@
 //! the plaintext-weight reading of the paper is the operational one
 //! (documented in DESIGN.md §4).
 
+use crate::exec::ExecMode;
 use crate::he_tensor::CtTensor;
 use ckks::{Ciphertext, Evaluator, PublicKey, RelinKey};
 use ckks_math::sampler::Sampler;
@@ -87,6 +88,7 @@ pub fn he_conv2d_encrypted(
     rk: &RelinKey,
     x: &CtTensor,
     spec: &EncryptedConvSpec,
+    mode: ExecMode,
 ) -> (CtTensor, Vec<Duration>) {
     assert_eq!(x.shape.len(), 3);
     let (c_in, h, w) = (x.shape[0], x.shape[1], x.shape[2]);
@@ -101,49 +103,45 @@ pub fn he_conv2d_encrypted(
     );
     let s = x.scale();
 
-    let mut cts = Vec::with_capacity(spec.out_ch * oh * ow);
-    let mut times = Vec::with_capacity(spec.out_ch * oh * ow);
-    for o in 0..spec.out_ch {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let t0 = Instant::now();
-                // accumulate Δ·s-scaled tensor products
-                let mut acc: Option<Ciphertext> = None;
-                for ci in 0..c_in {
-                    for ky in 0..spec.k {
-                        let iy = oy * spec.stride + ky;
-                        if iy < spec.pad || iy - spec.pad >= h {
-                            continue;
-                        }
-                        for kx in 0..spec.k {
-                            let ix = ox * spec.stride + kx;
-                            if ix < spec.pad || ix - spec.pad >= w {
-                                continue;
-                            }
-                            let prod = ev.multiply(
-                                x.at3(ci, iy - spec.pad, ix - spec.pad),
-                                spec.w(o, ci, ky, kx),
-                                rk,
-                            );
-                            acc = Some(match acc {
-                                None => prod,
-                                Some(a) => ev.add(&a, &prod),
-                            });
-                        }
-                    }
+    let units = mode.run_units(ev.ctx().poly_ctx(), spec.out_ch * oh * ow, |u| {
+        let o = u / (oh * ow);
+        let oy = (u / ow) % oh;
+        let ox = u % ow;
+        let t0 = Instant::now();
+        // accumulate Δ·s-scaled tensor products
+        let mut acc: Option<Ciphertext> = None;
+        for ci in 0..c_in {
+            for ky in 0..spec.k {
+                let iy = oy * spec.stride + ky;
+                if iy < spec.pad || iy - spec.pad >= h {
+                    continue;
                 }
-                let mut acc = acc.expect("empty receptive field");
-                ev.add_scalar_assign(&mut acc, spec.bias[o] as f64);
-                // two rescales: Δ·s → s (weights at Δ, then scale repair)
-                let r1 = ev.rescale(&acc); // scale s·Δ/q_m
-                let q_next = ev.ctx().chain_moduli()[r1.level].value() as f64;
-                let fix = ev.mul_scalar(&r1, 1.0, s * q_next / r1.scale);
-                let out = ev.rescale(&fix); // back to scale s exactly
-                cts.push(out);
-                times.push(t0.elapsed());
+                for kx in 0..spec.k {
+                    let ix = ox * spec.stride + kx;
+                    if ix < spec.pad || ix - spec.pad >= w {
+                        continue;
+                    }
+                    let prod = ev.multiply(
+                        x.at3(ci, iy - spec.pad, ix - spec.pad),
+                        spec.w(o, ci, ky, kx),
+                        rk,
+                    );
+                    acc = Some(match acc {
+                        None => prod,
+                        Some(a) => ev.add(&a, &prod),
+                    });
+                }
             }
         }
-    }
+        let mut acc = acc.expect("empty receptive field");
+        ev.add_scalar_assign(&mut acc, spec.bias[o] as f64);
+        // two rescales: Δ·s → s (weights at Δ, then scale repair)
+        let r1 = ev.rescale(&acc); // scale s·Δ/q_m
+        let q_next = ev.ctx().chain_moduli()[r1.level].value() as f64;
+        let fix = ev.mul_scalar(&r1, 1.0, s * q_next / r1.scale);
+        (ev.rescale(&fix), t0.elapsed()) // back to scale s exactly
+    });
+    let (cts, times) = units.into_iter().unzip();
     (
         CtTensor {
             cts,
@@ -178,7 +176,7 @@ mod tests {
         let x = encrypt_image_batch(&ev, &pk, &mut s, &[&img], side, 3);
         let enc_spec =
             EncryptedConvSpec::encrypt(&ev, &pk, &mut s, &weight, &bias, 1, 1, 3, 1, 0, 3);
-        let (y_enc, _) = he_conv2d_encrypted(&ev, &rk, &x, &enc_spec);
+        let (y_enc, _) = he_conv2d_encrypted(&ev, &rk, &x, &enc_spec, ExecMode::sequential());
 
         let plain_spec = crate::he_layers::ConvSpec {
             weight: weight.clone(),
@@ -189,7 +187,8 @@ mod tests {
             stride: 1,
             pad: 0,
         };
-        let (y_plain, _) = crate::he_layers::he_conv2d(&ev, &x, &plain_spec);
+        let (y_plain, _) =
+            crate::he_layers::he_conv2d(&ev, &x, &plain_spec, crate::exec::ExecMode::sequential());
 
         let got_enc = decrypt_tensor(&ev, &sk, &y_enc, 1);
         let got_plain = decrypt_tensor(&ev, &sk, &y_plain, 1);
@@ -216,7 +215,7 @@ mod tests {
         let img = vec![0.5f32; 4];
         let x = encrypt_image_batch(&ev, &pk, &mut s, &[&img], 2, 1);
         let spec = EncryptedConvSpec::encrypt(&ev, &pk, &mut s, &[1.0], &[0.0], 1, 1, 1, 1, 0, 1);
-        let _ = he_conv2d_encrypted(&ev, &rk, &x, &spec);
+        let _ = he_conv2d_encrypted(&ev, &rk, &x, &spec, ExecMode::sequential());
         let _ = sk;
     }
 }

@@ -1,16 +1,91 @@
-//! Execution planning and latency accounting.
+//! Execution planning, the real parallel unit executor, and latency
+//! accounting.
 //!
-//! The paper's CNN-HE-RNS processes the decomposed signal as `k`
-//! independent streams in parallel on an 8-core/16-thread Xeon; the
-//! CNN-HE baseline processes one stream sequentially. This host may have
-//! any number of physical cores (possibly one), so the harness measures
-//! the per-unit CPU time of every homomorphic operation *sequentially*
-//! and then computes the wall-clock a `k`-stream plan would achieve on a
-//! `c`-core machine as a scheduling makespan. One measured inference run
-//! therefore yields the latency of **every** `k` simultaneously, which is
-//! also how Tables IV and VI are regenerated from a single run.
+//! Two complementary machineries live here:
+//!
+//! * **Real execution** — [`ExecMode`] says how a layer's independent
+//!   output units actually run: on how many threads, and whether the
+//!   inner per-limb parallelism of `ckks-math` stays enabled.
+//!   [`ExecMode::run_units`] is the single fan-out point every encrypted
+//!   layer goes through.
+//! * **Simulation** — the paper's CNN-HE-RNS processes the decomposed
+//!   signal as `k` independent streams in parallel on an 8-core/16-thread
+//!   Xeon. The harness measures per-unit CPU time and computes the
+//!   wall-clock a `k`-stream plan would achieve on a `c`-core machine as
+//!   a scheduling makespan, so one run regenerates Tables IV and VI for
+//!   every `k`. [`LayerTiming::wall`] records the *measured* wall-clock
+//!   alongside, letting [`InferenceTiming::validate_against`] check the
+//!   simulator against reality.
 
+use ckks_math::poly::PolyContext;
+use rayon::prelude::*;
 use std::time::Duration;
+
+/// How a layer's unit loop actually executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecMode {
+    /// Worker threads for the outer per-unit loop. `1` = sequential.
+    pub unit_threads: usize,
+    /// Whether `ckks-math`'s inner per-limb parallelism stays enabled.
+    /// With outer unit-parallelism on, nesting both oversubscribes the
+    /// machine; [`ExecMode::unit_parallel`] therefore turns this off.
+    pub limb_parallel: bool,
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+impl ExecMode {
+    /// One unit at a time; limb-level parallelism (if any) untouched.
+    pub fn sequential() -> Self {
+        Self {
+            unit_threads: 1,
+            limb_parallel: true,
+        }
+    }
+
+    /// `threads` workers over units, inner limb parallelism disabled to
+    /// avoid nested-pool oversubscription.
+    pub fn unit_parallel(threads: usize) -> Self {
+        assert!(threads >= 1);
+        Self {
+            unit_threads: threads,
+            limb_parallel: false,
+        }
+    }
+
+    /// Unit-parallel over every hardware thread rayon sees.
+    pub fn auto() -> Self {
+        Self::unit_parallel(rayon::current_num_threads())
+    }
+
+    /// Runs `f(0..n)` and collects results in index order. With
+    /// `unit_threads > 1` the units run on a scoped thread pool, with the
+    /// limb-parallel flag of `pc` forced to `self.limb_parallel` for the
+    /// duration (restored afterwards). Each unit is computed
+    /// independently, so outputs are bit-identical to a sequential run.
+    pub fn run_units<R, F>(&self, pc: &PolyContext, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.unit_threads <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let limb_before = pc.parallel();
+        pc.set_parallel(self.limb_parallel);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.unit_threads)
+            .build()
+            .expect("thread pool");
+        let out = pool.install(|| (0..n).into_par_iter().map(&f).collect());
+        pc.set_parallel(limb_before);
+        out
+    }
+}
 
 /// An execution plan: how many parallel RNS streams, on how many
 /// (virtual) cores.
@@ -40,6 +115,17 @@ impl ExecPlan {
             virtual_cores: 16,
         }
     }
+
+    /// A plan matching a real [`ExecMode::unit_parallel`] run on this
+    /// host: `t` streams on `t` cores — the shape to feed
+    /// [`InferenceTiming::validate_against`].
+    pub fn threads(t: usize) -> Self {
+        assert!(t >= 1);
+        Self {
+            streams: t,
+            virtual_cores: t,
+        }
+    }
 }
 
 /// Measured per-unit times of one layer's homomorphic workload.
@@ -55,6 +141,10 @@ pub struct LayerTiming {
     pub parallel: bool,
     /// Fixed sequential overhead of the layer (reassembly, bookkeeping).
     pub fixed: Duration,
+    /// Measured wall-clock of the whole layer. Under a sequential
+    /// [`ExecMode`] this ≈ `cpu_total()`; under unit-parallelism it is
+    /// what the threads actually achieved.
+    pub wall: Duration,
 }
 
 impl LayerTiming {
@@ -69,10 +159,32 @@ pub struct InferenceTiming {
     pub layers: Vec<LayerTiming>,
 }
 
+/// Simulated vs measured wall-clock of one run (see
+/// [`InferenceTiming::validate_against`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationCheck {
+    pub simulated: Duration,
+    pub measured: Duration,
+}
+
+impl SimulationCheck {
+    /// `measured / simulated` — 1.0 means the makespan model predicted
+    /// the real run exactly; >1 means reality was slower (scheduling
+    /// overhead, memory contention), <1 faster.
+    pub fn ratio(&self) -> f64 {
+        self.measured.as_secs_f64() / self.simulated.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
 impl InferenceTiming {
     /// Total CPU time (the 1-stream sequential wall-clock).
     pub fn cpu_total(&self) -> Duration {
         self.layers.iter().map(LayerTiming::cpu_total).sum()
+    }
+
+    /// Total *measured* wall-clock across layers.
+    pub fn measured_wall(&self) -> Duration {
+        self.layers.iter().map(|l| l.wall).sum()
     }
 
     /// Simulated wall-clock under an execution plan: parallel layers are
@@ -93,16 +205,27 @@ impl InferenceTiming {
             .sum()
     }
 
-    /// Per-layer breakdown string for reports.
+    /// Compares the makespan simulation of `plan` against the measured
+    /// wall-clock of this (parallel) run.
+    pub fn validate_against(&self, plan: ExecPlan) -> SimulationCheck {
+        SimulationCheck {
+            simulated: self.simulated_wall(plan),
+            measured: self.measured_wall(),
+        }
+    }
+
+    /// Per-layer breakdown string for reports: CPU time and measured
+    /// wall side by side.
     pub fn breakdown(&self) -> String {
         self.layers
             .iter()
             .map(|l| {
                 format!(
-                    "  {:<22} units {:>5}  cpu {:>8.3}s  {}",
+                    "  {:<22} units {:>5}  cpu {:>8.3}s  wall {:>8.3}s  {}",
                     l.name,
                     l.unit_times.len(),
                     l.cpu_total().as_secs_f64(),
+                    l.wall.as_secs_f64(),
                     if l.parallel { "parallel" } else { "sequential" }
                 )
             })
@@ -123,8 +246,34 @@ pub fn round_robin_shards(units: &[Duration], k: usize) -> Vec<Duration> {
 }
 
 /// Longest-processing-time-first makespan of shard sums on `cores`
-/// identical machines.
+/// identical machines. Heap-based: `O(s·log c)` instead of the naive
+/// `O(s·c)` min-scan (see [`makespan_naive`]).
 pub fn makespan(shards: &[Duration], cores: usize) -> Duration {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    assert!(cores >= 1);
+    let mut sorted: Vec<Duration> = shards.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let machines = cores.min(shards.len()).max(1);
+    let mut loads: BinaryHeap<Reverse<Duration>> =
+        (0..machines).map(|_| Reverse(Duration::ZERO)).collect();
+    for s in sorted {
+        let Reverse(min) = loads.pop().unwrap();
+        loads.push(Reverse(min + s));
+    }
+    loads
+        .into_iter()
+        .map(|Reverse(l)| l)
+        .max()
+        .unwrap_or(Duration::ZERO)
+}
+
+/// Reference LPT implementation with the original linear min-scan.
+/// Kept as the oracle for the heap version: both pick *a* least-loaded
+/// machine at each step, and since the multiset of machine loads evolves
+/// identically regardless of which tied minimum is chosen, the final
+/// makespans agree exactly.
+pub fn makespan_naive(shards: &[Duration], cores: usize) -> Duration {
     assert!(cores >= 1);
     let mut sorted: Vec<Duration> = shards.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
@@ -144,6 +293,7 @@ pub fn makespan(shards: &[Duration], cores: usize) -> Duration {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn ms(v: u64) -> Duration {
         Duration::from_millis(v)
@@ -157,6 +307,17 @@ mod tests {
         assert_eq!(makespan(&[ms(10), ms(30), ms(20)], 8), ms(30));
         // one core → sum
         assert_eq!(makespan(&[ms(10), ms(30), ms(20)], 1), ms(60));
+    }
+
+    proptest! {
+        #[test]
+        fn heap_makespan_matches_naive(
+            shards in proptest::collection::vec(0u64..5000, 0..64),
+            cores in 1usize..24,
+        ) {
+            let d: Vec<Duration> = shards.iter().map(|&v| ms(v)).collect();
+            prop_assert_eq!(makespan(&d, cores), makespan_naive(&d, cores));
+        }
     }
 
     #[test]
@@ -177,12 +338,14 @@ mod tests {
                     unit_times: vec![ms(2); parallel_units],
                     parallel: true,
                     fixed: Duration::ZERO,
+                    wall: ms(2 * parallel_units as u64),
                 },
                 LayerTiming {
                     name: "act".into(),
                     unit_times: vec![ms(1); seq_units],
                     parallel: false,
                     fixed: ms(5),
+                    wall: ms(seq_units as u64 + 5),
                 },
             ],
         }
@@ -193,6 +356,23 @@ mod tests {
         let t = timing(100, 50);
         assert_eq!(t.simulated_wall(ExecPlan::baseline()), t.cpu_total());
         assert_eq!(t.cpu_total(), ms(200 + 50 + 5));
+    }
+
+    #[test]
+    fn measured_wall_sums_layers() {
+        let t = timing(100, 50);
+        assert_eq!(t.measured_wall(), ms(200 + 55));
+        let check = t.validate_against(ExecPlan::baseline());
+        assert_eq!(check.simulated, t.cpu_total());
+        assert!((check.ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_shows_both_clocks() {
+        let t = timing(10, 5);
+        let s = t.breakdown();
+        assert!(s.contains("cpu"));
+        assert!(s.contains("wall"));
     }
 
     #[test]
@@ -218,6 +398,7 @@ mod tests {
                 unit_times: vec![ms(3); 64],
                 parallel: false,
                 fixed: Duration::ZERO,
+                wall: ms(192),
             }],
         };
         assert_eq!(
@@ -235,5 +416,30 @@ mod tests {
         let expect = 0.505 + 1.0 / 4.0;
         assert!((w4 - expect).abs() < 0.01, "w4 {w4} vs {expect}");
         assert!(w1 > w4);
+    }
+
+    #[test]
+    fn exec_mode_knobs() {
+        assert_eq!(ExecMode::default(), ExecMode::sequential());
+        let m = ExecMode::unit_parallel(4);
+        assert_eq!(m.unit_threads, 4);
+        assert!(!m.limb_parallel);
+        assert!(ExecMode::auto().unit_threads >= 1);
+        assert_eq!(ExecPlan::threads(4).streams, 4);
+        assert_eq!(ExecPlan::threads(4).virtual_cores, 4);
+    }
+
+    #[test]
+    fn run_units_matches_sequential_and_restores_limb_flag() {
+        use ckks_math::prime::gen_moduli_chain;
+        let pc = PolyContext::new(16, gen_moduli_chain(&[40, 40], 16), vec![]);
+        pc.set_parallel(true);
+        let f = |i: usize| i * i + 1;
+        let seq = ExecMode::sequential().run_units(&pc, 33, f);
+        let par = ExecMode::unit_parallel(4).run_units(&pc, 33, f);
+        assert_eq!(seq, par);
+        assert_eq!(seq, (0..33).map(f).collect::<Vec<_>>());
+        // the limb flag must be restored after the parallel region
+        assert!(pc.parallel());
     }
 }

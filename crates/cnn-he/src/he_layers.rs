@@ -12,9 +12,15 @@
 //!   two levels down.
 //!
 //! Every function returns per-output-unit timings consumed by the
-//! execution simulator ([`crate::exec`]).
+//! execution simulator ([`crate::exec`]), takes an [`ExecMode`] choosing
+//! between sequential and unit-parallel execution (outputs are
+//! bit-identical either way — each unit is computed independently), and
+//! hoists weight encoding into a per-layer [`WeightResidueTable`] so a
+//! reused kernel tap is encoded once, not once per MAC.
 
+use crate::exec::ExecMode;
 use crate::he_tensor::CtTensor;
+use crate::weights::WeightResidueTable;
 use ckks::{Ciphertext, Evaluator, RelinKey};
 use std::time::{Duration, Instant};
 
@@ -37,6 +43,9 @@ impl ConvSpec {
         (h + 2 * self.pad - self.k) / self.stride + 1
     }
 
+    /// Flat weight lookup (the hot path goes through
+    /// [`WeightResidueTable`] instead; tests use this for references).
+    #[cfg(test)]
     #[inline]
     fn w(&self, o: usize, c: usize, ky: usize, kx: usize) -> f32 {
         self.weight[((o * self.in_ch + c) * self.k + ky) * self.k + kx]
@@ -56,7 +65,17 @@ pub struct DenseSpec {
 /// Homomorphic convolution: each output scalar is a weighted sum of
 /// input ciphertexts (`Σ w·c ⊞ β`, Eq. 1), accumulated at scale `s·q_m`
 /// and rescaled once. Output scale equals input scale exactly.
-pub fn he_conv2d(ev: &Evaluator, x: &CtTensor, spec: &ConvSpec) -> (CtTensor, Vec<Duration>) {
+///
+/// Output positions whose receptive field is entirely padding (possible
+/// when `pad ≥ k` relative to the stride grid, or when every in-bounds
+/// tap has zero weight) short-circuit to a bias-only ciphertext at the
+/// output scale/level instead of paying a full `zero + rescale`.
+pub fn he_conv2d(
+    ev: &Evaluator,
+    x: &CtTensor,
+    spec: &ConvSpec,
+    mode: ExecMode,
+) -> (CtTensor, Vec<Duration>) {
     assert_eq!(x.shape.len(), 3, "conv expects a CHW tensor");
     let (c_in, h, w) = (x.shape[0], x.shape[1], x.shape[2]);
     assert_eq!(c_in, spec.in_ch, "channel mismatch");
@@ -67,44 +86,55 @@ pub fn he_conv2d(ev: &Evaluator, x: &CtTensor, spec: &ConvSpec) -> (CtTensor, Ve
     let s = x.scale();
     let q_m = ev.ctx().chain_moduli()[level].value() as f64;
     let slots = x.cts[0].slots;
+    let table = WeightResidueTable::build(ev, &spec.weight, q_m, level);
+    let per_o = spec.in_ch * spec.k * spec.k;
 
-    let mut cts = Vec::with_capacity(spec.out_ch * oh * ow);
-    let mut times = Vec::with_capacity(spec.out_ch * oh * ow);
-    for o in 0..spec.out_ch {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let t0 = Instant::now();
-                let mut acc = ev.zero_ciphertext(s * q_m, level, slots);
-                for ci in 0..c_in {
-                    for ky in 0..spec.k {
-                        let iy = oy * spec.stride + ky;
-                        if iy < spec.pad || iy - spec.pad >= h {
-                            continue;
-                        }
-                        for kx in 0..spec.k {
-                            let ix = ox * spec.stride + kx;
-                            if ix < spec.pad || ix - spec.pad >= w {
-                                continue;
-                            }
-                            let wv = spec.w(o, ci, ky, kx);
-                            if wv == 0.0 {
-                                continue;
-                            }
-                            ev.mul_scalar_acc(
-                                &mut acc,
-                                x.at3(ci, iy - spec.pad, ix - spec.pad),
-                                wv as f64,
-                                q_m,
-                            );
-                        }
-                    }
+    let units = mode.run_units(ev.ctx().poly_ctx(), spec.out_ch * oh * ow, |u| {
+        let o = u / (oh * ow);
+        let oy = (u / ow) % oh;
+        let ox = u % ow;
+        let t0 = Instant::now();
+        let mut acc: Option<Ciphertext> = None;
+        for ci in 0..c_in {
+            for ky in 0..spec.k {
+                let iy = oy * spec.stride + ky;
+                if iy < spec.pad || iy - spec.pad >= h {
+                    continue;
                 }
-                ev.add_scalar_assign(&mut acc, spec.bias[o] as f64);
-                cts.push(ev.rescale(&acc));
-                times.push(t0.elapsed());
+                for kx in 0..spec.k {
+                    let ix = ox * spec.stride + kx;
+                    if ix < spec.pad || ix - spec.pad >= w {
+                        continue;
+                    }
+                    let widx = o * per_o + (ci * spec.k + ky) * spec.k + kx;
+                    let Some(wr) = table.get(widx) else {
+                        continue; // zero weight
+                    };
+                    ev.mul_residues_acc(
+                        acc.get_or_insert_with(|| ev.zero_ciphertext(s * q_m, level, slots)),
+                        x.at3(ci, iy - spec.pad, ix - spec.pad),
+                        wr,
+                    );
+                }
             }
         }
-    }
+        let out = match acc {
+            Some(mut acc) => {
+                ev.add_scalar_assign(&mut acc, spec.bias[o] as f64);
+                ev.rescale(&acc)
+            }
+            // all taps skipped: bias-only output, already at the
+            // post-rescale scale/level (the scale expression matches
+            // rescale's `s·q_m / q_m` bit for bit)
+            None => {
+                let mut out = ev.zero_ciphertext((s * q_m) / q_m, level - 1, slots);
+                ev.add_scalar_assign(&mut out, spec.bias[o] as f64);
+                out
+            }
+        };
+        (out, t0.elapsed())
+    });
+    let (cts, times) = units.into_iter().unzip();
     (
         CtTensor {
             cts,
@@ -115,7 +145,12 @@ pub fn he_conv2d(ev: &Evaluator, x: &CtTensor, spec: &ConvSpec) -> (CtTensor, Ve
 }
 
 /// Homomorphic dense layer over a flat ciphertext vector.
-pub fn he_dense(ev: &Evaluator, x: &CtTensor, spec: &DenseSpec) -> (CtTensor, Vec<Duration>) {
+pub fn he_dense(
+    ev: &Evaluator,
+    x: &CtTensor,
+    spec: &DenseSpec,
+    mode: ExecMode,
+) -> (CtTensor, Vec<Duration>) {
     assert_eq!(x.shape.len(), 1, "dense expects a flat tensor");
     assert_eq!(x.numel(), spec.in_dim, "input dim mismatch");
     let level = x.level();
@@ -123,23 +158,21 @@ pub fn he_dense(ev: &Evaluator, x: &CtTensor, spec: &DenseSpec) -> (CtTensor, Ve
     let s = x.scale();
     let q_m = ev.ctx().chain_moduli()[level].value() as f64;
     let slots = x.cts[0].slots;
+    let table = WeightResidueTable::build(ev, &spec.weight, q_m, level);
 
-    let mut cts = Vec::with_capacity(spec.out_dim);
-    let mut times = Vec::with_capacity(spec.out_dim);
-    for o in 0..spec.out_dim {
+    let units = mode.run_units(ev.ctx().poly_ctx(), spec.out_dim, |o| {
         let t0 = Instant::now();
         let mut acc = ev.zero_ciphertext(s * q_m, level, slots);
-        let row = &spec.weight[o * spec.in_dim..(o + 1) * spec.in_dim];
-        for (ct, &wv) in x.cts.iter().zip(row) {
-            if wv == 0.0 {
+        for (i, ct) in x.cts.iter().enumerate() {
+            let Some(wr) = table.get(o * spec.in_dim + i) else {
                 continue;
-            }
-            ev.mul_scalar_acc(&mut acc, ct, wv as f64, q_m);
+            };
+            ev.mul_residues_acc(&mut acc, ct, wr);
         }
         ev.add_scalar_assign(&mut acc, spec.bias[o] as f64);
-        cts.push(ev.rescale(&acc));
-        times.push(t0.elapsed());
-    }
+        (ev.rescale(&acc), t0.elapsed())
+    });
+    let (cts, times) = units.into_iter().unzip();
     (
         CtTensor {
             cts,
@@ -157,6 +190,7 @@ pub fn he_activation(
     rk: &RelinKey,
     x: &CtTensor,
     coeffs: &[f64],
+    mode: ExecMode,
 ) -> (CtTensor, Vec<Duration>) {
     assert!(
         (2..=4).contains(&coeffs.len()),
@@ -168,13 +202,11 @@ pub fn he_activation(
     let level = x.level();
     assert!(level >= 2, "degree-3 activation needs two levels");
 
-    let mut cts = Vec::with_capacity(x.numel());
-    let mut times = Vec::with_capacity(x.numel());
-    for ct in &x.cts {
+    let units = mode.run_units(ev.ctx().poly_ctx(), x.cts.len(), |i| {
         let t0 = Instant::now();
-        cts.push(he_poly_eval_deg3(ev, rk, ct, &c));
-        times.push(t0.elapsed());
-    }
+        (he_poly_eval_deg3(ev, rk, &x.cts[i], &c), t0.elapsed())
+    });
+    let (cts, times) = units.into_iter().unzip();
     (
         CtTensor {
             cts,
@@ -293,7 +325,7 @@ mod tests {
             stride: 2,
             pad: 1,
         };
-        let (y, times) = he_conv2d(&f.ev, &x, &spec);
+        let (y, times) = he_conv2d(&f.ev, &x, &spec, ExecMode::sequential());
         assert_eq!(y.shape(), &[2, 3, 3]);
         assert_eq!(times.len(), 18);
         assert_eq!(y.level(), 1);
@@ -316,7 +348,7 @@ mod tests {
             in_dim: 16,
             out_dim: 3,
         };
-        let (y, _) = he_dense(&f.ev, &x, &spec);
+        let (y, _) = he_dense(&f.ev, &x, &spec, ExecMode::sequential());
         let got = decrypt_tensor(&f.ev, &f.sk, &y, 1);
         for o in 0..3 {
             let mut want = spec.bias[o] as f64;
@@ -335,7 +367,7 @@ mod tests {
         // encrypt_image_batch (it accepts any f32 values)
         let x = encrypt_image_batch(&f.ev, &f.pk, &mut f.s, &[&img], 3, 3);
         let coeffs = [0.3f64, -0.4, 0.2, 0.1];
-        let (y, _) = he_activation(&f.ev, &f.rk, &x, &coeffs);
+        let (y, _) = he_activation(&f.ev, &f.rk, &x, &coeffs, ExecMode::sequential());
         assert_eq!(y.level(), 1); // two levels consumed
         let got = decrypt_tensor(&f.ev, &f.sk, &y, 1);
         for (i, &v) in img.iter().enumerate() {
@@ -351,7 +383,7 @@ mod tests {
         let img: Vec<f32> = (0..4).map(|i| 0.1 + 0.2 * i as f32).collect();
         let x = encrypt_image_batch(&f.ev, &f.pk, &mut f.s, &[&img], 2, 2);
         let coeffs = [0.0f64, 1.0, 0.5];
-        let (y, _) = he_activation(&f.ev, &f.rk, &x, &coeffs);
+        let (y, _) = he_activation(&f.ev, &f.rk, &x, &coeffs, ExecMode::sequential());
         let got = decrypt_tensor(&f.ev, &f.sk, &y, 1);
         for (i, &v) in img.iter().enumerate() {
             let v = v as f64;
@@ -382,9 +414,9 @@ mod tests {
             in_dim: 4,
             out_dim: 1,
         };
-        let (h1, _) = he_conv2d(&f.ev, &x, &conv);
-        let (h2, _) = he_activation(&f.ev, &f.rk, &h1, &coeffs);
-        let (h3, _) = he_dense(&f.ev, &h2.flatten(), &dense);
+        let (h1, _) = he_conv2d(&f.ev, &x, &conv, ExecMode::sequential());
+        let (h2, _) = he_activation(&f.ev, &f.rk, &h1, &coeffs, ExecMode::sequential());
+        let (h3, _) = he_dense(&f.ev, &h2.flatten(), &dense, ExecMode::sequential());
         let got = decrypt_tensor(&f.ev, &f.sk, &h3, 1)[0][0];
 
         // plain reference
@@ -401,11 +433,82 @@ mod tests {
     }
 
     #[test]
+    fn fully_padded_output_is_bias_only() {
+        // k=1, stride=2, pad=1 on a 3×3 image: output grid is 3×3 and
+        // the corner/edge positions sample only padding — every tap is
+        // skipped, exercising the bias-only short-circuit.
+        let mut f = fixture(2);
+        let side = 3;
+        let img: Vec<f32> = (0..9).map(|i| 0.1 + 0.08 * i as f32).collect();
+        let x = encrypt_image_batch(&f.ev, &f.pk, &mut f.s, &[&img], side, 2);
+        let spec = ConvSpec {
+            weight: vec![0.7],
+            bias: vec![0.25],
+            in_ch: 1,
+            out_ch: 1,
+            k: 1,
+            stride: 2,
+            pad: 1,
+        };
+        let (y, times) = he_conv2d(&f.ev, &x, &spec, ExecMode::sequential());
+        assert_eq!(y.shape(), &[1, 3, 3]);
+        assert_eq!(times.len(), 9);
+        // bias-only outputs must land on the same level/scale as the
+        // MAC+rescale outputs so the tensor stays homogeneous
+        assert_eq!(y.level(), 1);
+        assert!((y.scale() / x.scale() - 1.0).abs() < 1e-12);
+        let got = decrypt_tensor(&f.ev, &f.sk, &y, 1);
+        let want = ref_conv(&img, side, &spec);
+        // position (1,1) is the only one with a live tap
+        assert!((want[4] - (0.25 + 0.7 * img[4]) as f64).abs() < 1e-6);
+        for (i, (g, w)) in got[0].iter().zip(&want).enumerate() {
+            assert!((g - w).abs() < 2e-3, "unit {i}: {g} vs {w}");
+            if i != 4 {
+                assert!((w - 0.25).abs() < 1e-9, "unit {i} should be bias-only");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mode_outputs_match_sequential_limb_for_limb() {
+        let mut f = fixture(2);
+        let side = 6;
+        let img: Vec<f32> = (0..36).map(|i| ((i * 11) % 17) as f32 / 17.0).collect();
+        let x = encrypt_image_batch(&f.ev, &f.pk, &mut f.s, &[&img], side, 2);
+        let spec = ConvSpec {
+            weight: (0..2 * 9).map(|i| (i as f32 - 9.0) * 0.07).collect(),
+            bias: vec![0.05, -0.1],
+            in_ch: 1,
+            out_ch: 2,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let (y_seq, _) = he_conv2d(&f.ev, &x, &spec, ExecMode::sequential());
+        let (y_par, _) = he_conv2d(&f.ev, &x, &spec, ExecMode::unit_parallel(4));
+        assert_eq!(y_seq.cts.len(), y_par.cts.len());
+        for (a, b) in y_seq.cts.iter().zip(&y_par.cts) {
+            assert_eq!(a.level, b.level);
+            assert_eq!(a.scale.to_bits(), b.scale.to_bits());
+            for li in 0..=a.level {
+                assert_eq!(a.c0.limb(li), b.c0.limb(li));
+                assert_eq!(a.c1.limb(li), b.c1.limb(li));
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "needs two levels")]
     fn activation_requires_depth() {
         let mut f = fixture(1);
         let img = vec![0.5f32; 4];
         let x = encrypt_image_batch(&f.ev, &f.pk, &mut f.s, &[&img], 2, 1);
-        let _ = he_activation(&f.ev, &f.rk, &x, &[0.0, 1.0, 0.5, 0.1]);
+        let _ = he_activation(
+            &f.ev,
+            &f.rk,
+            &x,
+            &[0.0, 1.0, 0.5, 0.1],
+            ExecMode::sequential(),
+        );
     }
 }

@@ -9,9 +9,10 @@
 //!   HE-evaluable networks ([`network`]);
 //! * the RNS input-signal decomposition of Figs. 2/5 — residue (CRT) and
 //!   mixed-radix digit forms ([`rns_input`]);
-//! * execution planning: sequential CNN-HE baseline vs. `k`-stream
-//!   CNN-HE-RNS, with measured-CPU-time scheduling simulation for
-//!   single-core hosts ([`exec`]);
+//! * execution: a real multi-threaded unit executor ([`exec::ExecMode`])
+//!   with hoisted weight-residue tables ([`weights`]), plus `k`-stream
+//!   CNN-HE-RNS scheduling simulation validated against measured
+//!   wall-clock ([`exec`]);
 //! * the end-to-end encrypt → evaluate → decrypt pipeline ([`pipeline`]).
 
 pub mod encrypted_weights;
@@ -26,10 +27,12 @@ pub mod pipeline;
 pub mod quantize;
 pub mod rns_input;
 pub mod throughput;
+pub mod weights;
 
-pub use exec::{ExecPlan, InferenceTiming};
+pub use exec::{ExecMode, ExecPlan, InferenceTiming, SimulationCheck};
 pub use he_tensor::CtTensor;
 pub use metrics::LatencyStats;
 pub use network::{HeLayerSpec, HeNetwork};
 pub use pipeline::{Classification, CnnHePipeline};
 pub use rns_input::{RnsInputCodec, SignalDecomposition};
+pub use weights::WeightResidueTable;

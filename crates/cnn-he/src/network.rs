@@ -12,7 +12,7 @@
 //! * [`HeNetwork::infer_encrypted`] — over CKKS ciphertexts, with
 //!   per-unit timing capture for the execution simulator.
 
-use crate::exec::{InferenceTiming, LayerTiming};
+use crate::exec::{ExecMode, InferenceTiming, LayerTiming};
 use crate::he_layers::{he_activation, he_conv2d, he_dense, ConvSpec, DenseSpec};
 use crate::he_tensor::CtTensor;
 use ckks::{Evaluator, RelinKey};
@@ -190,13 +190,27 @@ impl HeNetwork {
         cur
     }
 
-    /// Encrypted inference over a ciphertext tensor, returning the
-    /// encrypted logits and the per-layer timing record.
+    /// Encrypted inference over a ciphertext tensor with the default
+    /// sequential [`ExecMode`]. See [`Self::infer_encrypted_with`].
     pub fn infer_encrypted(
         &self,
         ev: &Evaluator,
         rk: &RelinKey,
+        x: CtTensor,
+    ) -> (CtTensor, InferenceTiming) {
+        self.infer_encrypted_with(ev, rk, x, ExecMode::sequential())
+    }
+
+    /// Encrypted inference under an explicit execution mode, returning
+    /// the encrypted logits and the per-layer timing record (per-unit
+    /// CPU times for the simulator, plus measured per-layer wall-clock).
+    /// Outputs are bit-identical across modes.
+    pub fn infer_encrypted_with(
+        &self,
+        ev: &Evaluator,
+        rk: &RelinKey,
         mut x: CtTensor,
+        mode: ExecMode,
     ) -> (CtTensor, InferenceTiming) {
         // debug builds re-lint the remaining circuit from the input's
         // actual level, so a mis-planned call fails with the full
@@ -217,29 +231,36 @@ impl HeNetwork {
             let fixed0 = Instant::now();
             let (out, times, parallel) = match layer {
                 HeLayerSpec::Conv(spec) => {
-                    let (y, t) = he_conv2d(ev, &x, spec);
+                    let (y, t) = he_conv2d(ev, &x, spec, mode);
                     (y, t, true)
                 }
                 HeLayerSpec::Dense(spec) => {
                     let flat = x.flatten();
-                    let (y, t) = he_dense(ev, &flat, spec);
+                    let (y, t) = he_dense(ev, &flat, spec, mode);
                     (y, t, true)
                 }
                 HeLayerSpec::Activation(coeffs) => {
                     // Nonlinear: must act on the reassembled signal — the
                     // RNS streams cannot carry it (σ(Σβ_j d_j) ≠ Σβ_j σ(d_j)),
-                    // so activations are outside the parallel region.
-                    let (y, t) = he_activation(ev, rk, &x, coeffs);
+                    // so activations are outside the *stream*-parallel
+                    // region of the simulator; thread-level unit
+                    // parallelism still applies (each ciphertext's SLAF
+                    // is independent).
+                    let (y, t) = he_activation(ev, rk, &x, coeffs, mode);
                     (y, t, false)
                 }
             };
+            let wall = fixed0.elapsed();
             let unit_sum: Duration = times.iter().sum();
-            let fixed = fixed0.elapsed().saturating_sub(unit_sum);
+            // under unit-parallelism the units overlap, so the wall can
+            // be smaller than the unit CPU sum — fixed saturates to zero
+            let fixed = wall.saturating_sub(unit_sum);
             timing.layers.push(LayerTiming {
                 name: layer.name(),
                 unit_times: times,
                 parallel,
                 fixed,
+                wall,
             });
             x = out;
         }

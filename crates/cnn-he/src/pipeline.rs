@@ -2,7 +2,7 @@
 //! deployment): client encodes + encrypts, server evaluates the CNN over
 //! ciphertexts, client decrypts the logits.
 
-use crate::exec::{ExecPlan, InferenceTiming};
+use crate::exec::{ExecMode, ExecPlan, InferenceTiming};
 use crate::he_tensor::{decrypt_tensor, encrypt_image_batch, CtTensor};
 use crate::network::HeNetwork;
 use ckks::{CkksContext, CkksParams, Evaluator, KeyGenerator, PublicKey, RelinKey, SecretKey};
@@ -19,6 +19,9 @@ pub struct CnnHePipeline {
     ev: Evaluator,
     pub network: HeNetwork,
     sampler: Sampler,
+    /// How encrypted layers execute (sequential by default); see
+    /// [`Self::set_exec_mode`].
+    exec_mode: ExecMode,
 }
 
 /// Result of one encrypted classification request.
@@ -76,7 +79,20 @@ impl CnnHePipeline {
             ev,
             network,
             sampler: Sampler::from_seed(seed ^ 0x00C0_FFEE),
+            exec_mode: ExecMode::sequential(),
         }
+    }
+
+    /// Selects how [`Self::classify`] executes layer unit loops.
+    /// Sequential mode measures clean per-unit CPU times for the
+    /// simulator; [`ExecMode::unit_parallel`] runs units on real threads
+    /// (bit-identical results, lower wall-clock).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Static admission check: lints the network's circuit plan against
@@ -119,7 +135,9 @@ impl CnnHePipeline {
     /// (client-side) decrypts logits and takes argmax.
     pub fn classify(&mut self, images: &[&[f32]]) -> Classification {
         let x = self.encrypt(images);
-        let (logits_ct, timing) = self.network.infer_encrypted(&self.ev, &self.rk, x);
+        let (logits_ct, timing) =
+            self.network
+                .infer_encrypted_with(&self.ev, &self.rk, x, self.exec_mode);
         let logits = decrypt_tensor(&self.ev, &self.sk, &logits_ct, images.len());
         let predictions = logits
             .iter()

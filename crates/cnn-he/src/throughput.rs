@@ -26,12 +26,21 @@ pub struct ThroughputReport {
 /// Computes the throughput report for a measured inference under a plan.
 pub fn throughput(timing: &InferenceTiming, batch: usize, plan: ExecPlan) -> ThroughputReport {
     assert!(batch >= 1);
-    let wall = timing.simulated_wall(plan);
-    let per_image = wall / batch as u32;
+    report(timing.simulated_wall(plan), batch)
+}
+
+/// Throughput from the *measured* wall-clock of a real (possibly
+/// unit-parallel) run, rather than the makespan simulation.
+pub fn throughput_measured(timing: &InferenceTiming, batch: usize) -> ThroughputReport {
+    assert!(batch >= 1);
+    report(timing.measured_wall(), batch)
+}
+
+fn report(wall: Duration, batch: usize) -> ThroughputReport {
     ThroughputReport {
         batch,
         request_latency: wall,
-        per_image,
+        per_image: wall / batch as u32,
         images_per_sec: batch as f64 / wall.as_secs_f64().max(1e-12),
     }
 }
@@ -66,6 +75,7 @@ mod tests {
                 unit_times: vec![Duration::from_millis(10); 100],
                 parallel: true,
                 fixed: Duration::ZERO,
+                wall: Duration::from_millis(250),
             }],
         }
     }
@@ -88,6 +98,14 @@ mod tests {
         let par = throughput(&t, 8, ExecPlan::rns(4));
         assert!(par.request_latency < seq.request_latency);
         assert!(par.images_per_sec > seq.images_per_sec);
+    }
+
+    #[test]
+    fn measured_throughput_uses_wall_field() {
+        let t = timing();
+        let r = throughput_measured(&t, 10);
+        assert_eq!(r.request_latency, Duration::from_millis(250));
+        assert_eq!(r.per_image, Duration::from_millis(25));
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Hoisted weight encoding for plaintext-weight layers.
+//!
+//! The MAC hot path multiplies a ciphertext by a *plain* scalar weight.
+//! Encoding that weight — rounding to `⌊w·Δ⌉`, reducing per limb, and
+//! computing the Shoup precomputation (one 128-bit division per limb) —
+//! was previously redone on every MAC, even though a conv kernel tap is
+//! reused at every one of the `oh×ow` output positions (CryptoNets and
+//! LoLa both single out plaintext-encoding amortization as a dominant
+//! lever). [`WeightResidueTable`] performs that encoding exactly once
+//! per distinct `(weight, level)` and lets the layer replay it through
+//! [`Evaluator::mul_residues_acc`].
+
+use ckks::{Evaluator, PreparedScalar};
+use std::collections::HashMap;
+
+/// Per-layer table of prepared weight residues, indexed by the layer's
+/// flat weight index. Zero weights map to `None` (the MAC is skipped
+/// entirely, matching the reference semantics).
+#[derive(Debug, Clone)]
+pub struct WeightResidueTable {
+    prepared: Vec<Option<PreparedScalar>>,
+    distinct: usize,
+}
+
+impl WeightResidueTable {
+    /// Encodes every distinct weight of `weights` once at
+    /// `(pt_scale, level)`. Duplicate values (exact f32 bit patterns —
+    /// common after quantization or BN folding, and trivially true for
+    /// each conv tap across output positions) share one encoding.
+    pub fn build(ev: &Evaluator, weights: &[f32], pt_scale: f64, level: usize) -> Self {
+        let mut cache: HashMap<u32, PreparedScalar> = HashMap::new();
+        let mut distinct = 0usize;
+        let prepared = weights
+            .iter()
+            .map(|&w| {
+                if w == 0.0 {
+                    return None;
+                }
+                Some(
+                    cache
+                        .entry(w.to_bits())
+                        .or_insert_with(|| {
+                            distinct += 1;
+                            ev.prepare_scalar(w as f64, pt_scale, level)
+                        })
+                        .clone(),
+                )
+            })
+            .collect();
+        Self { prepared, distinct }
+    }
+
+    /// Prepared residues of weight `i`, or `None` if it is exactly zero.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&PreparedScalar> {
+        self.prepared[i].as_ref()
+    }
+
+    pub fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+
+    /// Number of distinct non-zero weights actually encoded.
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckks::{CkksParams, KeyGenerator};
+    use std::sync::Arc;
+
+    #[test]
+    fn dedups_and_skips_zeros() {
+        let ctx = CkksParams::tiny(2).build();
+        let ev = Evaluator::new(ctx);
+        let w = [0.5f32, 0.0, -0.25, 0.5, 0.5, 0.0];
+        let t = WeightResidueTable::build(&ev, &w, 1024.0, 2);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.distinct(), 2); // 0.5 and -0.25
+        assert!(t.get(1).is_none());
+        assert!(t.get(5).is_none());
+        let a = t.get(0).unwrap();
+        let b = t.get(3).unwrap();
+        assert_eq!(a.r, b.r);
+        assert_eq!(a.r_shoup, b.r_shoup);
+        assert_eq!(a.level, 2);
+    }
+
+    #[test]
+    fn replay_matches_fresh_encode() {
+        // mul_residues_acc over the table must be bit-identical to
+        // mul_scalar_acc with the raw weight
+        let ctx = CkksParams::tiny(2).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 700);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let ev = Evaluator::new(ctx);
+        let mut s = ckks_math::sampler::Sampler::from_seed(701);
+        let pt = ckks::encode_constant(ev.ctx(), 0.7, ev.ctx().params().scale(), 2);
+        let x = ev.encrypt(&pt, &pk, &mut s);
+        let q_m = ev.ctx().chain_moduli()[2].value() as f64;
+        let w = [0.31f32, -0.12];
+        let t = WeightResidueTable::build(&ev, &w, q_m, 2);
+
+        let mut acc_a = ev.zero_ciphertext(x.scale * q_m, 2, x.slots);
+        let mut acc_b = acc_a.clone();
+        for (i, &wv) in w.iter().enumerate() {
+            ev.mul_scalar_acc(&mut acc_a, &x, wv as f64, q_m);
+            ev.mul_residues_acc(&mut acc_b, &x, t.get(i).unwrap());
+        }
+        for li in 0..=2 {
+            assert_eq!(acc_a.c0.limb(li), acc_b.c0.limb(li));
+            assert_eq!(acc_a.c1.limb(li), acc_b.c1.limb(li));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration: the real parallel execution engine.
+//!
+//! Parallel unit execution must be *bit-identical* to sequential
+//! execution — each output unit is an independent computation, so the
+//! thread count can only change wall-clock, never limbs. These tests run
+//! a full network both ways and compare every limb of every ciphertext,
+//! under whatever `RAYON_NUM_THREADS` the environment sets (CI exercises
+//! the 1-thread matrix variant) plus explicit 2- and 4-thread modes.
+
+use ckks::{CkksContext, Evaluator, KeyGenerator, PublicKey, RelinKey};
+use ckks_math::sampler::Sampler;
+use cnn_he::he_layers::{ConvSpec, DenseSpec};
+use cnn_he::he_tensor::{encrypt_image_batch, CtTensor};
+use cnn_he::network::HeLayerSpec;
+use cnn_he::{ExecMode, ExecPlan, HeNetwork};
+use std::sync::Arc;
+
+fn mini_network(seed: u64) -> HeNetwork {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut w = |n: usize| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-0.3f32..0.3)).collect() };
+    let conv = ConvSpec {
+        weight: w(2 * 9),
+        bias: vec![0.05, -0.05],
+        in_ch: 1,
+        out_ch: 2,
+        k: 3,
+        stride: 2,
+        pad: 1,
+    }; // 8 → 4; flat = 2·16 = 32
+    let dense = DenseSpec {
+        weight: w(32 * 4),
+        bias: w(4),
+        in_dim: 32,
+        out_dim: 4,
+    };
+    HeNetwork {
+        layers: vec![
+            HeLayerSpec::Conv(conv),
+            HeLayerSpec::Activation(vec![0.1, 0.6, 0.2, 0.05]),
+            HeLayerSpec::Dense(dense),
+        ],
+        input_side: 8,
+    }
+}
+
+struct Fx {
+    ev: Evaluator,
+    pk: PublicKey,
+    rk: RelinKey,
+}
+
+fn fixture(ctx: Arc<CkksContext>, seed: u64) -> Fx {
+    let mut kg = KeyGenerator::new(Arc::clone(&ctx), seed);
+    let sk = kg.gen_secret_key();
+    let pk = kg.gen_public_key(&sk);
+    let rk = kg.gen_relin_key(&sk);
+    Fx {
+        ev: Evaluator::new(ctx),
+        pk,
+        rk,
+    }
+}
+
+fn assert_tensors_bit_identical(a: &CtTensor, b: &CtTensor) {
+    assert_eq!(a.cts.len(), b.cts.len());
+    for (i, (x, y)) in a.cts.iter().zip(&b.cts).enumerate() {
+        assert_eq!(x.level, y.level, "ct {i}: level");
+        assert_eq!(x.scale.to_bits(), y.scale.to_bits(), "ct {i}: scale");
+        for li in 0..=x.level {
+            assert_eq!(x.c0.limb(li), y.c0.limb(li), "ct {i} limb {li}: c0");
+            assert_eq!(x.c1.limb(li), y.c1.limb(li), "ct {i} limb {li}: c1");
+        }
+    }
+}
+
+#[test]
+fn parallel_inference_is_bit_identical_to_sequential() {
+    let net = mini_network(500);
+    let params = ckks::CkksParams::tiny(net.required_levels());
+    let f = fixture(params.build(), 500);
+    let img: Vec<f32> = (0..64).map(|i| ((i * 7) % 13) as f32 / 13.0).collect();
+    let mut s = Sampler::from_seed(501);
+    let x = encrypt_image_batch(&f.ev, &f.pk, &mut s, &[&img], 8, net.required_levels());
+
+    let (y_seq, t_seq) = net.infer_encrypted_with(&f.ev, &f.rk, x.clone(), ExecMode::sequential());
+    for threads in [2usize, 4] {
+        let (y_par, t_par) =
+            net.infer_encrypted_with(&f.ev, &f.rk, x.clone(), ExecMode::unit_parallel(threads));
+        assert_tensors_bit_identical(&y_seq, &y_par);
+        assert_eq!(t_seq.layers.len(), t_par.layers.len());
+        for l in &t_par.layers {
+            assert!(
+                l.wall > std::time::Duration::ZERO,
+                "{}: wall not captured",
+                l.name
+            );
+        }
+    }
+}
+
+#[test]
+fn limb_parallel_flag_is_restored_after_parallel_inference() {
+    let net = mini_network(502);
+    let params = ckks::CkksParams::tiny(net.required_levels());
+    let f = fixture(params.build(), 502);
+    let img = vec![0.4f32; 64];
+    let mut s = Sampler::from_seed(503);
+    let x = encrypt_image_batch(&f.ev, &f.pk, &mut s, &[&img], 8, net.required_levels());
+    let pc = Arc::clone(f.ev.ctx().poly_ctx());
+    pc.set_parallel(true);
+    let _ = net.infer_encrypted_with(&f.ev, &f.rk, x, ExecMode::unit_parallel(2));
+    assert!(pc.parallel(), "ExecMode leaked limb_parallel=false");
+}
+
+#[test]
+fn simulation_validates_against_measured_wall() {
+    let net = mini_network(504);
+    let params = ckks::CkksParams::tiny(net.required_levels());
+    let f = fixture(params.build(), 504);
+    let img = vec![0.3f32; 64];
+    let mut s = Sampler::from_seed(505);
+    let x = encrypt_image_batch(&f.ev, &f.pk, &mut s, &[&img], 8, net.required_levels());
+    let (_, timing) = net.infer_encrypted_with(&f.ev, &f.rk, x, ExecMode::sequential());
+    // sequential run: measured wall ≈ CPU total, so the baseline-plan
+    // simulation must agree with the measurement within a loose factor
+    // (timer granularity on very fast toy layers)
+    let check = timing.validate_against(ExecPlan::baseline());
+    assert!(check.measured > std::time::Duration::ZERO);
+    assert!(check.simulated > std::time::Duration::ZERO);
+    let r = check.ratio();
+    assert!(r > 0.5 && r < 2.0, "sequential sim/real ratio off: {r}");
+}

@@ -1,76 +1,485 @@
-//! Offline stand-in for `rayon`. The workspace only uses slice-level
-//! data parallelism (`par_iter`, `par_iter_mut`, `par_chunks_mut`) plus
-//! `current_num_threads`; here every parallel iterator degrades to the
-//! corresponding sequential `std` iterator, which is semantically
-//! identical (rayon itself degrades to this on a 1-thread pool — and the
-//! execution simulator in `cnn-he::exec` models multi-core wall-clock
-//! from sequential measurements anyway).
+//! Offline stand-in for `rayon` with **real** data parallelism.
+//!
+//! The workspace uses slice-level parallel iteration (`par_iter`,
+//! `par_iter_mut`, `par_chunks_mut`), range fan-out (`into_par_iter`),
+//! `join`, scoped thread pools (`ThreadPoolBuilder`), and
+//! `current_num_threads`. Unlike the original sequential shim, every
+//! terminal operation here partitions the index space into contiguous
+//! chunks and runs them on `std::thread::scope` threads, so unit-level
+//! layer parallelism in `cnn-he` gets genuine multi-core execution.
+//!
+//! Semantics match rayon where it matters:
+//! * `RAYON_NUM_THREADS` caps the worker count (read once, like rayon's
+//!   global pool); otherwise `available_parallelism` decides.
+//! * `ThreadPool::install` scopes a different worker count over a
+//!   closure (rayon pins work to its pool; we scope a thread-local
+//!   override, which is equivalent for the fork-join patterns used
+//!   here).
+//! * Item order is preserved: `collect` writes item `i` to slot `i`
+//!   regardless of which worker produced it, so parallel results are
+//!   bit-identical to sequential ones.
+//!
+//! There is no work stealing: each worker gets one contiguous chunk.
+//! For the coarse, uniform units this workspace parallelizes (one
+//! ciphertext MAC chain or NTT limb per item) static partitioning is
+//! within a few percent of a stealing scheduler, and it keeps the shim
+//! small enough to audit.
 
-/// Number of worker threads a real rayon pool would use on this host.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// `RAYON_NUM_THREADS`, read once (rayon also latches it at pool
+/// construction).
+fn env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
 }
 
-/// Sequential stand-in for `rayon::join`: runs both closures in order.
+fn default_threads() -> usize {
+    env_threads()
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+}
+
+thread_local! {
+    /// Worker count scoped by `ThreadPool::install` on the calling thread.
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations issued from this thread
+/// will use.
+pub fn current_num_threads() -> usize {
+    POOL_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(default_threads)
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (building the
+/// stand-in pool cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirror of `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (the default) means "use the global default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            n: if self.num_threads == 0 {
+                default_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A virtual pool: a worker-count override installed for the duration of
+/// a closure. Threads are spawned per parallel call (scoped), not kept
+/// resident — acceptable for the coarse-grained fork-joins used here.
+#[derive(Debug)]
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                POOL_OVERRIDE.with(|c| c.set(prev));
+            }
+        }
+        let _guard = Restore(POOL_OVERRIDE.with(|c| c.replace(Some(self.n))));
+        f()
+    }
+}
+
+/// Runs both closures, in parallel when more than one worker is allowed.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_num_threads() > 1 {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon::join closure panicked"))
+        })
+    } else {
+        (a(), b())
+    }
+}
+
+/// Splits `0..len` into one contiguous chunk per worker and runs `work`
+/// on scoped threads (first chunk inline on the caller). Degrades to a
+/// plain loop when one worker suffices.
+fn run_partitioned<F: Fn(Range<usize>) + Sync>(len: usize, work: F) {
+    if len == 0 {
+        return;
+    }
+    let threads = current_num_threads().min(len).max(1);
+    if threads <= 1 {
+        work(0..len);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|s| {
+        let work = &work;
+        let mut start = chunk; // chunk 0 runs inline below
+        while start < len {
+            let end = (start + chunk).min(len);
+            s.spawn(move || work(start..end));
+            start = end;
+        }
+        work(0..chunk.min(len));
+    });
 }
 
 pub mod iter {
-    /// `par_iter` / `par_chunks` over shared slices.
-    pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    use super::{run_partitioned, PhantomData, Range};
+
+    /// Random-access item source driving the parallel executor. Every
+    /// adapter and terminal in this module goes through it.
+    ///
+    /// # Safety contract
+    ///
+    /// Terminal operations call `produce(i)` **at most once per index**,
+    /// only for `i < len()`, possibly from multiple threads. Producers
+    /// handing out `&mut` items or moving values out rely on this for
+    /// aliasing/double-read safety.
+    pub trait Producer: Sync + Sized {
+        type Item: Send;
+        fn len(&self) -> usize;
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+        /// # Safety
+        /// `i < self.len()` and each index is produced at most once.
+        unsafe fn produce(&self, i: usize) -> Self::Item;
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+    // -- sources ----------------------------------------------------
+
+    /// `par_iter` over a shared slice.
+    pub struct SliceProducer<'a, T>(&'a [T]);
+
+    impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+        type Item = &'a T;
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        unsafe fn produce(&self, i: usize) -> &'a T {
+            self.0.get_unchecked(i)
+        }
+    }
+
+    /// `par_chunks` over a shared slice.
+    pub struct ChunksProducer<'a, T> {
+        slice: &'a [T],
+        size: usize,
+    }
+
+    impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+        type Item = &'a [T];
+        fn len(&self) -> usize {
+            self.slice.len().div_ceil(self.size)
+        }
+        unsafe fn produce(&self, i: usize) -> &'a [T] {
+            let start = i * self.size;
+            &self.slice[start..(start + self.size).min(self.slice.len())]
+        }
+    }
+
+    /// `par_iter_mut` over a mutable slice: disjoint `&mut` per index.
+    pub struct SliceMutProducer<'a, T> {
+        ptr: *mut T,
+        len: usize,
+        _marker: PhantomData<&'a mut T>,
+    }
+
+    unsafe impl<T: Send> Sync for SliceMutProducer<'_, T> {}
+
+    impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+        type Item = &'a mut T;
+        fn len(&self) -> usize {
+            self.len
+        }
+        unsafe fn produce(&self, i: usize) -> &'a mut T {
+            &mut *self.ptr.add(i)
+        }
+    }
+
+    /// `par_chunks_mut`: disjoint `&mut [T]` windows.
+    pub struct ChunksMutProducer<'a, T> {
+        ptr: *mut T,
+        len: usize,
+        size: usize,
+        _marker: PhantomData<&'a mut T>,
+    }
+
+    unsafe impl<T: Send> Sync for ChunksMutProducer<'_, T> {}
+
+    impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+        type Item = &'a mut [T];
+        fn len(&self) -> usize {
+            self.len.div_ceil(self.size)
+        }
+        unsafe fn produce(&self, i: usize) -> &'a mut [T] {
+            let start = i * self.size;
+            let end = (start + self.size).min(self.len);
+            std::slice::from_raw_parts_mut(self.ptr.add(start), end - start)
+        }
+    }
+
+    /// `(a..b).into_par_iter()`.
+    pub struct RangeProducer {
+        start: usize,
+        len: usize,
+    }
+
+    impl Producer for RangeProducer {
+        type Item = usize;
+        fn len(&self) -> usize {
+            self.len
+        }
+        unsafe fn produce(&self, i: usize) -> usize {
+            self.start + i
+        }
+    }
+
+    // -- adapters ---------------------------------------------------
+
+    pub struct Map<P, F> {
+        p: P,
+        f: F,
+    }
+
+    impl<P: Producer, R: Send, F> Producer for Map<P, F>
+    where
+        F: Fn(P::Item) -> R + Sync,
+    {
+        type Item = R;
+        fn len(&self) -> usize {
+            self.p.len()
+        }
+        unsafe fn produce(&self, i: usize) -> R {
+            (self.f)(self.p.produce(i))
+        }
+    }
+
+    pub struct Zip<A, B> {
+        a: A,
+        b: B,
+    }
+
+    impl<A: Producer, B: Producer> Producer for Zip<A, B> {
+        type Item = (A::Item, B::Item);
+        fn len(&self) -> usize {
+            self.a.len().min(self.b.len())
+        }
+        unsafe fn produce(&self, i: usize) -> Self::Item {
+            (self.a.produce(i), self.b.produce(i))
+        }
+    }
+
+    pub struct Enumerate<P> {
+        p: P,
+    }
+
+    impl<P: Producer> Producer for Enumerate<P> {
+        type Item = (usize, P::Item);
+        fn len(&self) -> usize {
+            self.p.len()
+        }
+        unsafe fn produce(&self, i: usize) -> Self::Item {
+            (i, self.p.produce(i))
+        }
+    }
+
+    // -- terminals / combinator surface -----------------------------
+
+    /// The user-facing combinator trait (rayon's `ParallelIterator` +
+    /// `IndexedParallelIterator`, collapsed).
+    pub trait ParallelIterator: Producer {
+        fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+            Map { p: self, f }
         }
 
-        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(size)
+        fn zip<B: Producer>(self, other: B) -> Zip<Self, B> {
+            Zip { a: self, b: other }
+        }
+
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { p: self }
+        }
+
+        fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+            let p = &self;
+            run_partitioned(self.len(), |range| {
+                for i in range {
+                    // SAFETY: ranges from run_partitioned are disjoint
+                    // and in-bounds.
+                    f(unsafe { p.produce(i) });
+                }
+            });
+        }
+
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_par(self)
+        }
+    }
+
+    impl<P: Producer> ParallelIterator for P {}
+
+    /// Order-preserving parallel collect target.
+    pub trait FromParallelIterator<T: Send>: Sized {
+        fn from_par<P: Producer<Item = T>>(p: P) -> Self;
+    }
+
+    struct SendPtr<T>(*mut T);
+    impl<T> SendPtr<T> {
+        /// Accessor so closures capture the `Sync` wrapper, not the raw
+        /// pointer field (2021 disjoint capture would grab `.0`, which
+        /// is `!Sync`).
+        fn ptr(&self) -> *mut T {
+            self.0
+        }
+    }
+    impl<T> Clone for SendPtr<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for SendPtr<T> {}
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+    unsafe impl<T: Send> Send for SendPtr<T> {}
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par<P: Producer<Item = T>>(p: P) -> Self {
+            let len = p.len();
+            let mut out: Vec<T> = Vec::with_capacity(len);
+            let base = SendPtr(out.as_mut_ptr());
+            {
+                let p = &p;
+                run_partitioned(len, |range| {
+                    for i in range {
+                        // SAFETY: slot i is written exactly once (ranges
+                        // are disjoint), inside the reserved capacity.
+                        unsafe { base.ptr().add(i).write(p.produce(i)) };
+                    }
+                });
+            }
+            // SAFETY: all len slots initialized above. (On panic the
+            // scope unwinds before this point and written items leak,
+            // which is safe.)
+            unsafe { out.set_len(len) };
+            out
+        }
+    }
+
+    /// `par_iter` / `par_chunks` over shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        fn par_iter(&self) -> SliceProducer<'_, T>;
+        fn par_chunks(&self, size: usize) -> ChunksProducer<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> SliceProducer<'_, T> {
+            SliceProducer(self)
+        }
+
+        fn par_chunks(&self, size: usize) -> ChunksProducer<'_, T> {
+            assert!(size > 0, "chunk size must be non-zero");
+            ChunksProducer { slice: self, size }
         }
     }
 
     /// `par_iter_mut` / `par_chunks_mut` over mutable slices.
-    pub trait ParallelSliceMut<T> {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_iter_mut(&mut self) -> SliceMutProducer<'_, T>;
+        fn par_chunks_mut(&mut self, size: usize) -> ChunksMutProducer<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> SliceMutProducer<'_, T> {
+            SliceMutProducer {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                _marker: PhantomData,
+            }
         }
 
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(size)
+        fn par_chunks_mut(&mut self, size: usize) -> ChunksMutProducer<'_, T> {
+            assert!(size > 0, "chunk size must be non-zero");
+            ChunksMutProducer {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                size,
+                _marker: PhantomData,
+            }
         }
     }
 
-    /// `into_par_iter` for owned collections and ranges.
+    /// `into_par_iter` for index ranges (the fan-out primitive the
+    /// encrypted layers use for unit-level parallelism).
     pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
+        type Item: Send;
+        type Iter: Producer<Item = Self::Item>;
         fn into_par_iter(self) -> Self::Iter;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+    impl IntoParallelIterator for Range<usize> {
+        type Item = usize;
+        type Iter = RangeProducer;
+        fn into_par_iter(self) -> RangeProducer {
+            RangeProducer {
+                start: self.start,
+                len: self.end.saturating_sub(self.start),
+            }
         }
     }
 }
 
 pub mod prelude {
-    pub use crate::iter::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+    pub use crate::iter::{
+        IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
@@ -96,8 +505,66 @@ mod tests {
         });
         assert_eq!(c, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
 
-        let squares: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * x).collect();
+        let squares: Vec<usize> = (0usize..5).into_par_iter().map(|x| x * x).collect();
         assert_eq!(squares, [0, 1, 4, 9, 16]);
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn zip_and_enumerate_preserve_order() {
+        let a: Vec<u64> = (0..37).collect();
+        let b: Vec<u64> = (0..37).map(|x| x * 10).collect();
+        let sums: Vec<u64> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
+        assert_eq!(sums, (0..37).map(|x| x * 11).collect::<Vec<_>>());
+
+        let tagged: Vec<(usize, u64)> = a.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        for (i, (j, x)) in tagged.iter().enumerate() {
+            assert_eq!(i, *j);
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let outside = super::current_num_threads();
+        let inside = pool.install(super::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(super::current_num_threads(), outside);
+    }
+
+    #[test]
+    fn pool_runs_work_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let ids = Mutex::new(HashSet::new());
+        let out: Vec<usize> = pool.install(|| {
+            (0usize..64)
+                .into_par_iter()
+                .map(|i| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    i * 3
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+        // 4 workers requested; at least 2 distinct threads must have run
+        // (the caller counts as one).
+        assert!(ids.lock().unwrap().len() >= 2, "work never left one thread");
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
     }
 }

@@ -123,6 +123,26 @@ fn bench_layer_parallel(c: &mut Criterion) {
         b.iter(|| criterion::black_box(WeightResidueTable::build(&ev, &spec.weight, q_m, level)));
     });
     g.finish();
+
+    // Tracing overhead on the same conv layer: counters-only (idle, no
+    // session recording) vs a live TraceSession capturing spans. The
+    // budget is <2% over idle; a `--no-default-features` build removes
+    // even the idle cost (compile-time no-ops), which cannot be
+    // measured from this binary since it is built with tracing on.
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+    g.bench_function("tracing_idle", |b| {
+        b.iter(|| he_conv2d(&ev, &x, &spec, ExecMode::sequential()));
+    });
+    g.bench_function("tracing_recording", |b| {
+        b.iter(|| {
+            let session = he_trace::TraceSession::begin();
+            let out = he_conv2d(&ev, &x, &spec, ExecMode::sequential());
+            criterion::black_box(session.finish());
+            out
+        });
+    });
+    g.finish();
 }
 
 criterion_group!(benches, bench_layer_parallel);

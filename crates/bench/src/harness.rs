@@ -163,13 +163,14 @@ pub struct ExperimentResult {
 
 impl ExperimentResult {
     /// Latency stats under a given plan, from the measured runs.
+    /// Panics only if the experiment ran zero latency runs.
     pub fn stats(&self, plan: ExecPlan) -> LatencyStats {
         let secs: Vec<f64> = self
             .timings
             .iter()
             .map(|t| t.simulated_wall(plan).as_secs_f64())
             .collect();
-        LatencyStats::from_secs(&secs)
+        LatencyStats::from_secs(&secs).expect("experiment recorded no latency runs")
     }
 }
 

@@ -113,6 +113,7 @@ impl NttTable {
     /// order. Output: evaluations `< p` in bit-reversed order.
     pub fn forward(&self, a: &mut [u64]) {
         debug_assert_eq!(a.len(), self.n);
+        he_trace::record_ntt_fwd(1);
         let p = self.modulus.value();
         let two_p = p << 1;
         let n = self.n;
@@ -156,6 +157,7 @@ impl NttTable {
     /// bit-reversed order. Output: coefficients `< p` in natural order.
     pub fn inverse(&self, a: &mut [u64]) {
         debug_assert_eq!(a.len(), self.n);
+        he_trace::record_ntt_inv(1);
         let p = self.modulus.value();
         let two_p = p << 1;
         let n = self.n;

@@ -335,6 +335,7 @@ impl RnsPoly {
     pub fn mul_assign(&mut self, other: &Self) {
         self.assert_compatible(other);
         assert_eq!(self.form, Form::Ntt, "multiplication requires NTT form");
+        he_trace::record_modmul_limbs(self.limbs.len() as u64);
         let ctx = Arc::clone(&self.ctx);
         let indices = self.limb_indices.clone();
         let other_limbs = &other.limbs;
@@ -361,6 +362,7 @@ impl RnsPoly {
         self.assert_compatible(a);
         self.assert_compatible(b);
         assert_eq!(self.form, Form::Ntt);
+        he_trace::record_modmul_limbs(self.limbs.len() as u64);
         let ctx = Arc::clone(&self.ctx);
         let indices = self.limb_indices.clone();
         let a_limbs = &a.limbs;
@@ -386,6 +388,7 @@ impl RnsPoly {
     /// already reduced).
     pub fn mul_scalar_per_limb(&mut self, scalars: &[u64]) {
         assert_eq!(scalars.len(), self.num_limbs());
+        he_trace::record_modmul_limbs(self.limbs.len() as u64);
         let ctx = Arc::clone(&self.ctx);
         let indices = self.limb_indices.clone();
         for (i, data) in self.limbs.iter_mut().enumerate() {

@@ -307,6 +307,8 @@ impl Evaluator {
     /// at `x.level`. Bit-identical to [`Evaluator::mul_scalar_acc`] with
     /// the same scalar — only the per-call encode work is skipped.
     pub fn mul_residues_acc(&self, acc: &mut Ciphertext, x: &Ciphertext, w: &PreparedScalar) {
+        he_trace::record_scalar_mac(1);
+        he_trace::record_modmul_limbs(2 * (x.level as u64 + 1));
         assert_eq!(acc.level, x.level, "level mismatch");
         assert_eq!(w.level, x.level, "prepared scalar level mismatch");
         assert!(
@@ -385,6 +387,7 @@ impl Evaluator {
 
     /// Homomorphic square (saves one of the three tensor products).
     pub fn square(&self, a: &Ciphertext, rk: &RelinKey) -> Ciphertext {
+        he_trace::record_ct_mult(1);
         let mut d0 = a.c0.clone();
         d0.mul_assign(&a.c0);
         let mut d1 = a.c0.clone();
@@ -399,6 +402,7 @@ impl Evaluator {
     /// Degree-2 tensor product `(d₀, d₁, d₂)`; exposed for tests and the
     /// bignum cross-validation.
     pub fn tensor(&self, a: &Ciphertext, b: &Ciphertext) -> (RnsPoly, RnsPoly, RnsPoly) {
+        he_trace::record_ct_mult(1);
         assert_eq!(a.level, b.level, "level mismatch (mod-switch first)");
         let mut d0 = a.c0.clone();
         d0.mul_assign(&b.c0);
@@ -421,6 +425,8 @@ impl Evaluator {
         b: &Ciphertext,
         rk: &RelinKey,
     ) -> Ciphertext {
+        he_trace::record_relin(1);
+        let _span = he_trace::span("relin", "he");
         let (u0, u1) = self.key_switch(&d2, &rk.0);
         let mut c0 = d0;
         c0.add_assign(&u0);
@@ -443,6 +449,8 @@ impl Evaluator {
     /// coefficient multiplying the key-switching key's source key, into a
     /// pair `(u₀, u₁)` with `u₀ + u₁·s ≈ d·w`.
     pub fn key_switch(&self, d: &RnsPoly, ksk: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
+        he_trace::record_keyswitch(1);
+        let _span = he_trace::span("keyswitch", "he");
         let level = d.num_limbs() - 1;
         let chain_len = self.ctx.poly_ctx().chain_len();
         assert!(level < chain_len);
@@ -551,6 +559,8 @@ impl Evaluator {
                 needed: 1,
             });
         }
+        he_trace::record_rescale(1);
+        let _span = he_trace::span("rescale", "he");
         let k = ct.level;
         let qk = self.ctx.chain_moduli()[k];
         let qk_val = qk.value();
@@ -679,6 +689,8 @@ impl Evaluator {
             available.sort_unstable();
             HeError::MissingGaloisKey { elem: g, available }
         })?;
+        he_trace::record_rotation(1);
+        let _span = he_trace::span("galois", "he");
         // σ_g over coefficient domain.
         let mut c0 = ct.c0.clone();
         c0.ntt_inverse();

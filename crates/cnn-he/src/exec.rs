@@ -170,9 +170,15 @@ pub struct SimulationCheck {
 impl SimulationCheck {
     /// `measured / simulated` — 1.0 means the makespan model predicted
     /// the real run exactly; >1 means reality was slower (scheduling
-    /// overhead, memory contention), <1 faster.
-    pub fn ratio(&self) -> f64 {
-        self.measured.as_secs_f64() / self.simulated.as_secs_f64().max(f64::MIN_POSITIVE)
+    /// overhead, memory contention), <1 faster. `None` when the
+    /// simulated wall is zero (empty timing record, or sub-resolution
+    /// unit times) — there is no meaningful ratio against a zero
+    /// prediction.
+    pub fn ratio(&self) -> Option<f64> {
+        if self.simulated.is_zero() {
+            return None;
+        }
+        Some(self.measured.as_secs_f64() / self.simulated.as_secs_f64())
     }
 }
 
@@ -214,23 +220,28 @@ impl InferenceTiming {
         }
     }
 
-    /// Per-layer breakdown string for reports: CPU time and measured
-    /// wall side by side.
+    /// Per-layer breakdown table for reports: CPU time and measured
+    /// wall side by side. Columns auto-size to the longest layer name,
+    /// so deep networks with verbose specs stay aligned.
     pub fn breakdown(&self) -> String {
-        self.layers
-            .iter()
-            .map(|l| {
-                format!(
-                    "  {:<22} units {:>5}  cpu {:>8.3}s  wall {:>8.3}s  {}",
-                    l.name,
-                    l.unit_times.len(),
-                    l.cpu_total().as_secs_f64(),
-                    l.wall.as_secs_f64(),
-                    if l.parallel { "parallel" } else { "sequential" }
-                )
-            })
-            .collect::<Vec<_>>()
-            .join("\n")
+        use he_trace::{Align, Table};
+        let mut t = Table::new(&[
+            ("layer", Align::Left),
+            ("units", Align::Right),
+            ("cpu (s)", Align::Right),
+            ("wall (s)", Align::Right),
+            ("mode", Align::Left),
+        ]);
+        for l in &self.layers {
+            t.row(vec![
+                l.name.clone(),
+                l.unit_times.len().to_string(),
+                format!("{:.3}", l.cpu_total().as_secs_f64()),
+                format!("{:.3}", l.wall.as_secs_f64()),
+                (if l.parallel { "parallel" } else { "sequential" }).to_string(),
+            ]);
+        }
+        t.render()
     }
 }
 
@@ -364,7 +375,20 @@ mod tests {
         assert_eq!(t.measured_wall(), ms(200 + 55));
         let check = t.validate_against(ExecPlan::baseline());
         assert_eq!(check.simulated, t.cpu_total());
-        assert!((check.ratio() - 1.0).abs() < 1e-9);
+        assert!((check.ratio().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_simulated_wall_has_no_ratio() {
+        // an empty timing record simulates to zero: ratio is undefined,
+        // not a division blow-up
+        let t = InferenceTiming::default();
+        let check = t.validate_against(ExecPlan::baseline());
+        assert_eq!(check.simulated, Duration::ZERO);
+        assert_eq!(check.ratio(), None);
+        // and a non-degenerate record still yields Some
+        let check = timing(4, 2).validate_against(ExecPlan::baseline());
+        assert!(check.ratio().is_some());
     }
 
     #[test]
@@ -373,6 +397,28 @@ mod tests {
         let s = t.breakdown();
         assert!(s.contains("cpu"));
         assert!(s.contains("wall"));
+    }
+
+    #[test]
+    fn breakdown_aligns_long_layer_names() {
+        // the table must widen its first column to the longest name, so
+        // every row has the units column at the same offset
+        let mut t = timing(10, 5);
+        t.layers[0].name = "Conv(1→32, 11×11, s1, p5) with a very long label".into();
+        let s = t.breakdown();
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows
+        assert!(lines.len() >= 4, "{s}");
+        let col_end = lines[0].find("units").unwrap() + "units".len();
+        for row in &lines[2..] {
+            // char-wise: layer names may contain multi-byte glyphs (→, ×)
+            let cell: String = row.chars().take(col_end).collect();
+            let unit_str = cell.split_whitespace().last().unwrap();
+            assert!(
+                unit_str.parse::<usize>().is_ok(),
+                "units column misaligned in {row:?}"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   with hoisted weight-residue tables ([`weights`]), plus `k`-stream
 //!   CNN-HE-RNS scheduling simulation validated against measured
 //!   wall-clock ([`exec`]);
-//! * the end-to-end encrypt → evaluate → decrypt pipeline ([`pipeline`]).
+//! * the end-to-end encrypt → evaluate → decrypt pipeline ([`pipeline`]);
+//! * runtime telemetry: per-layer spans, HE op counters, and noise-drain
+//!   sampling, cross-checked against the `he-lint` static plan
+//!   ([`trace`], [`pipeline::CnnHePipeline::traced_infer`]).
 
 pub mod encrypted_weights;
 pub mod exec;
@@ -27,6 +30,7 @@ pub mod pipeline;
 pub mod quantize;
 pub mod rns_input;
 pub mod throughput;
+pub mod trace;
 pub mod weights;
 
 pub use exec::{ExecMode, ExecPlan, InferenceTiming, SimulationCheck};
@@ -35,4 +39,5 @@ pub use metrics::LatencyStats;
 pub use network::{HeLayerSpec, HeNetwork};
 pub use pipeline::{Classification, CnnHePipeline};
 pub use rns_input::{RnsInputCodec, SignalDecomposition};
+pub use trace::{InferenceTrace, LayerTrace};
 pub use weights::WeightResidueTable;

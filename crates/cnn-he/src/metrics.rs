@@ -1,18 +1,28 @@
-//! Latency statistics in the paper's Table III/V format (min/max/avg).
+//! Latency statistics in the paper's Table III/V format (min/max/avg),
+//! extended with dispersion measures (p50/p95/std-dev) for the runtime
+//! trace reports.
 
 use std::time::Duration;
 
-/// Min / max / mean over a set of latency samples.
+/// Summary statistics over a set of latency samples.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
     pub min: f64,
     pub max: f64,
     pub avg: f64,
+    /// Median (nearest-rank percentile).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
 }
 
 impl LatencyStats {
-    pub fn from_durations(samples: &[Duration]) -> Self {
-        assert!(!samples.is_empty(), "no latency samples");
+    /// Returns `None` when `samples` is empty — there is no meaningful
+    /// min/max/percentile of nothing, and callers aggregating optional
+    /// timing sources (e.g. fixed-cost-only layers) must not panic.
+    pub fn from_durations(samples: &[Duration]) -> Option<Self> {
         let secs: Vec<f64> = samples
             .iter()
             .map(std::time::Duration::as_secs_f64)
@@ -20,12 +30,26 @@ impl LatencyStats {
         Self::from_secs(&secs)
     }
 
-    pub fn from_secs(secs: &[f64]) -> Self {
-        assert!(!secs.is_empty());
+    /// Returns `None` when `secs` is empty.
+    pub fn from_secs(secs: &[f64]) -> Option<Self> {
+        if secs.is_empty() {
+            return None;
+        }
         let min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = secs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let avg = secs.iter().sum::<f64>() / secs.len() as f64;
-        Self { min, max, avg }
+        let n = secs.len() as f64;
+        let avg = secs.iter().sum::<f64>() / n;
+        let var = secs.iter().map(|s| (s - avg) * (s - avg)).sum::<f64>() / n;
+        let mut sorted = secs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(Self {
+            min,
+            max,
+            avg,
+            p50: percentile_nearest_rank(&sorted, 0.50),
+            p95: percentile_nearest_rank(&sorted, 0.95),
+            std_dev: var.sqrt(),
+        })
     }
 
     /// Speed-up of `self` (baseline) over `other`, as the paper reports:
@@ -35,12 +59,19 @@ impl LatencyStats {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted non-empty slice:
+/// the smallest value such that at least `q·n` samples are ≤ it.
+fn percentile_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 impl std::fmt::Display for LatencyStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "min {:.2}s  max {:.2}s  avg {:.2}s",
-            self.min, self.max, self.avg
+            "min {:.2}s  max {:.2}s  avg {:.2}s  p50 {:.2}s  p95 {:.2}s  σ {:.2}s",
+            self.min, self.max, self.avg, self.p50, self.p95, self.std_dev
         )
     }
 }
@@ -51,17 +82,21 @@ mod tests {
 
     #[test]
     fn stats_basics() {
-        let s = LatencyStats::from_secs(&[1.0, 3.0, 2.0]);
+        let s = LatencyStats::from_secs(&[1.0, 3.0, 2.0]).unwrap();
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 3.0);
         assert!((s.avg - 2.0).abs() < 1e-12);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p95, 3.0);
+        // population σ of {1,2,3} = sqrt(2/3)
+        assert!((s.std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
     }
 
     #[test]
     fn paper_speedup_formula() {
         // Table III: 3.56 → 2.27 is reported as 36.24%
-        let base = LatencyStats::from_secs(&[3.56]);
-        let rns = LatencyStats::from_secs(&[2.27]);
+        let base = LatencyStats::from_secs(&[3.56]).unwrap();
+        let rns = LatencyStats::from_secs(&[2.27]).unwrap();
         let sp = base.speedup_percent_over(&rns);
         assert!((sp - 36.24).abs() < 0.1, "{sp}");
     }
@@ -71,13 +106,37 @@ mod tests {
         let s = LatencyStats::from_durations(&[
             Duration::from_millis(500),
             Duration::from_millis(1500),
-        ]);
+        ])
+        .unwrap();
         assert!((s.avg - 1.0).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic]
-    fn empty_samples_panic() {
-        let _ = LatencyStats::from_secs(&[]);
+    fn empty_samples_yield_none() {
+        assert_eq!(LatencyStats::from_secs(&[]), None);
+        assert_eq!(LatencyStats::from_durations(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse() {
+        let s = LatencyStats::from_secs(&[2.5]).unwrap();
+        assert_eq!(s.p50, 2.5);
+        assert_eq!(s.p95, 2.5);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank_hundred() {
+        let secs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencyStats::from_secs(&secs).unwrap();
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+    }
+
+    #[test]
+    fn speedup_degenerate_equal_latency_is_zero() {
+        let a = LatencyStats::from_secs(&[2.0, 2.0]).unwrap();
+        let b = LatencyStats::from_secs(&[2.0, 2.0]).unwrap();
+        assert_eq!(a.speedup_percent_over(&b), 0.0);
     }
 }

@@ -229,27 +229,7 @@ impl HeNetwork {
         let mut timing = InferenceTiming::default();
         for layer in &self.layers {
             let fixed0 = Instant::now();
-            let (out, times, parallel) = match layer {
-                HeLayerSpec::Conv(spec) => {
-                    let (y, t) = he_conv2d(ev, &x, spec, mode);
-                    (y, t, true)
-                }
-                HeLayerSpec::Dense(spec) => {
-                    let flat = x.flatten();
-                    let (y, t) = he_dense(ev, &flat, spec, mode);
-                    (y, t, true)
-                }
-                HeLayerSpec::Activation(coeffs) => {
-                    // Nonlinear: must act on the reassembled signal — the
-                    // RNS streams cannot carry it (σ(Σβ_j d_j) ≠ Σβ_j σ(d_j)),
-                    // so activations are outside the *stream*-parallel
-                    // region of the simulator; thread-level unit
-                    // parallelism still applies (each ciphertext's SLAF
-                    // is independent).
-                    let (y, t) = he_activation(ev, rk, &x, coeffs, mode);
-                    (y, t, false)
-                }
-            };
+            let (out, times, parallel) = run_layer(layer, ev, rk, x, mode);
             let wall = fixed0.elapsed();
             let unit_sum: Duration = times.iter().sum();
             // under unit-parallelism the units overlap, so the wall can
@@ -267,6 +247,58 @@ impl HeNetwork {
         (x, timing)
     }
 
+    /// [`Self::infer_encrypted_with`] plus runtime telemetry: each layer
+    /// runs under an `he-trace` span, HE op counters are snapshotted
+    /// around it, and the output ciphertext's level/scale/noise headroom
+    /// are sampled afterwards. Returns the encrypted logits, the timing
+    /// record, and one [`crate::trace::LayerTrace`] per layer.
+    ///
+    /// Counter deltas are only exact when no other HE work runs in the
+    /// process concurrently — [`crate::pipeline::CnnHePipeline::traced_infer`]
+    /// guarantees that by holding the global [`he_trace::TraceSession`].
+    pub fn infer_encrypted_traced(
+        &self,
+        ev: &Evaluator,
+        rk: &RelinKey,
+        mut x: CtTensor,
+        mode: ExecMode,
+    ) -> (CtTensor, InferenceTiming, Vec<crate::trace::LayerTrace>) {
+        let mut timing = InferenceTiming::default();
+        let mut layer_traces = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let ops_before = he_trace::OpSnapshot::now();
+            let span = he_trace::span_owned(layer.name(), "layer");
+            let fixed0 = Instant::now();
+            let (out, times, parallel) = run_layer(layer, ev, rk, x, mode);
+            let wall = fixed0.elapsed();
+            drop(span);
+            let ops = he_trace::OpSnapshot::now().delta(&ops_before);
+            let unit_sum: Duration = times.iter().sum();
+            let fixed = wall.saturating_sub(unit_sum);
+            layer_traces.push(crate::trace::LayerTrace {
+                name: layer.name(),
+                units: times.len(),
+                wall,
+                cpu: unit_sum + fixed,
+                unit_times: times.clone(),
+                parallel,
+                level: out.level(),
+                scale: out.scale(),
+                headroom_bits: ckks::noise::headroom_bits(ev.ctx(), &out.cts[0]),
+                ops,
+            });
+            timing.layers.push(LayerTiming {
+                name: layer.name(),
+                unit_times: times,
+                parallel,
+                fixed,
+                wall,
+            });
+            x = out;
+        }
+        (x, timing, layer_traces)
+    }
+
     /// Text rendering of the architecture (regenerates Figs. 3/4).
     pub fn describe(&self) -> String {
         let mut out = format!(
@@ -278,6 +310,39 @@ impl HeNetwork {
             out.push_str(&format!("  [{i}] {}\n", l.name()));
         }
         out
+    }
+}
+
+/// Executes one layer. Takes the input tensor by value because Dense
+/// consumes it via [`CtTensor::flatten`]. The `bool` is the
+/// stream-parallel flag recorded in [`LayerTiming`].
+fn run_layer(
+    layer: &HeLayerSpec,
+    ev: &Evaluator,
+    rk: &RelinKey,
+    x: CtTensor,
+    mode: ExecMode,
+) -> (CtTensor, Vec<Duration>, bool) {
+    match layer {
+        HeLayerSpec::Conv(spec) => {
+            let (y, t) = he_conv2d(ev, &x, spec, mode);
+            (y, t, true)
+        }
+        HeLayerSpec::Dense(spec) => {
+            let flat = x.flatten();
+            let (y, t) = he_dense(ev, &flat, spec, mode);
+            (y, t, true)
+        }
+        HeLayerSpec::Activation(coeffs) => {
+            // Nonlinear: must act on the reassembled signal — the
+            // RNS streams cannot carry it (σ(Σβ_j d_j) ≠ Σβ_j σ(d_j)),
+            // so activations are outside the *stream*-parallel
+            // region of the simulator; thread-level unit
+            // parallelism still applies (each ciphertext's SLAF
+            // is independent).
+            let (y, t) = he_activation(ev, rk, &x, coeffs, mode);
+            (y, t, false)
+        }
     }
 }
 

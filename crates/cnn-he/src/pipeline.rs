@@ -156,6 +156,61 @@ impl CnnHePipeline {
         }
     }
 
+    /// [`Self::classify`] with full runtime telemetry: the whole run is
+    /// wrapped in an [`he_trace::TraceSession`] (spans + exact op-counter
+    /// attribution — the session's global lock serializes concurrent
+    /// traced runs), each layer samples its output level/scale/headroom,
+    /// and the observed trajectory is cross-checked against the he-lint
+    /// static plan. `trace.divergence` is empty iff the run followed the
+    /// plan.
+    pub fn traced_infer(
+        &mut self,
+        images: &[&[f32]],
+    ) -> (Classification, crate::trace::InferenceTrace) {
+        let session = he_trace::TraceSession::begin();
+        let x = self.encrypt(images);
+        let start_level = x.level();
+        let start_scale = x.scale();
+        let start_headroom = ckks::noise::headroom_bits(&self.ctx, &x.cts[0]);
+        let ops0 = he_trace::OpSnapshot::now();
+        let (logits_ct, timing, layers) =
+            self.network
+                .infer_encrypted_traced(&self.ev, &self.rk, x, self.exec_mode);
+        let total_ops = he_trace::OpSnapshot::now().delta(&ops0);
+        let events = session.finish();
+        let plan =
+            crate::lint::plan_for_network(&self.network, self.ctx.params().clone(), images.len());
+        let trace = crate::trace::InferenceTrace::new(
+            start_level,
+            start_scale,
+            start_headroom,
+            layers,
+            timing.clone(),
+            events,
+            total_ops,
+            &plan,
+        );
+        let logits = decrypt_tensor(&self.ev, &self.sk, &logits_ct, images.len());
+        let predictions = logits
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        (
+            Classification {
+                logits,
+                predictions,
+                timing,
+            },
+            trace,
+        )
+    }
+
     /// Direct access for benches/tests.
     pub fn evaluator(&self) -> &Evaluator {
         &self.ev
@@ -318,6 +373,72 @@ mod tests {
         let d2 = pipe.execution_plan_description(ExecPlan::rns(5));
         assert!(d2.contains("k = 5"));
         assert!(d2.contains("CRT reassemble"));
+    }
+
+    #[test]
+    fn traced_infer_matches_static_plan() {
+        let net = mini_network(105);
+        let mut pipe = CnnHePipeline::new(net, 1 << 10, 105);
+        let img: Vec<f32> = (0..64).map(|i| ((i * 5) % 11) as f32 / 11.0).collect();
+        let (cls, trace) = pipe.traced_infer(&[&img]);
+        // classification unaffected by tracing
+        let want = pipe.network.infer_plain(&img);
+        for (g, w) in cls.logits[0].iter().zip(&want) {
+            assert!((g - w).abs() < 2e-2);
+        }
+        // the observed level/scale trajectory must agree with he-lint
+        assert!(
+            trace.divergence.is_empty(),
+            "runtime diverged from the static plan:\n{}",
+            trace.divergence.join("\n")
+        );
+        assert_eq!(trace.layers.len(), 5);
+        assert_eq!(trace.start_level, pipe.network.required_levels());
+        // logits land at level 0 with the input scale (exact-scale
+        // discipline end to end)
+        let last = trace.layers.last().unwrap();
+        assert_eq!(last.level, 0);
+        assert!((last.scale.log2() - trace.start_scale.log2()).abs() < 0.1);
+        // headroom drains monotonically
+        let mut prev = trace.start_headroom_bits;
+        for l in &trace.layers {
+            assert!(
+                l.headroom_bits <= prev + 1e-9,
+                "headroom grew at {}: {} > {prev}",
+                l.name,
+                l.headroom_bits
+            );
+            prev = l.headroom_bits;
+        }
+        // report renders with one row per layer
+        let report = trace.report();
+        assert_eq!(report.rows.len(), 5);
+        assert!(report.breakdown().contains("total"));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_infer_records_spans_and_ops() {
+        let net = mini_network(106);
+        let mut pipe = CnnHePipeline::new(net, 1 << 10, 106);
+        let img = vec![0.2f32; 64];
+        let (_, trace) = pipe.traced_infer(&[&img]);
+        // with tracing compiled in, the session captures layer spans …
+        assert!(
+            trace.events.iter().any(|e| e.cat == "layer"),
+            "no layer spans recorded"
+        );
+        // … per-layer op deltas are non-trivial (≥: other test threads
+        // may add to the globals, never subtract) …
+        assert!(!trace.total_ops.is_zero());
+        for l in &trace.layers {
+            assert!(l.ops.rescales >= 1, "{} recorded no rescale", l.name);
+        }
+        // … and the chrome export round-trips the validator
+        let json = trace.chrome_json();
+        let n = he_trace::validate_chrome_json(&json).expect("invalid chrome trace");
+        assert_eq!(n, trace.events.len());
+        assert!(!trace.folded_stacks().is_empty());
     }
 
     #[test]

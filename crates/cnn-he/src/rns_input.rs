@@ -129,11 +129,13 @@ impl SignalDecomposition {
 
     /// Decomposes a signed integer vector into `k` residue planes.
     pub fn decompose_residues(&self, xs: &[i64]) -> Vec<Vec<u64>> {
+        he_trace::record_crt_decompose(1);
         self.rns.decompose_vec(xs)
     }
 
     /// CRT-recomposes residue planes into centered integers.
     pub fn recompose_residues(&self, planes: &[Vec<u64>]) -> Vec<i64> {
+        he_trace::record_crt_recompose(1);
         self.rns.compose_vec(planes)
     }
 
@@ -172,6 +174,7 @@ impl SignalDecomposition {
     /// the offset removed linearly; here inputs are non-negative pixel
     /// integers, enforced by assertion).
     pub fn decompose_digits(&self, xs: &[i64]) -> Vec<Vec<i64>> {
+        he_trace::record_crt_decompose(1);
         let k = self.k();
         let moduli = self.rns.basis().moduli();
         let mut planes = vec![Vec::with_capacity(xs.len()); k];
@@ -191,6 +194,7 @@ impl SignalDecomposition {
     /// Exact linear reassembly `Σ_j β_j·plane_j` — a plain weighted sum,
     /// which is why this form survives homomorphic evaluation.
     pub fn recompose_digits(&self, planes: &[Vec<i64>]) -> Vec<i64> {
+        he_trace::record_crt_recompose(1);
         assert_eq!(planes.len(), self.k());
         let len = planes[0].len();
         (0..len)

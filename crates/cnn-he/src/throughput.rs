@@ -37,11 +37,19 @@ pub fn throughput_measured(timing: &InferenceTiming, batch: usize) -> Throughput
 }
 
 fn report(wall: Duration, batch: usize) -> ThroughputReport {
+    // zero wall (empty timing record / sub-resolution clocks) must not
+    // become a division blow-up: report zero throughput rather than an
+    // absurd 10^12 images/s from an epsilon clamp
+    let images_per_sec = if wall.is_zero() {
+        0.0
+    } else {
+        batch as f64 / wall.as_secs_f64()
+    };
     ThroughputReport {
         batch,
         request_latency: wall,
-        per_image: wall / batch as u32,
-        images_per_sec: batch as f64 / wall.as_secs_f64().max(1e-12),
+        per_image: wall / u32::try_from(batch).unwrap_or(u32::MAX),
+        images_per_sec,
     }
 }
 
@@ -106,6 +114,19 @@ mod tests {
         let r = throughput_measured(&t, 10);
         assert_eq!(r.request_latency, Duration::from_millis(250));
         assert_eq!(r.per_image, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn zero_wall_reports_zero_throughput() {
+        // an all-zero timing record (e.g. clocks below resolution) must
+        // not divide by zero or report astronomically large throughput
+        let t = InferenceTiming::default();
+        let r = throughput_measured(&t, 4);
+        assert_eq!(r.request_latency, Duration::ZERO);
+        assert_eq!(r.per_image, Duration::ZERO);
+        assert_eq!(r.images_per_sec, 0.0);
+        let r = throughput(&t, 4, ExecPlan::baseline());
+        assert_eq!(r.images_per_sec, 0.0);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Runtime inference telemetry — the bridge between the measured run
+//! and the `he-lint` static plan.
+//!
+//! [`crate::network::HeNetwork::infer_encrypted_traced`] produces one
+//! [`LayerTrace`] per layer (wall/CPU, HE op-counter deltas, output
+//! level/scale, structural noise headroom); [`InferenceTrace`] bundles
+//! them with the recorded spans and **cross-checks the observed
+//! level/scale trajectory against [`he_lint::trajectory`]** — any
+//! divergence between what the static analyzer promised and what the
+//! ciphertexts actually did is reported as a string per mismatch.
+//!
+//! Levels must agree exactly. Scales are compared in `log₂` with a
+//! [`SCALE_TOL_BITS`] tolerance: the analyzer works in nominal bits
+//! (primes treated as exactly `2^bits`) while real NTT primes deviate
+//! by up to one part in `2^11`, so an exact-scale-disciplined run sits
+//! within a few millibits of the static prediction — far inside the
+//! tolerance — while a mis-planned rescale (≥ one prime ≈ 26 bits) is
+//! far outside it.
+
+use crate::exec::InferenceTiming;
+use crate::metrics::LatencyStats;
+use he_lint::{CircuitPlan, OpState};
+use he_trace::{OpSnapshot, SpanEvent, TraceReport, TraceRow, UnitStats};
+use std::time::Duration;
+
+/// Scale-agreement tolerance (bits) for the runtime↔static cross-check.
+pub const SCALE_TOL_BITS: f64 = 0.1;
+
+/// Telemetry of one executed layer.
+#[derive(Debug, Clone)]
+pub struct LayerTrace {
+    pub name: String,
+    /// Output units the layer produced.
+    pub units: usize,
+    /// Measured wall-clock of the layer.
+    pub wall: Duration,
+    /// Summed per-unit CPU time plus fixed overhead.
+    pub cpu: Duration,
+    /// Per-unit CPU times (one per output unit).
+    pub unit_times: Vec<Duration>,
+    /// Whether the layer belongs to the stream-parallel region.
+    pub parallel: bool,
+    /// Ciphertext level after the layer.
+    pub level: usize,
+    /// Ciphertext scale after the layer.
+    pub scale: f64,
+    /// Structural noise headroom (bits) after the layer.
+    pub headroom_bits: f64,
+    /// HE op counters attributed to this layer (delta across it).
+    pub ops: OpSnapshot,
+}
+
+/// Full telemetry of one traced encrypted inference.
+#[derive(Debug, Clone)]
+pub struct InferenceTrace {
+    /// Level of the freshly encrypted input.
+    pub start_level: usize,
+    /// Scale of the freshly encrypted input.
+    pub start_scale: f64,
+    /// Structural headroom (bits) of the input.
+    pub start_headroom_bits: f64,
+    pub layers: Vec<LayerTrace>,
+    /// The timing record the untraced path would have produced.
+    pub timing: InferenceTiming,
+    /// Recorded spans (empty when the `trace` feature is off).
+    pub events: Vec<SpanEvent>,
+    /// Runtime↔static mismatches; empty means the run followed the
+    /// he-lint plan exactly.
+    pub divergence: Vec<String>,
+    /// Counter deltas over the whole inference.
+    pub total_ops: OpSnapshot,
+}
+
+impl InferenceTrace {
+    /// Assembles the trace and runs the static cross-check against
+    /// `plan` (the same plan `he_lint::analyze` admitted).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        start_level: usize,
+        start_scale: f64,
+        start_headroom_bits: f64,
+        layers: Vec<LayerTrace>,
+        timing: InferenceTiming,
+        events: Vec<SpanEvent>,
+        total_ops: OpSnapshot,
+        plan: &CircuitPlan,
+    ) -> Self {
+        let divergence = cross_check(&layers, &he_lint::trajectory(plan));
+        Self {
+            start_level,
+            start_scale,
+            start_headroom_bits,
+            layers,
+            timing,
+            events,
+            divergence,
+            total_ops,
+        }
+    }
+
+    /// Total measured wall-clock across layers.
+    pub fn wall(&self) -> Duration {
+        self.layers.iter().map(|l| l.wall).sum()
+    }
+
+    /// Headroom bits consumed across the whole inference.
+    pub fn noise_spent_bits(&self) -> f64 {
+        self.layers
+            .last()
+            .map_or(0.0, |l| self.start_headroom_bits - l.headroom_bits)
+    }
+
+    /// The per-layer [`TraceReport`]: timings, op counts, level/scale
+    /// trajectory, noise drain, and per-unit latency spread.
+    pub fn report(&self) -> TraceReport {
+        let mut rows = Vec::with_capacity(self.layers.len());
+        let mut prev_headroom = self.start_headroom_bits;
+        for l in &self.layers {
+            let unit_stats = LatencyStats::from_durations(&l.unit_times).map(|s| UnitStats {
+                p50_s: s.p50,
+                p95_s: s.p95,
+                std_dev_s: s.std_dev,
+            });
+            rows.push(TraceRow {
+                name: l.name.clone(),
+                wall_s: l.wall.as_secs_f64(),
+                cpu_s: l.cpu.as_secs_f64(),
+                units: l.units,
+                ops: l.ops,
+                level: l.level as i64,
+                log_scale: l.scale.log2(),
+                headroom_bits: Some(l.headroom_bits),
+                noise_spent_bits: Some(prev_headroom - l.headroom_bits),
+                unit_stats,
+            });
+            prev_headroom = l.headroom_bits;
+        }
+        TraceReport { rows }
+    }
+
+    /// chrome://tracing JSON of the recorded spans.
+    pub fn chrome_json(&self) -> String {
+        he_trace::to_chrome_json(&self.events)
+    }
+
+    /// Flamegraph folded stacks of the recorded spans.
+    pub fn folded_stacks(&self) -> String {
+        he_trace::to_folded_stacks(&self.events)
+    }
+
+    /// A compact noise-drain table: headroom after each layer and the
+    /// bits each layer consumed.
+    pub fn noise_drain(&self) -> String {
+        use he_trace::{Align, Table};
+        let mut t = Table::new(&[
+            ("layer", Align::Left),
+            ("lvl", Align::Right),
+            ("headroom (bits)", Align::Right),
+            ("spent (bits)", Align::Right),
+        ]);
+        t.row(vec![
+            "(input)".to_string(),
+            self.start_level.to_string(),
+            format!("{:.1}", self.start_headroom_bits),
+            String::new(),
+        ]);
+        let mut prev = self.start_headroom_bits;
+        for l in &self.layers {
+            t.row(vec![
+                l.name.clone(),
+                l.level.to_string(),
+                format!("{:.1}", l.headroom_bits),
+                format!("{:.1}", prev - l.headroom_bits),
+            ]);
+            prev = l.headroom_bits;
+        }
+        t.render()
+    }
+}
+
+/// Diffs the observed per-layer level/scale against the static
+/// trajectory. One message per mismatch; empty = agreement.
+pub fn cross_check(layers: &[LayerTrace], traj: &[OpState]) -> Vec<String> {
+    let mut out = Vec::new();
+    if layers.len() != traj.len() {
+        out.push(format!(
+            "op count mismatch: runtime executed {} layers, static plan has {} ops",
+            layers.len(),
+            traj.len()
+        ));
+        return out;
+    }
+    for (i, (l, s)) in layers.iter().zip(traj).enumerate() {
+        if l.level as i64 != s.level {
+            out.push(format!(
+                "layer {i} ({}): level {} after layer, static plan predicts {}",
+                l.name, l.level, s.level
+            ));
+        }
+        let log_scale = l.scale.log2();
+        let drift = (log_scale - s.log_scale).abs();
+        if drift > SCALE_TOL_BITS {
+            out.push(format!(
+                "layer {i} ({}): log2(scale) {log_scale:.4} drifts {drift:.4} bits \
+                 from the static {:.4} (tolerance {SCALE_TOL_BITS})",
+                l.name, s.log_scale
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckks::CkksParams;
+    use he_lint::{CircuitOp, KeyInventory};
+
+    fn layer(name: &str, level: usize, scale: f64) -> LayerTrace {
+        LayerTrace {
+            name: name.to_string(),
+            units: 4,
+            wall: Duration::from_millis(10),
+            cpu: Duration::from_millis(12),
+            unit_times: vec![Duration::from_millis(3); 4],
+            parallel: true,
+            level,
+            scale,
+            headroom_bits: 40.0,
+            ops: OpSnapshot::default(),
+        }
+    }
+
+    fn plan() -> CircuitPlan {
+        // depth 3: linear, slaf(deg 3) — levels 3 → 2 → 0
+        CircuitPlan::new(
+            CkksParams::tiny(3),
+            vec![
+                CircuitOp::Linear {
+                    name: "lin".into(),
+                    output_units: 4,
+                },
+                CircuitOp::SlafActivation {
+                    name: "act".into(),
+                    degree: 3,
+                },
+            ],
+        )
+        .with_keys(KeyInventory::relin_only())
+    }
+
+    #[test]
+    fn matching_trajectory_has_no_divergence() {
+        let p = plan();
+        let traj = he_lint::trajectory(&p);
+        let scale = |bits: f64| bits.exp2();
+        let layers = vec![
+            layer("lin", traj[0].level as usize, scale(traj[0].log_scale)),
+            layer("act", traj[1].level as usize, scale(traj[1].log_scale)),
+        ];
+        assert_eq!(cross_check(&layers, &traj), Vec::<String>::new());
+    }
+
+    #[test]
+    fn near_nominal_scale_is_within_tolerance() {
+        // real NTT primes deviate from 2^bits by ≤ 1 part in 2^11; the
+        // cross-check must absorb that
+        let p = plan();
+        let traj = he_lint::trajectory(&p);
+        let layers = vec![
+            layer(
+                "lin",
+                traj[0].level as usize,
+                traj[0].log_scale.exp2() * (1.0 + 1.0 / 2048.0),
+            ),
+            layer("act", traj[1].level as usize, traj[1].log_scale.exp2()),
+        ];
+        assert_eq!(cross_check(&layers, &traj), Vec::<String>::new());
+    }
+
+    #[test]
+    fn level_and_scale_mismatches_are_reported() {
+        let p = plan();
+        let traj = he_lint::trajectory(&p);
+        let layers = vec![
+            // wrong level (forgot a rescale)
+            layer("lin", traj[0].level as usize + 1, traj[0].log_scale.exp2()),
+            // scale off by a whole prime (~13 bits on the tiny chain)
+            layer(
+                "act",
+                traj[1].level as usize,
+                traj[1].log_scale.exp2() * 8192.0,
+            ),
+        ];
+        let div = cross_check(&layers, &traj);
+        assert_eq!(div.len(), 2, "{div:?}");
+        assert!(div[0].contains("level"), "{}", div[0]);
+        assert!(div[1].contains("drifts"), "{}", div[1]);
+    }
+
+    #[test]
+    fn op_count_mismatch_short_circuits() {
+        let p = plan();
+        let traj = he_lint::trajectory(&p);
+        let layers = vec![layer("lin", 2, 26.0f64.exp2())];
+        let div = cross_check(&layers, &traj);
+        assert_eq!(div.len(), 1);
+        assert!(div[0].contains("op count mismatch"));
+    }
+
+    #[test]
+    fn report_and_noise_drain_render() {
+        let p = plan();
+        let traj = he_lint::trajectory(&p);
+        let layers = vec![
+            layer("lin", traj[0].level as usize, traj[0].log_scale.exp2()),
+            layer("act", traj[1].level as usize, traj[1].log_scale.exp2()),
+        ];
+        let trace = InferenceTrace::new(
+            3,
+            26.0f64.exp2(),
+            60.0,
+            layers,
+            InferenceTiming::default(),
+            Vec::new(),
+            OpSnapshot::default(),
+            &p,
+        );
+        assert!(trace.divergence.is_empty(), "{:?}", trace.divergence);
+        let report = trace.report();
+        assert_eq!(report.rows.len(), 2);
+        // first layer spent 60 − 40 = 20 bits
+        assert!((report.rows[0].noise_spent_bits.unwrap() - 20.0).abs() < 1e-9);
+        let drain = trace.noise_drain();
+        assert!(drain.contains("(input)"));
+        assert!(drain.contains("headroom"));
+        assert!((trace.noise_spent_bits() - 20.0).abs() < 1e-9);
+        // unit stats survive into the report
+        assert!(report.rows[0].unit_stats.is_some());
+    }
+}

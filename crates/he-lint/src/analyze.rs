@@ -21,6 +21,58 @@ pub const DRIFT_ERROR_BITS: f64 = 1.0;
 /// Headroom (bits between `log q_ℓ` and `log scale`) below which we warn.
 pub const HEADROOM_WARN_BITS: f64 = 6.0;
 
+/// Expected ciphertext metadata *after* one op of a plan — one point of
+/// the static trajectory a correct runtime must follow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpState {
+    /// Index of the op in [`CircuitPlan::ops`].
+    pub op_index: usize,
+    /// The op's display name.
+    pub name: String,
+    /// Level after the op (negative once the chain is exhausted).
+    pub level: i64,
+    /// Nominal `log₂(scale)` after the op.
+    pub log_scale: f64,
+}
+
+/// The static level/scale trajectory of a plan: the symbolic state after
+/// every op, under the same nominal-bits evolution rules the analyzer
+/// applies (linear layers rescale back to the input scale; SLAF lands at
+/// `s³/(q_m·q_{m−1})` two levels down). Runtime tracing
+/// (`cnn_he::trace`) diffs observed ciphertext metadata against this to
+/// close the static↔runtime loop.
+pub fn trajectory(plan: &CircuitPlan) -> Vec<OpState> {
+    let p = &plan.params;
+    let depth = p.depth() as i64;
+    let start = plan.start_level.map_or(depth, |l| (l as i64).min(depth));
+    let mut level = start;
+    let mut log_scale = f64::from(p.scale_bits);
+    let mut out = Vec::with_capacity(plan.ops.len());
+    for (i, op) in plan.ops.iter().enumerate() {
+        match op {
+            CircuitOp::Linear { .. } => level -= 1,
+            CircuitOp::SlafActivation { .. } => {
+                if level >= 2 {
+                    let qm = f64::from(p.chain_bits[level as usize]);
+                    let qm1 = f64::from(p.chain_bits[level as usize - 1]);
+                    log_scale = 3.0 * log_scale - qm - qm1;
+                }
+                level -= 2;
+            }
+            CircuitOp::Rotation { .. }
+            | CircuitOp::Conjugation
+            | CircuitOp::RnsDecompose { .. } => {}
+        }
+        out.push(OpState {
+            op_index: i,
+            name: op.name(),
+            level,
+            log_scale,
+        });
+    }
+    out
+}
+
 /// Runs every lint over the plan and returns the full report.
 pub fn analyze(plan: &CircuitPlan) -> LintReport {
     let mut report = LintReport::default();
@@ -465,6 +517,36 @@ mod tests {
         let report = analyze(&plan);
         assert!(!report.has_errors(), "{}", report.render());
         assert!(report.has_code("summary"));
+    }
+
+    #[test]
+    fn trajectory_replays_exact_scale_discipline() {
+        let plan =
+            CircuitPlan::new(CkksParams::tiny(7), cnn_ops(2)).with_keys(KeyInventory::relin_only());
+        let traj = trajectory(&plan);
+        assert_eq!(traj.len(), plan.ops.len());
+        // conv(−1) slaf(−2) conv(−1) slaf(−2) dense(−1) from level 7
+        let levels: Vec<i64> = traj.iter().map(|s| s.level).collect();
+        assert_eq!(levels, vec![6, 4, 3, 1, 0]);
+        // Δ-sized rescaling primes: every op returns the scale to Δ
+        for s in &traj {
+            assert!(
+                (s.log_scale - f64::from(plan.params.scale_bits)).abs() < 1e-9,
+                "{}: scale 2^{}",
+                s.name,
+                s.log_scale
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_honors_start_level() {
+        let ops = vec![CircuitOp::Linear {
+            name: "dense".into(),
+            output_units: 4,
+        }];
+        let plan = CircuitPlan::new(CkksParams::tiny(5), ops).with_start_level(2);
+        assert_eq!(trajectory(&plan)[0].level, 1);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod model;
 pub mod paramfile;
 pub mod plan;
 
-pub use analyze::{analyze, is_clean};
+pub use analyze::{analyze, is_clean, trajectory, OpState};
 pub use diag::{Diagnostic, LintReport, Severity};
 pub use model::{read_hent_shape, ModelShape};
 pub use paramfile::parse_params;

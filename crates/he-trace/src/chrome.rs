@@ -1,0 +1,138 @@
+//! chrome://tracing export — the Trace Event Format's complete-event
+//! (`"ph": "X"`) flavor, serialized by hand (no serde). Load the output
+//! in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use crate::json;
+use crate::span::SpanEvent;
+
+/// Serialize spans to a chrome trace JSON document:
+/// `{"traceEvents": [{"name":…,"cat":…,"ph":"X","ts":…,"dur":…,"pid":1,"tid":…}, …]}`.
+#[must_use]
+pub fn to_chrome_json(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\": [");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("{\"name\": \"");
+        escape_into(&ev.name, &mut out);
+        out.push_str("\", \"cat\": \"");
+        escape_into(ev.cat, &mut out);
+        out.push_str("\", \"ph\": \"X\", \"ts\": ");
+        push_f64(ev.start_us, &mut out);
+        out.push_str(", \"dur\": ");
+        push_f64(ev.dur_us, &mut out);
+        out.push_str(", \"pid\": 1, \"tid\": ");
+        out.push_str(&ev.tid.to_string());
+        out.push('}');
+    }
+    out.push_str("], \"displayTimeUnit\": \"ms\"}");
+    out
+}
+
+/// Validate a chrome-trace document: parses as JSON, has a
+/// `traceEvents` array, and every event carries `name`/`ph`/`ts`/`dur`
+/// /`tid` with the right types. Returns the event count.
+pub fn validate_chrome_json(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing \"traceEvents\" key")?
+        .as_arr()
+        .ok_or("\"traceEvents\" is not an array")?;
+    for (i, ev) in events.iter().enumerate() {
+        ev.get("name")
+            .and_then(json::Value::as_str)
+            .ok_or(format!("event {i}: missing string \"name\""))?;
+        let ph = ev
+            .get("ph")
+            .and_then(json::Value::as_str)
+            .ok_or(format!("event {i}: missing string \"ph\""))?;
+        if ph != "X" {
+            return Err(format!("event {i}: expected ph \"X\", got \"{ph}\""));
+        }
+        for key in ["ts", "dur", "tid"] {
+            let n = ev
+                .get(key)
+                .and_then(json::Value::as_num)
+                .ok_or(format!("event {i}: missing numeric \"{key}\""))?;
+            if !n.is_finite() || n < 0.0 {
+                return Err(format!(
+                    "event {i}: \"{key}\" = {n} is not a finite non-negative number"
+                ));
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Format a non-negative microsecond quantity with fixed sub-µs
+/// precision (chrome accepts fractional `ts`).
+fn push_f64(v: f64, out: &mut String) {
+    let v = if v.is_finite() && v >= 0.0 { v } else { 0.0 };
+    out.push_str(&format!("{v:.3}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, start: f64, dur: f64, tid: u64) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            cat: "test",
+            start_us: start,
+            dur_us: dur,
+            tid,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_validator() {
+        let events = vec![
+            ev("conv1", 0.0, 1500.25, 0),
+            ev("unit \"7\"\\x", 12.5, 3.0, 1),
+            ev("slaf·act", 20.0, 7.125, 2),
+        ];
+        let text = to_chrome_json(&events);
+        assert_eq!(validate_chrome_json(&text), Ok(3));
+        // and the escaped name survives a parse
+        let doc = json::parse(&text).unwrap();
+        let arr = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1].get("name").unwrap().as_str(), Some("unit \"7\"\\x"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let text = to_chrome_json(&[]);
+        assert_eq!(validate_chrome_json(&text), Ok(0));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_json("{}").is_err());
+        assert!(validate_chrome_json("{\"traceEvents\": 3}").is_err());
+        assert!(
+            validate_chrome_json("{\"traceEvents\": [{\"name\": \"a\", \"ph\": \"B\"}]}").is_err()
+        );
+        assert!(validate_chrome_json("not json").is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Flamegraph folded-stacks export.
+//!
+//! Spans are flat `(start, dur, tid)` intervals; nesting is
+//! reconstructed per thread by interval containment (a span is a child
+//! of the innermost still-open span on the same thread). Output is one
+//! line per unique stack, `root;child;leaf <self_µs>`, the format
+//! consumed by `flamegraph.pl` / speedscope. Self time is the span's
+//! duration minus its direct children's durations, in integer
+//! microseconds (rounded, minimum 1 so no frame vanishes).
+
+use crate::span::SpanEvent;
+use std::collections::BTreeMap;
+
+/// Fold spans into `stack count` lines (sorted for determinism).
+#[must_use]
+pub fn to_folded_stacks(events: &[SpanEvent]) -> String {
+    // group by thread
+    let mut by_tid: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
+    for ev in events {
+        by_tid.entry(ev.tid).or_default().push(ev);
+    }
+
+    let mut totals: BTreeMap<String, f64> = BTreeMap::new();
+    for (tid, mut evs) in by_tid {
+        // outermost-first at equal starts: sort by start asc, dur desc
+        evs.sort_by(|a, b| {
+            a.start_us
+                .partial_cmp(&b.start_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    b.dur_us
+                        .partial_cmp(&a.dur_us)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        // stack of open spans: (end_us, path, self_us_remaining)
+        let mut stack: Vec<(f64, String, f64)> = Vec::new();
+        let root = format!("thread-{tid}");
+        for ev in evs {
+            while let Some(top) = stack.last() {
+                if top.0 <= ev.start_us {
+                    let (_, path, self_us) = stack.pop().expect("non-empty");
+                    *totals.entry(path).or_insert(0.0) += self_us;
+                } else {
+                    break;
+                }
+            }
+            let parent_path = stack
+                .last()
+                .map_or_else(|| root.clone(), |(_, p, _)| p.clone());
+            if let Some(top) = stack.last_mut() {
+                top.2 -= ev.dur_us; // child time is not parent self time
+            }
+            let path = format!("{parent_path};{}", sanitize(&ev.name));
+            stack.push((ev.start_us + ev.dur_us, path, ev.dur_us));
+        }
+        while let Some((_, path, self_us)) = stack.pop() {
+            *totals.entry(path).or_insert(0.0) += self_us;
+        }
+    }
+
+    let mut out = String::new();
+    for (path, self_us) in totals {
+        let n = self_us.round().max(1.0);
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&format!("{n:.0}"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Folded-stack frames can't contain `;` (separator) or whitespace
+/// ambiguity at the end; replace offenders.
+fn sanitize(name: &str) -> String {
+    name.replace(';', ":").replace(['\n', '\r'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, start: f64, dur: f64, tid: u64) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            cat: "t",
+            start_us: start,
+            dur_us: dur,
+            tid,
+        }
+    }
+
+    #[test]
+    fn nests_by_containment_and_splits_self_time() {
+        // layer [0, 100) contains unit [10, 40) and unit [50, 90)
+        let events = vec![
+            ev("layer", 0.0, 100.0, 0),
+            ev("unit", 10.0, 30.0, 0),
+            ev("unit", 50.0, 40.0, 0),
+        ];
+        let folded = to_folded_stacks(&events);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"thread-0;layer 30"), "{folded}");
+        assert!(lines.contains(&"thread-0;layer;unit 70"), "{folded}");
+    }
+
+    #[test]
+    fn separates_threads() {
+        let events = vec![ev("work", 0.0, 10.0, 0), ev("work", 0.0, 10.0, 3)];
+        let folded = to_folded_stacks(&events);
+        assert!(folded.contains("thread-0;work 10"));
+        assert!(folded.contains("thread-3;work 10"));
+    }
+
+    #[test]
+    fn sanitizes_separator_in_names() {
+        let folded = to_folded_stacks(&[ev("a;b", 0.0, 5.0, 0)]);
+        assert!(folded.starts_with("thread-0;a:b 5"));
+    }
+}

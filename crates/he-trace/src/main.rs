@@ -1,0 +1,98 @@
+//! `he-trace` — summarize a chrome-trace JSON file from the command
+//! line:
+//!
+//! ```text
+//! he-trace trace.json            # per-name aggregate table
+//! he-trace --validate trace.json # validity check only (exit 1 on fail)
+//! ```
+
+use he_trace::{json, validate_chrome_json, Align, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (validate_only, path) = match args.as_slice() {
+        [flag, p] if flag == "--validate" => (true, p.clone()),
+        [p] if p != "--help" && p != "-h" => (false, p.clone()),
+        _ => {
+            eprintln!("usage: he-trace [--validate] <trace.json>");
+            std::process::exit(2);
+        }
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("he-trace: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let count = match validate_chrome_json(&text) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("he-trace: {path} is not a valid chrome trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{path}: valid chrome trace, {count} events");
+    if validate_only {
+        return;
+    }
+
+    // Aggregate complete events by name: count, total µs, max µs.
+    let doc = json::parse(&text).expect("validated above");
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Value::as_arr)
+        .expect("validated above");
+    let mut agg: std::collections::BTreeMap<String, (u64, f64, f64)> =
+        std::collections::BTreeMap::new();
+    let mut tids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for ev in events {
+        let name = ev
+            .get("name")
+            .and_then(json::Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let dur = ev.get("dur").and_then(json::Value::as_num).unwrap_or(0.0);
+        let tid = ev.get("tid").and_then(json::Value::as_num).unwrap_or(0.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        tids.insert(tid as u64);
+        let e = agg.entry(name).or_insert((0, 0.0, 0.0));
+        e.0 += 1;
+        e.1 += dur;
+        e.2 = e.2.max(dur);
+    }
+
+    let mut rows: Vec<(String, (u64, f64, f64))> = agg.into_iter().collect();
+    rows.sort_by(|a, b| {
+        b.1 .1
+            .partial_cmp(&a.1 .1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut t = Table::new(&[
+        ("span", Align::Left),
+        ("count", Align::Right),
+        ("total", Align::Right),
+        ("mean", Align::Right),
+        ("max", Align::Right),
+    ]);
+    for (name, (count, total_us, max_us)) in &rows {
+        #[allow(clippy::cast_precision_loss)]
+        let mean_us = total_us / *count as f64;
+        t.row(vec![
+            name.clone(),
+            count.to_string(),
+            format!("{:.3}ms", total_us / 1e3),
+            format!("{mean_us:.1}us"),
+            format!("{:.1}us", max_us),
+        ]);
+    }
+    println!(
+        "{} threads: {:?}",
+        tids.len(),
+        tids.iter().collect::<Vec<_>>()
+    );
+    println!("{}", t.render());
+}

@@ -1,0 +1,195 @@
+//! `TraceReport` — the human-readable per-layer breakdown assembled
+//! from a traced inference run (wall, CPU, op counts, noise drain).
+//! The producing side (cnn-he's `InferenceTrace::report()`) fills the
+//! rows; this module only owns formatting.
+
+use crate::counters::OpSnapshot;
+use crate::table::{Align, Table};
+
+/// Per-unit latency summary for one layer (seconds), computed by the
+/// producer from its unit-time samples (cnn-he's `LatencyStats`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitStats {
+    pub p50_s: f64,
+    pub p95_s: f64,
+    pub std_dev_s: f64,
+}
+
+/// One layer (or pipeline stage) of a traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// Layer name, e.g. `"conv1"` or `"act2(slaf3)"`.
+    pub name: String,
+    /// Wall-clock seconds for the layer.
+    pub wall_s: f64,
+    /// Summed per-unit CPU seconds (≥ wall when units ran in parallel).
+    pub cpu_s: f64,
+    /// Output units the layer produced.
+    pub units: usize,
+    /// HE op counters attributed to this layer.
+    pub ops: OpSnapshot,
+    /// Ciphertext level after the layer.
+    pub level: i64,
+    /// log2 of the ciphertext scale after the layer.
+    pub log_scale: f64,
+    /// Noise headroom (bits) after the layer, if sampled.
+    pub headroom_bits: Option<f64>,
+    /// Headroom bits consumed by this layer (previous − current), if
+    /// both samples exist.
+    pub noise_spent_bits: Option<f64>,
+    /// Per-unit latency spread, if the layer had unit timings.
+    pub unit_stats: Option<UnitStats>,
+}
+
+/// A formatted per-layer breakdown of a traced inference.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    pub rows: Vec<TraceRow>,
+}
+
+impl TraceReport {
+    /// Aggregate counters over all rows.
+    #[must_use]
+    pub fn total_ops(&self) -> OpSnapshot {
+        let mut t = OpSnapshot::default();
+        for r in &self.rows {
+            let o = &r.ops;
+            t.ntt_fwd += o.ntt_fwd;
+            t.ntt_inv += o.ntt_inv;
+            t.modmul_limbs += o.modmul_limbs;
+            t.ct_mults += o.ct_mults;
+            t.rotations += o.rotations;
+            t.relins += o.relins;
+            t.rescales += o.rescales;
+            t.keyswitches += o.keyswitches;
+            t.scalar_macs += o.scalar_macs;
+            t.crt_decompose += o.crt_decompose;
+            t.crt_recompose += o.crt_recompose;
+        }
+        t
+    }
+
+    /// The per-layer breakdown table: wall, CPU, NTT count, rotation
+    /// count, rescales, level/scale after the layer, noise bits
+    /// consumed, and per-unit p50/p95 where available.
+    #[must_use]
+    pub fn breakdown(&self) -> String {
+        let mut t = Table::new(&[
+            ("layer", Align::Left),
+            ("units", Align::Right),
+            ("wall", Align::Right),
+            ("cpu", Align::Right),
+            ("ntt", Align::Right),
+            ("rot", Align::Right),
+            ("resc", Align::Right),
+            ("lvl", Align::Right),
+            ("log2(scale)", Align::Right),
+            ("noise-bits", Align::Right),
+            ("unit p50/p95", Align::Right),
+        ]);
+        let mut wall = 0.0;
+        let mut cpu = 0.0;
+        for r in &self.rows {
+            wall += r.wall_s;
+            cpu += r.cpu_s;
+            let noise = r
+                .noise_spent_bits
+                .map_or_else(|| "-".to_string(), |b| format!("{b:.1}"));
+            let unit = r.unit_stats.map_or_else(
+                || "-".to_string(),
+                |u| format!("{:.1}/{:.1}ms", u.p50_s * 1e3, u.p95_s * 1e3),
+            );
+            t.row(vec![
+                r.name.clone(),
+                r.units.to_string(),
+                format!("{:.3}s", r.wall_s),
+                format!("{:.3}s", r.cpu_s),
+                r.ops.ntt_total().to_string(),
+                r.ops.rotations.to_string(),
+                r.ops.rescales.to_string(),
+                r.level.to_string(),
+                format!("{:.2}", r.log_scale),
+                noise,
+                unit,
+            ]);
+        }
+        t.rule();
+        let total = self.total_ops();
+        t.row(vec![
+            "total".to_string(),
+            self.rows.iter().map(|r| r.units).sum::<usize>().to_string(),
+            format!("{wall:.3}s"),
+            format!("{cpu:.3}s"),
+            total.ntt_total().to_string(),
+            total.rotations.to_string(),
+            total.rescales.to_string(),
+            String::new(),
+            String::new(),
+            format!(
+                "{:.1}",
+                self.rows
+                    .iter()
+                    .filter_map(|r| r.noise_spent_bits)
+                    .sum::<f64>()
+            ),
+            String::new(),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, wall: f64, ntt: u64) -> TraceRow {
+        TraceRow {
+            name: name.to_string(),
+            wall_s: wall,
+            cpu_s: wall * 1.5,
+            units: 4,
+            ops: OpSnapshot {
+                ntt_fwd: ntt,
+                ntt_inv: ntt / 2,
+                rescales: 4,
+                ..Default::default()
+            },
+            level: 3,
+            log_scale: 26.0,
+            headroom_bits: Some(50.0),
+            noise_spent_bits: Some(26.0),
+            unit_stats: Some(UnitStats {
+                p50_s: 0.002,
+                p95_s: 0.004,
+                std_dev_s: 0.001,
+            }),
+        }
+    }
+
+    #[test]
+    fn breakdown_renders_aligned_totals() {
+        let report = TraceReport {
+            rows: vec![
+                row("conv1-with-a-long-name", 1.0, 100),
+                row("act1", 0.5, 40),
+            ],
+        };
+        let s = report.breakdown();
+        assert!(s.contains("conv1-with-a-long-name"));
+        assert!(s.contains("total"));
+        assert!(s.contains("210"), "ntt total = 100+50 + 40+20: {s}");
+        let widths: Vec<usize> = s.lines().map(str::len).collect();
+        assert_eq!(
+            widths[0],
+            *widths.iter().max().unwrap(),
+            "header spans table width"
+        );
+        assert_eq!(report.total_ops().rescales, 8);
+    }
+
+    #[test]
+    fn empty_report_renders_header_only() {
+        let s = TraceReport::default().breakdown();
+        assert!(s.contains("layer"));
+    }
+}

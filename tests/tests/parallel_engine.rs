@@ -13,7 +13,16 @@ use cnn_he::he_layers::{ConvSpec, DenseSpec};
 use cnn_he::he_tensor::{encrypt_image_batch, CtTensor};
 use cnn_he::network::HeLayerSpec;
 use cnn_he::{ExecMode, ExecPlan, HeNetwork};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The he-trace op counters are process-global, so tests in this binary
+/// serialize: concurrent HE work would bleed into another test's
+/// counter deltas. Every test takes this lock first.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 fn mini_network(seed: u64) -> HeNetwork {
     use rand::{Rng, SeedableRng};
@@ -76,6 +85,7 @@ fn assert_tensors_bit_identical(a: &CtTensor, b: &CtTensor) {
 
 #[test]
 fn parallel_inference_is_bit_identical_to_sequential() {
+    let _g = serial();
     let net = mini_network(500);
     let params = ckks::CkksParams::tiny(net.required_levels());
     let f = fixture(params.build(), 500);
@@ -101,6 +111,7 @@ fn parallel_inference_is_bit_identical_to_sequential() {
 
 #[test]
 fn limb_parallel_flag_is_restored_after_parallel_inference() {
+    let _g = serial();
     let net = mini_network(502);
     let params = ckks::CkksParams::tiny(net.required_levels());
     let f = fixture(params.build(), 502);
@@ -115,6 +126,7 @@ fn limb_parallel_flag_is_restored_after_parallel_inference() {
 
 #[test]
 fn simulation_validates_against_measured_wall() {
+    let _g = serial();
     let net = mini_network(504);
     let params = ckks::CkksParams::tiny(net.required_levels());
     let f = fixture(params.build(), 504);
@@ -128,6 +140,41 @@ fn simulation_validates_against_measured_wall() {
     let check = timing.validate_against(ExecPlan::baseline());
     assert!(check.measured > std::time::Duration::ZERO);
     assert!(check.simulated > std::time::Duration::ZERO);
-    let r = check.ratio();
+    let r = check.ratio().expect("non-zero simulated wall");
     assert!(r > 0.5 && r < 2.0, "sequential sim/real ratio off: {r}");
+}
+
+#[test]
+fn op_counts_identical_across_thread_counts() {
+    // Thread-level unit parallelism reorders work but must not change
+    // *what* work happens: the HE op counters after a sequential run and
+    // after 2-/4-thread runs must be exactly equal, under whatever
+    // RAYON_NUM_THREADS the environment sets (CI exercises the 1-thread
+    // matrix variant too). With the `trace` feature off every delta is
+    // zero and the equality holds trivially.
+    let _g = serial();
+    let net = mini_network(506);
+    let params = ckks::CkksParams::tiny(net.required_levels());
+    let f = fixture(params.build(), 506);
+    let img: Vec<f32> = (0..64).map(|i| ((i * 11) % 17) as f32 / 17.0).collect();
+    let mut s = Sampler::from_seed(507);
+    let x = encrypt_image_batch(&f.ev, &f.pk, &mut s, &[&img], 8, net.required_levels());
+
+    let before = he_trace::OpSnapshot::now();
+    let _ = net.infer_encrypted_with(&f.ev, &f.rk, x.clone(), ExecMode::sequential());
+    let seq_ops = he_trace::OpSnapshot::now().delta(&before);
+
+    for threads in [2usize, 4] {
+        let before = he_trace::OpSnapshot::now();
+        let _ = net.infer_encrypted_with(&f.ev, &f.rk, x.clone(), ExecMode::unit_parallel(threads));
+        let par_ops = he_trace::OpSnapshot::now().delta(&before);
+        assert_eq!(
+            par_ops, seq_ops,
+            "op counters diverged between sequential and {threads}-thread execution"
+        );
+    }
+    // the scalar engine is rotation-free by construction, so every key
+    // switch it performs belongs to a relinearization
+    assert_eq!(seq_ops.rotations, 0);
+    assert_eq!(seq_ops.keyswitches, seq_ops.relins);
 }

@@ -28,8 +28,12 @@ fn main() {
 
     println!("            |        sequential (k=1)        |      RNS k=3");
     for b in [1usize, 8, 64, batch] {
-        let seq = throughput(&res.timing, b, harness::plan(1));
-        let rns = throughput(&res.timing, b, harness::plan(3));
+        let Some(seq) = throughput(&res.timing, b, harness::plan(1)) else {
+            continue;
+        };
+        let Some(rns) = throughput(&res.timing, b, harness::plan(3)) else {
+            continue;
+        };
         println!(
             "  batch {b:>4} | {:>8.2}s/req {:>9.4}s/img | {:>8.2}s/req {:>9.4}s/img",
             seq.request_latency.as_secs_f64(),

@@ -9,3 +9,4 @@
 
 pub mod harness;
 pub mod modelio;
+pub mod smoke;

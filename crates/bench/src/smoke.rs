@@ -1,0 +1,548 @@
+//! Deterministic CI smoke benchmark behind the `BENCH_*.json`
+//! perf-regression trajectory.
+//!
+//! Three fixed CNN1-derived components, each instrumented with the
+//! process-global he-trace counters:
+//!
+//! * **ntt** — forward+inverse negacyclic NTT at `N = 2^12`, the
+//!   primitive under every homomorphic op;
+//! * **conv** — CNN1's first convolution layer (5×5, stride 2) run
+//!   end-to-end (encrypt → eval → decrypt) on the tiny test ring;
+//! * **serve** — one coalesced he-serve batch: four concurrently
+//!   submitted requests slot-packed into a single encrypted run.
+//!
+//! Each component reports the **median wall** over a few runs plus the
+//! **exact HE op counts of one run**. Op counts are a function of the
+//! circuit alone — identical on every machine — so the CI gate compares
+//! them exactly; wall times are machine-dependent and gate only an
+//! upper bound (fresh ≤ baseline × [`WALL_TOLERANCE`]).
+
+use cnn_he::{CnnHePipeline, HeNetwork};
+use he_serve::{ServeConfig, ServeEngine};
+use he_trace::json::Value;
+use he_trace::{OpSnapshot, ServeSnapshot};
+use neural::models::{cnn1, ActKind};
+use std::time::Instant;
+
+/// Fresh wall times may exceed the committed baseline by at most this
+/// factor before the gate fails.
+pub const WALL_TOLERANCE: f64 = 1.5;
+
+/// Schema tag stamped into (and demanded from) every `BENCH_*.json`.
+pub const SCHEMA: &str = "bench-smoke-v1";
+
+/// How many requests the serve component coalesces into one batch.
+pub const SERVE_BATCH: usize = 4;
+
+fn smoke_runs() -> usize {
+    crate::harness::env_usize("RNS_CNN_SMOKE_RUNS", 3).max(1)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// One layer-level component: median wall + exact per-run op counts.
+pub struct ComponentResult {
+    pub name: &'static str,
+    pub runs: usize,
+    pub wall_median_s: f64,
+    /// HE ops of a single run (asserted identical across runs).
+    pub ops: OpSnapshot,
+}
+
+/// The serve component: one coalesced batch per run.
+pub struct ServeSmoke {
+    pub runs: usize,
+    pub batch_size: usize,
+    /// Median wall from first submit to last response.
+    pub wall_median_s: f64,
+    /// Median `batch_wall / batch_size` reported by the engine.
+    pub amortized_median_s: f64,
+    pub ops: OpSnapshot,
+    pub serve: ServeSnapshot,
+}
+
+/// Everything the smoke benchmark measures.
+pub struct SmokeReport {
+    pub layers: Vec<ComponentResult>,
+    pub serve: ServeSmoke,
+}
+
+fn run_component<F: FnMut()>(name: &'static str, runs: usize, mut body: F) -> ComponentResult {
+    let mut walls = Vec::with_capacity(runs);
+    let mut per_run: Option<OpSnapshot> = None;
+    for _ in 0..runs {
+        let before = OpSnapshot::now();
+        let t0 = Instant::now();
+        body();
+        walls.push(t0.elapsed().as_secs_f64());
+        let delta = OpSnapshot::now().delta(&before);
+        if let Some(first) = &per_run {
+            assert_eq!(
+                *first, delta,
+                "{name}: op counts varied between runs — component is not deterministic"
+            );
+        } else {
+            per_run = Some(delta);
+        }
+    }
+    ComponentResult {
+        name,
+        runs,
+        wall_median_s: median(&mut walls),
+        ops: per_run.unwrap_or_default(),
+    }
+}
+
+/// NTT component: `ITERS` forward+inverse transform pairs at `N = 2^12`.
+fn ntt_component(runs: usize) -> ComponentResult {
+    use ckks_math::modring::Modulus;
+    use ckks_math::ntt::NttTable;
+    use ckks_math::prime::gen_ntt_primes_excluding;
+    use rand::{Rng, SeedableRng};
+
+    const N: usize = 1 << 12;
+    const ITERS: usize = 32;
+    let p = gen_ntt_primes_excluding(50, N, 1, &[])[0];
+    let table = NttTable::new(N, Modulus::new(p));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let data: Vec<u64> = (0..N).map(|_| rng.gen_range(0..p)).collect();
+
+    run_component("ntt_fwd_inv_2e12", runs, || {
+        for _ in 0..ITERS {
+            let mut d = data.clone();
+            table.forward(&mut d);
+            table.inverse(&mut d);
+            std::hint::black_box(&d);
+        }
+    })
+}
+
+/// CNN1's first convolution as a single-layer network on the test ring:
+/// full encrypt → homomorphic conv → decrypt per run.
+fn conv_component(runs: usize) -> ComponentResult {
+    let full = HeNetwork::from_trained(&cnn1(ActKind::slaf3(), 11), 28);
+    let conv1 = HeNetwork {
+        layers: vec![full.layers[0].clone()],
+        input_side: 28,
+    };
+    let mut pipe = CnnHePipeline::new(conv1, 1 << 10, 11);
+    let img: Vec<f32> = (0..784).map(|i| ((i * 3) % 29) as f32 / 29.0).collect();
+
+    run_component("cnn1_conv1_2e10", runs, || {
+        let cls = pipe.classify(&[&img]);
+        std::hint::black_box(&cls.logits);
+    })
+}
+
+/// A miniature CNN1-shaped network (conv → act → dense → act → dense)
+/// over 8×8 inputs — fast enough that the serve component measures the
+/// engine, not 20 s of full-size HE arithmetic.
+pub fn mini_cnn1(seed: u64) -> HeNetwork {
+    use cnn_he::he_layers::{ConvSpec, DenseSpec};
+    use cnn_he::HeLayerSpec;
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut w = |n: usize| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-0.3f32..0.3)).collect() };
+    let conv = ConvSpec {
+        weight: w(2 * 9),
+        bias: vec![0.05, -0.05],
+        in_ch: 1,
+        out_ch: 2,
+        k: 3,
+        stride: 2,
+        pad: 0,
+    };
+    let dense1 = DenseSpec {
+        weight: w(18 * 6),
+        bias: w(6),
+        in_dim: 18,
+        out_dim: 6,
+    };
+    let dense2 = DenseSpec {
+        weight: w(6 * 3),
+        bias: w(3),
+        in_dim: 6,
+        out_dim: 3,
+    };
+    HeNetwork {
+        layers: vec![
+            HeLayerSpec::Conv(conv),
+            HeLayerSpec::Activation(vec![0.1, 0.6, 0.2, 0.05]),
+            HeLayerSpec::Dense(dense1),
+            HeLayerSpec::Activation(vec![0.0, 0.8, 0.15]),
+            HeLayerSpec::Dense(dense2),
+        ],
+        input_side: 8,
+    }
+}
+
+/// Serve component: [`SERVE_BATCH`] requests submitted back-to-back,
+/// coalesced by a generous linger into exactly one slot-packed batch.
+/// Retries once per run if scheduling jitter split the batch (the op
+/// counts would otherwise not be comparable).
+fn serve_component(runs: usize) -> ServeSmoke {
+    let cfg = ServeConfig {
+        max_batch: SERVE_BATCH,
+        max_linger: std::time::Duration::from_secs(2),
+        queue_capacity: 16,
+        workers: 1,
+        ..Default::default()
+    };
+    let engine =
+        ServeEngine::start(cfg, || CnnHePipeline::new(mini_cnn1(12), 1 << 10, 12)).expect("start");
+    let img: Vec<f32> = (0..64).map(|i| ((i * 5) % 17) as f32 / 17.0).collect();
+
+    // warm-up batch: lets keys/tables settle and seeds the engine EWMA
+    let handles: Vec<_> = (0..SERVE_BATCH)
+        .map(|_| engine.submit(img.clone()).expect("queued"))
+        .collect();
+    for h in handles {
+        h.wait().expect("served");
+    }
+
+    let mut walls = Vec::with_capacity(runs);
+    let mut amortized = Vec::with_capacity(runs);
+    let mut per_run_ops: Option<OpSnapshot> = None;
+    let mut per_run_serve: Option<ServeSnapshot> = None;
+    for _ in 0..runs {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let ops0 = OpSnapshot::now();
+            let srv0 = ServeSnapshot::now();
+            let t0 = Instant::now();
+            let handles: Vec<_> = (0..SERVE_BATCH)
+                .map(|_| engine.submit(img.clone()).expect("queued"))
+                .collect();
+            let results: Vec<_> = handles
+                .into_iter()
+                .map(|h| h.wait().expect("served"))
+                .collect();
+            let wall = t0.elapsed().as_secs_f64();
+            let ops = OpSnapshot::now().delta(&ops0);
+            let srv = ServeSnapshot::now().delta(&srv0);
+            if srv.batches != 1 && attempt == 1 {
+                eprintln!(
+                    "[smoke] serve batch split ({} batches); retrying run",
+                    srv.batches
+                );
+                continue;
+            }
+            assert_eq!(
+                srv.batches, 1,
+                "serve smoke could not coalesce {SERVE_BATCH} requests into one batch"
+            );
+            assert!(results.iter().all(|r| r.batch_size == SERVE_BATCH));
+            walls.push(wall);
+            amortized.push(results[0].amortized.as_secs_f64());
+            if let Some(first) = &per_run_ops {
+                assert_eq!(*first, ops, "serve: op counts varied between runs");
+            } else {
+                per_run_ops = Some(ops);
+            }
+            if per_run_serve.is_none() {
+                per_run_serve = Some(srv);
+            }
+            break;
+        }
+    }
+    engine.shutdown();
+    ServeSmoke {
+        runs,
+        batch_size: SERVE_BATCH,
+        wall_median_s: median(&mut walls),
+        amortized_median_s: median(&mut amortized),
+        ops: per_run_ops.unwrap_or_default(),
+        serve: per_run_serve.unwrap_or_default(),
+    }
+}
+
+/// Runs the full smoke suite (a couple of seconds).
+pub fn run_smoke() -> SmokeReport {
+    let runs = smoke_runs();
+    eprintln!("[smoke] ntt component ({runs} runs) ...");
+    let ntt = ntt_component(runs);
+    eprintln!("[smoke] conv component ({runs} runs) ...");
+    let conv = conv_component(runs);
+    eprintln!("[smoke] serve component ({runs} runs) ...");
+    let serve = serve_component(runs);
+    SmokeReport {
+        layers: vec![ntt, conv],
+        serve,
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON trajectory files
+// ---------------------------------------------------------------------
+
+fn json_ops(ops: &OpSnapshot, indent: &str) -> String {
+    let rows: Vec<String> = ops
+        .named()
+        .iter()
+        .map(|(k, v)| format!("{indent}  \"{k}\": {v}"))
+        .collect();
+    format!("{{\n{}\n{indent}}}", rows.join(",\n"))
+}
+
+fn json_serve_counters(srv: &ServeSnapshot, indent: &str) -> String {
+    let rows: Vec<String> = srv
+        .named()
+        .iter()
+        .map(|(k, v)| format!("{indent}  \"{k}\": {v}"))
+        .collect();
+    format!("{{\n{}\n{indent}}}", rows.join(",\n"))
+}
+
+impl SmokeReport {
+    /// `BENCH_layers.json`: the layer-level components.
+    pub fn layers_json(&self) -> String {
+        let comps: Vec<String> = self
+            .layers
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\n      \"name\": \"{}\",\n      \"runs\": {},\n      \"wall_median_s\": {:.6},\n      \"ops\": {}\n    }}",
+                    c.name,
+                    c.runs,
+                    c.wall_median_s,
+                    json_ops(&c.ops, "      ")
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"layers\",\n  \"components\": [\n{}\n  ]\n}}\n",
+            comps.join(",\n")
+        )
+    }
+
+    /// `BENCH_serve.json`: the coalesced-batch serving component.
+    pub fn serve_json(&self) -> String {
+        let s = &self.serve;
+        format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"serve\",\n  \"runs\": {},\n  \"batch_size\": {},\n  \"wall_median_s\": {:.6},\n  \"amortized_median_s\": {:.6},\n  \"ops\": {},\n  \"serve\": {}\n}}\n",
+            s.runs,
+            s.batch_size,
+            s.wall_median_s,
+            s.amortized_median_s,
+            json_ops(&s.ops, "  "),
+            json_serve_counters(&s.serve, "  ")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baseline comparison (the CI gate)
+// ---------------------------------------------------------------------
+
+fn num(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| format!("missing numeric field `{key}`"))
+}
+
+fn check_schema(v: &Value, kind: &str) -> Result<(), String> {
+    match v.get("schema").and_then(Value::as_str) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("schema mismatch: {other:?}, want {SCHEMA}")),
+    }
+    match v.get("kind").and_then(Value::as_str) {
+        Some(k) if k == kind => Ok(()),
+        other => Err(format!("kind mismatch: {other:?}, want {kind}")),
+    }
+}
+
+/// Compares an op-count object exactly (host-independent circuit
+/// structure: any drift is a real change, not noise).
+fn diff_counter_object(
+    label: &str,
+    baseline: &Value,
+    fresh_keys: &[(&str, u64)],
+    problems: &mut Vec<String>,
+) {
+    for (key, fresh_val) in fresh_keys {
+        match baseline.get(key).and_then(Value::as_num) {
+            Some(base) if (base - *fresh_val as f64).abs() < 0.5 => {}
+            Some(base) => problems.push(format!(
+                "{label}.{key}: op count changed {base} -> {fresh_val} (exact match required)"
+            )),
+            None => problems.push(format!("{label}.{key}: missing from baseline")),
+        }
+    }
+}
+
+fn diff_wall(label: &str, baseline_s: f64, fresh_s: f64, problems: &mut Vec<String>) {
+    if fresh_s > baseline_s * WALL_TOLERANCE {
+        problems.push(format!(
+            "{label}: wall regressed {fresh_s:.4}s > {baseline_s:.4}s x{WALL_TOLERANCE} tolerance"
+        ));
+    }
+}
+
+/// Gates a fresh [`SmokeReport`] against committed baseline JSON.
+/// Returns every violation found (empty = gate passes).
+pub fn check_against_baseline(
+    report: &SmokeReport,
+    layers_baseline: &str,
+    serve_baseline: &str,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+
+    match he_trace::json::parse(layers_baseline) {
+        Err(e) => problems.push(format!("BENCH_layers.json: unparseable baseline: {e}")),
+        Ok(base) => {
+            if let Err(e) = check_schema(&base, "layers") {
+                problems.push(format!("BENCH_layers.json: {e}"));
+            }
+            let empty = vec![];
+            let comps = base
+                .get("components")
+                .and_then(Value::as_arr)
+                .unwrap_or(&empty);
+            for c in &report.layers {
+                let Some(bc) = comps
+                    .iter()
+                    .find(|v| v.get("name").and_then(Value::as_str) == Some(c.name))
+                else {
+                    problems.push(format!("{}: component missing from baseline", c.name));
+                    continue;
+                };
+                let bops = bc.get("ops").cloned().unwrap_or(Value::Null);
+                diff_counter_object(c.name, &bops, &c.ops.named(), &mut problems);
+                match num(bc, "wall_median_s") {
+                    Ok(w) => diff_wall(c.name, w, c.wall_median_s, &mut problems),
+                    Err(e) => problems.push(format!("{}: {e}", c.name)),
+                }
+            }
+        }
+    }
+
+    match he_trace::json::parse(serve_baseline) {
+        Err(e) => problems.push(format!("BENCH_serve.json: unparseable baseline: {e}")),
+        Ok(base) => {
+            if let Err(e) = check_schema(&base, "serve") {
+                problems.push(format!("BENCH_serve.json: {e}"));
+            }
+            let s = &report.serve;
+            if let Ok(b) = num(&base, "batch_size") {
+                if (b - s.batch_size as f64).abs() > 0.5 {
+                    problems.push(format!(
+                        "serve.batch_size: changed {b} -> {} (exact match required)",
+                        s.batch_size
+                    ));
+                }
+            }
+            let bops = base.get("ops").cloned().unwrap_or(Value::Null);
+            diff_counter_object("serve.ops", &bops, &s.ops.named(), &mut problems);
+            let bserve = base.get("serve").cloned().unwrap_or(Value::Null);
+            diff_counter_object("serve.counters", &bserve, &s.serve.named(), &mut problems);
+            match num(&base, "wall_median_s") {
+                Ok(w) => diff_wall("serve.wall_median_s", w, s.wall_median_s, &mut problems),
+                Err(e) => problems.push(format!("serve: {e}")),
+            }
+            match num(&base, "amortized_median_s") {
+                Ok(w) => diff_wall(
+                    "serve.amortized_median_s",
+                    w,
+                    s.amortized_median_s,
+                    &mut problems,
+                ),
+                Err(e) => problems.push(format!("serve: {e}")),
+            }
+        }
+    }
+
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report() -> SmokeReport {
+        let ops = OpSnapshot {
+            ntt_fwd: 64,
+            ntt_inv: 64,
+            ..Default::default()
+        };
+        let serve_ops = OpSnapshot {
+            ct_mults: 7,
+            ..Default::default()
+        };
+        let srv = ServeSnapshot {
+            enqueued: 4,
+            batches: 1,
+            batched_images: 4,
+            ..Default::default()
+        };
+        SmokeReport {
+            layers: vec![ComponentResult {
+                name: "ntt_fwd_inv_2e12",
+                runs: 3,
+                wall_median_s: 0.010,
+                ops,
+            }],
+            serve: ServeSmoke {
+                runs: 3,
+                batch_size: 4,
+                wall_median_s: 0.200,
+                amortized_median_s: 0.050,
+                ops: serve_ops,
+                serve: srv,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips_and_self_check_passes() {
+        let r = fake_report();
+        let layers = r.layers_json();
+        let serve = r.serve_json();
+        // emitted JSON parses with the vendored parser
+        he_trace::json::parse(&layers).expect("layers json parses");
+        he_trace::json::parse(&serve).expect("serve json parses");
+        // a report checked against its own emission is clean
+        let problems = check_against_baseline(&r, &layers, &serve);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn gate_flags_op_drift_and_wall_regression() {
+        let r = fake_report();
+        let layers = r.layers_json();
+        let serve = r.serve_json();
+        let mut drifted = fake_report();
+        drifted.layers[0].ops.ntt_fwd += 1; // op drift: exact fail
+        drifted.serve.wall_median_s = 0.200 * 1.6; // wall: beyond x1.5
+        let problems = check_against_baseline(&drifted, &layers, &serve);
+        assert!(
+            problems.iter().any(|p| p.contains("ntt_fwd")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("wall regressed")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn gate_tolerates_faster_walls_and_jitter_within_budget() {
+        let r = fake_report();
+        let layers = r.layers_json();
+        let serve = r.serve_json();
+        let mut ok = fake_report();
+        ok.layers[0].wall_median_s = 0.002; // faster is always fine
+        ok.serve.wall_median_s = 0.200 * 1.4; // within x1.5
+        assert!(check_against_baseline(&ok, &layers, &serve).is_empty());
+    }
+
+    #[test]
+    fn gate_rejects_schema_mismatch() {
+        let r = fake_report();
+        let problems = check_against_baseline(&r, "{\"schema\": \"other\"}", "{}");
+        assert!(!problems.is_empty());
+    }
+}

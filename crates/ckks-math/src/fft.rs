@@ -273,7 +273,7 @@ impl EmbeddingTable {
         coeffs
     }
 
-    /// Inverse of [`slots_to_coeffs`]: gathers coefficients into slot values
+    /// Inverse of [`Self::slots_to_coeffs`]: gathers coefficients into slot values
     /// and applies the forward embedding.
     pub fn coeffs_to_slots(&self, coeffs: &[f64], slots: usize) -> Vec<Complex> {
         assert_eq!(coeffs.len(), self.n);

@@ -426,7 +426,7 @@ impl Evaluator {
         rk: &RelinKey,
     ) -> Ciphertext {
         he_trace::record_relin(1);
-        let _span = he_trace::span("relin", "he");
+        let _span = he_trace::span("relin", he_trace::cats::HE);
         let (u0, u1) = self.key_switch(&d2, &rk.0);
         let mut c0 = d0;
         c0.add_assign(&u0);
@@ -450,7 +450,7 @@ impl Evaluator {
     /// pair `(u₀, u₁)` with `u₀ + u₁·s ≈ d·w`.
     pub fn key_switch(&self, d: &RnsPoly, ksk: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
         he_trace::record_keyswitch(1);
-        let _span = he_trace::span("keyswitch", "he");
+        let _span = he_trace::span("keyswitch", he_trace::cats::HE);
         let level = d.num_limbs() - 1;
         let chain_len = self.ctx.poly_ctx().chain_len();
         assert!(level < chain_len);
@@ -560,7 +560,7 @@ impl Evaluator {
             });
         }
         he_trace::record_rescale(1);
-        let _span = he_trace::span("rescale", "he");
+        let _span = he_trace::span("rescale", he_trace::cats::HE);
         let k = ct.level;
         let qk = self.ctx.chain_moduli()[k];
         let qk_val = qk.value();
@@ -690,7 +690,7 @@ impl Evaluator {
             HeError::MissingGaloisKey { elem: g, available }
         })?;
         he_trace::record_rotation(1);
-        let _span = he_trace::span("galois", "he");
+        let _span = he_trace::span("galois", he_trace::cats::HE);
         // σ_g over coefficient domain.
         let mut c0 = ct.c0.clone();
         c0.ntt_inverse();

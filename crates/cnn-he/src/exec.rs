@@ -245,6 +245,44 @@ impl InferenceTiming {
     }
 }
 
+/// Exponentially-weighted moving average of observed run wall-clocks.
+///
+/// The serving engine uses this as its batch cost model: slot-packed
+/// inference costs the same regardless of how many slots carry data, so
+/// the wall-clock of past batches is an excellent predictor of the next
+/// one. `alpha` is the weight of the newest observation (1.0 = only the
+/// last run matters, small values smooth over host jitter).
+#[derive(Debug, Clone, Copy)]
+pub struct WallEwma {
+    alpha: f64,
+    current: Option<f64>,
+}
+
+impl WallEwma {
+    /// `alpha` must lie in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of (0, 1]");
+        Self {
+            alpha,
+            current: None,
+        }
+    }
+
+    /// Feeds one measured wall-clock into the average.
+    pub fn observe(&mut self, wall: Duration) {
+        let w = wall.as_secs_f64();
+        self.current = Some(match self.current {
+            None => w,
+            Some(prev) => self.alpha * w + (1.0 - self.alpha) * prev,
+        });
+    }
+
+    /// Current estimate; `None` until the first observation.
+    pub fn estimate(&self) -> Option<Duration> {
+        self.current.map(Duration::from_secs_f64)
+    }
+}
+
 /// Splits unit times round-robin into `k` shard sums (the work-queue
 /// order a stream scheduler would see).
 pub fn round_robin_shards(units: &[Duration], k: usize) -> Vec<Duration> {
@@ -473,6 +511,29 @@ mod tests {
         assert!(ExecMode::auto().unit_threads >= 1);
         assert_eq!(ExecPlan::threads(4).streams, 4);
         assert_eq!(ExecPlan::threads(4).virtual_cores, 4);
+    }
+
+    #[test]
+    fn ewma_tracks_observations() {
+        let mut e = WallEwma::new(0.5);
+        assert_eq!(e.estimate(), None);
+        e.observe(ms(100));
+        assert_eq!(e.estimate(), Some(ms(100)));
+        e.observe(ms(200));
+        // 0.5·200 + 0.5·100 = 150
+        let est = e.estimate().unwrap();
+        assert!((est.as_secs_f64() - 0.150).abs() < 1e-9);
+        // alpha = 1 tracks the last observation exactly
+        let mut last_only = WallEwma::new(1.0);
+        last_only.observe(ms(70));
+        last_only.observe(ms(30));
+        assert_eq!(last_only.estimate(), Some(ms(30)));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = WallEwma::new(0.0);
     }
 
     #[test]

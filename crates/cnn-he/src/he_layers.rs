@@ -93,7 +93,7 @@ pub fn he_conv2d(
         let o = u / (oh * ow);
         let oy = (u / ow) % oh;
         let ox = u % ow;
-        let _span = he_trace::span_fn("unit", || format!("conv_unit#{u}"));
+        let _span = he_trace::span_fn(he_trace::cats::UNIT, || format!("conv_unit#{u}"));
         let t0 = Instant::now();
         let mut acc: Option<Ciphertext> = None;
         for ci in 0..c_in {
@@ -162,7 +162,7 @@ pub fn he_dense(
     let table = WeightResidueTable::build(ev, &spec.weight, q_m, level);
 
     let units = mode.run_units(ev.ctx().poly_ctx(), spec.out_dim, |o| {
-        let _span = he_trace::span_fn("unit", || format!("dense_unit#{o}"));
+        let _span = he_trace::span_fn(he_trace::cats::UNIT, || format!("dense_unit#{o}"));
         let t0 = Instant::now();
         let mut acc = ev.zero_ciphertext(s * q_m, level, slots);
         for (i, ct) in x.cts.iter().enumerate() {
@@ -205,7 +205,7 @@ pub fn he_activation(
     assert!(level >= 2, "degree-3 activation needs two levels");
 
     let units = mode.run_units(ev.ctx().poly_ctx(), x.cts.len(), |i| {
-        let _span = he_trace::span_fn("unit", || format!("slaf_unit#{i}"));
+        let _span = he_trace::span_fn(he_trace::cats::UNIT, || format!("slaf_unit#{i}"));
         let t0 = Instant::now();
         (he_poly_eval_deg3(ev, rk, &x.cts[i], &c), t0.elapsed())
     });

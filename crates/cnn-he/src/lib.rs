@@ -33,7 +33,7 @@ pub mod throughput;
 pub mod trace;
 pub mod weights;
 
-pub use exec::{ExecMode, ExecPlan, InferenceTiming, SimulationCheck};
+pub use exec::{ExecMode, ExecPlan, InferenceTiming, SimulationCheck, WallEwma};
 pub use he_tensor::CtTensor;
 pub use metrics::LatencyStats;
 pub use network::{HeLayerSpec, HeNetwork};

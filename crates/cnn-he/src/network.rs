@@ -267,7 +267,7 @@ impl HeNetwork {
         let mut layer_traces = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
             let ops_before = he_trace::OpSnapshot::now();
-            let span = he_trace::span_owned(layer.name(), "layer");
+            let span = he_trace::span_owned(layer.name(), he_trace::cats::LAYER);
             let fixed0 = Instant::now();
             let (out, times, parallel) = run_layer(layer, ev, rk, x, mode);
             let wall = fixed0.elapsed();

@@ -109,6 +109,17 @@ impl CnnHePipeline {
         self.validate_batch(1)
     }
 
+    /// Largest image batch one slot-packed request can carry (the CKKS
+    /// slot count) — the ceiling a serving engine may coalesce up to.
+    pub fn max_batch(&self) -> usize {
+        self.ctx.slots()
+    }
+
+    /// Flat pixel count one request image must have.
+    pub fn input_len(&self) -> usize {
+        self.network.input_side * self.network.input_side
+    }
+
     /// Client-side: encrypts a batch of images. Panics with the full
     /// lint report if the plan cannot run under this pipeline's
     /// parameters — catching mis-planned circuits before any encrypted
@@ -425,7 +436,7 @@ mod tests {
         let (_, trace) = pipe.traced_infer(&[&img]);
         // with tracing compiled in, the session captures layer spans …
         assert!(
-            trace.events.iter().any(|e| e.cat == "layer"),
+            trace.events.iter().any(|e| e.cat == he_trace::cats::LAYER),
             "no layer spans recorded"
         );
         // … per-layer op deltas are non-trivial (≥: other test threads

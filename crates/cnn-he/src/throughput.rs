@@ -24,16 +24,22 @@ pub struct ThroughputReport {
 }
 
 /// Computes the throughput report for a measured inference under a plan.
-pub fn throughput(timing: &InferenceTiming, batch: usize, plan: ExecPlan) -> ThroughputReport {
-    assert!(batch >= 1);
-    report(timing.simulated_wall(plan), batch)
+/// `None` for an empty batch — there is no per-image latency of zero
+/// images (consistent with the zero-duration guards in
+/// [`crate::metrics::LatencyStats`] and [`crate::SimulationCheck`]).
+pub fn throughput(
+    timing: &InferenceTiming,
+    batch: usize,
+    plan: ExecPlan,
+) -> Option<ThroughputReport> {
+    (batch >= 1).then(|| report(timing.simulated_wall(plan), batch))
 }
 
 /// Throughput from the *measured* wall-clock of a real (possibly
-/// unit-parallel) run, rather than the makespan simulation.
-pub fn throughput_measured(timing: &InferenceTiming, batch: usize) -> ThroughputReport {
-    assert!(batch >= 1);
-    report(timing.measured_wall(), batch)
+/// unit-parallel) run, rather than the makespan simulation. `None` for
+/// an empty batch.
+pub fn throughput_measured(timing: &InferenceTiming, batch: usize) -> Option<ThroughputReport> {
+    (batch >= 1).then(|| report(timing.measured_wall(), batch))
 }
 
 fn report(wall: Duration, batch: usize) -> ThroughputReport {
@@ -91,8 +97,8 @@ mod tests {
     #[test]
     fn amortization_scales_linearly_in_batch() {
         let t = timing();
-        let r1 = throughput(&t, 1, ExecPlan::baseline());
-        let r64 = throughput(&t, 64, ExecPlan::baseline());
+        let r1 = throughput(&t, 1, ExecPlan::baseline()).unwrap();
+        let r64 = throughput(&t, 64, ExecPlan::baseline()).unwrap();
         // same request latency, 64× better per-image
         assert_eq!(r1.request_latency, r64.request_latency);
         assert!((r64.per_image.as_secs_f64() * 64.0 - r1.per_image.as_secs_f64()).abs() < 1e-9);
@@ -102,8 +108,8 @@ mod tests {
     #[test]
     fn parallel_plan_improves_request_latency_too() {
         let t = timing();
-        let seq = throughput(&t, 8, ExecPlan::baseline());
-        let par = throughput(&t, 8, ExecPlan::rns(4));
+        let seq = throughput(&t, 8, ExecPlan::baseline()).unwrap();
+        let par = throughput(&t, 8, ExecPlan::rns(4)).unwrap();
         assert!(par.request_latency < seq.request_latency);
         assert!(par.images_per_sec > seq.images_per_sec);
     }
@@ -111,9 +117,18 @@ mod tests {
     #[test]
     fn measured_throughput_uses_wall_field() {
         let t = timing();
-        let r = throughput_measured(&t, 10);
+        let r = throughput_measured(&t, 10).unwrap();
         assert_eq!(r.request_latency, Duration::from_millis(250));
         assert_eq!(r.per_image, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn zero_batch_yields_none_not_panic() {
+        // a drained serving batch or an empty accuracy pass must not
+        // abort the process on the old `assert!(batch >= 1)`
+        let t = timing();
+        assert!(throughput(&t, 0, ExecPlan::baseline()).is_none());
+        assert!(throughput_measured(&t, 0).is_none());
     }
 
     #[test]
@@ -121,18 +136,18 @@ mod tests {
         // an all-zero timing record (e.g. clocks below resolution) must
         // not divide by zero or report astronomically large throughput
         let t = InferenceTiming::default();
-        let r = throughput_measured(&t, 4);
+        let r = throughput_measured(&t, 4).unwrap();
         assert_eq!(r.request_latency, Duration::ZERO);
         assert_eq!(r.per_image, Duration::ZERO);
         assert_eq!(r.images_per_sec, 0.0);
-        let r = throughput(&t, 4, ExecPlan::baseline());
+        let r = throughput(&t, 4, ExecPlan::baseline()).unwrap();
         assert_eq!(r.images_per_sec, 0.0);
     }
 
     #[test]
     fn display_formats() {
         let t = timing();
-        let s = throughput(&t, 2, ExecPlan::baseline()).to_string();
+        let s = throughput(&t, 2, ExecPlan::baseline()).unwrap().to_string();
         assert!(s.contains("batch"));
         assert!(s.contains("images/s"));
     }

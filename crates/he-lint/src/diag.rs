@@ -121,6 +121,22 @@ impl LintReport {
         self.diagnostics.iter().any(|d| d.code == code)
     }
 
+    /// One-line digest for embedding in typed errors (e.g. a serving
+    /// engine's admission rejection): severity counts plus the first
+    /// error's code and message. Use [`Self::render`] for the full
+    /// multi-line report.
+    pub fn summary(&self) -> String {
+        let counts = format!(
+            "{} error(s), {} warning(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warn)
+        );
+        match self.errors().next() {
+            Some(first) => format!("{counts}; first: [{}] {}", first.code, first.message),
+            None => counts,
+        }
+    }
+
     /// Multi-line rendering, errors first.
     pub fn render(&self) -> String {
         let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
@@ -164,5 +180,18 @@ mod tests {
         assert!(epos < ipos);
         assert!(text.contains("fix: add 2 primes"));
         assert!(text.contains("1 error(s), 1 warning(s), 1 note(s)"));
+    }
+
+    #[test]
+    fn summary_is_one_line_with_first_error() {
+        let mut r = LintReport::default();
+        assert_eq!(r.summary(), "0 error(s), 0 warning(s)");
+        r.push(Diagnostic::warn("low-headroom", None, "6 bits left"));
+        r.push(Diagnostic::error("chain-exhausted", Some(3), "too deep"));
+        r.push(Diagnostic::error("batch-too-large", None, "overflow"));
+        let s = r.summary();
+        assert!(!s.contains('\n'));
+        assert!(s.starts_with("2 error(s), 1 warning(s)"));
+        assert!(s.contains("[chain-exhausted] too deep"));
     }
 }

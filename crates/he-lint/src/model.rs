@@ -1,6 +1,6 @@
 //! Shape-only reader for the workspace's HENT model format.
 //!
-//! The bench crate serializes trained [`HeNetwork`]s as
+//! The bench crate serializes trained `HeNetwork`s as
 //! `magic | input_side | layer_count | layers…` with conv/dense weights
 //! inline. The linter only needs the *shapes* — channel counts, kernel
 //! geometry, activation degree — so this reader walks the same byte

@@ -1,0 +1,86 @@
+//! Engine tuning knobs.
+
+use cnn_he::ExecMode;
+use std::time::Duration;
+
+/// Configuration of a [`crate::ServeEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Most requests one slot-packed batch may coalesce. Clamped at
+    /// start-up to the pipeline's slot count ([`cnn_he::CnnHePipeline::max_batch`]).
+    pub max_batch: usize,
+    /// How long the batcher lingers after the first request of a batch,
+    /// waiting for more to coalesce. The window closes early when the
+    /// batch fills or when a member's deadline leaves no slack for
+    /// further waiting.
+    pub max_linger: Duration,
+    /// Bound of the request queue; a full queue refuses with
+    /// [`crate::ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Worker threads executing batches. Each worker owns its own
+    /// pipeline (keys and all), built by the factory passed to
+    /// [`crate::ServeEngine::start`].
+    pub workers: usize,
+    /// How each worker executes layer unit loops (see
+    /// [`cnn_he::ExecMode`]).
+    pub exec_mode: ExecMode,
+    /// Deadline budget applied to requests submitted without an
+    /// explicit one. `None` = no deadline.
+    pub default_deadline: Option<Duration>,
+    /// Weight of the newest batch wall-clock in the engine's cost
+    /// model EWMA ([`cnn_he::WallEwma`]), in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// Degradation ladder switch: after a batch overruns a member's
+    /// deadline, retry batching at half the coalescing ceiling (floor
+    /// 1), recovering multiplicatively on clean batches.
+    pub degrade_on_overrun: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_linger: Duration::from_millis(25),
+            queue_capacity: 64,
+            workers: 1,
+            exec_mode: ExecMode::sequential(),
+            default_deadline: None,
+            ewma_alpha: 0.3,
+            degrade_on_overrun: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Panics with a descriptive message on nonsensical settings; run
+    /// before any thread is spawned.
+    pub(crate) fn validate(&self) {
+        assert!(self.max_batch >= 1, "max_batch must be >= 1");
+        assert!(self.queue_capacity >= 1, "queue_capacity must be >= 1");
+        assert!(self.workers >= 1, "workers must be >= 1");
+        assert!(
+            self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0,
+            "ewma_alpha out of (0, 1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ServeConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "workers must be >= 1")]
+    fn zero_workers_rejected() {
+        ServeConfig {
+            workers: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

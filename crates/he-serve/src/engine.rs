@@ -1,0 +1,572 @@
+//! The serving engine: admission → bounded queue → micro-batcher →
+//! worker pool → response fan-out.
+//!
+//! ```text
+//!  clients          ┌────────────┐   ┌───────────┐    ┌──────────┐
+//!  submit() ──lint──► request    │──►│ batcher   │───►│ worker 0 │─┐
+//!  submit() ──lint──► queue      │   │ (coalesce │    ├──────────┤ │ fan results
+//!  submit() ─X full  │ (bounded) │   │  ≤ max or │───►│ worker 1 │─┼─► back through
+//!            Overloaded──────────┘   │  linger)  │    ├──────────┤ │  per-request
+//!                                    └───────────┘    │    …     │─┘  responders
+//!                                                     └──────────┘
+//! ```
+//!
+//! Robustness invariants:
+//! * **Admission** — `start` lints the network against the engine's
+//!   parameters at the maximum coalescible batch; `submit` rejects
+//!   wrong-shaped images before they enter the queue.
+//! * **Backpressure** — the request queue is bounded; a full queue
+//!   refuses with [`ServeError::Overloaded`] instead of growing.
+//! * **Deadlines** — a request whose deadline expires before or during
+//!   its batch gets [`ServeError::DeadlineExceeded`]; it never receives
+//!   another request's (or a stale) answer.
+//! * **Degradation ladder** — coalesce up to the ceiling; after a batch
+//!   overruns a member's deadline, retry batching at half the ceiling
+//!   (halving applies once per overrun event, floor 1) and recover
+//!   multiplicatively on clean batches; per-request timeout errors are
+//!   the floor of the ladder.
+//! * **Clean shutdown** — `shutdown` drains: queued requests are still
+//!   batched and executed, then workers join; any request dropped on
+//!   the floor mid-teardown resolves to [`ServeError::ShuttingDown`]
+//!   rather than hanging its client.
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::queue::{BoundedQueue, Pop, TryPush};
+use crate::response::{response_pair, ResponseHandle, ServeResult};
+use crate::stats::{ServeReport, StatsCore};
+use cnn_he::{CnnHePipeline, WallEwma};
+use he_trace::cats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Poll granularity of the batcher/worker idle loops (shutdown checks).
+const TICK: Duration = Duration::from_millis(10);
+
+struct Request {
+    image: Vec<f32>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    budget: Option<Duration>,
+    responder: crate::response::Responder,
+}
+
+struct Shared {
+    queue: BoundedQueue<Request>,
+    batches: BoundedQueue<Vec<Request>>,
+    stats: StatsCore,
+    /// Current coalescing ceiling (degradation ladder state).
+    effective_max_batch: AtomicUsize,
+    /// Configured ceiling the ladder recovers toward.
+    max_batch_cap: usize,
+    ewma: Mutex<WallEwma>,
+    max_linger: Duration,
+    degrade_on_overrun: bool,
+}
+
+impl Shared {
+    fn ewma_estimate(&self) -> Option<Duration> {
+        self.ewma
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .estimate()
+    }
+
+    fn observe_wall(&self, wall: Duration) {
+        self.ewma
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .observe(wall);
+    }
+}
+
+/// A running deadline-aware batched serving engine over
+/// [`cnn_he::CnnHePipeline`].
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    input_len: usize,
+    default_deadline: Option<Duration>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Builds the pipelines (one per worker, via `factory`), runs the
+    /// he-lint admission check at the maximum coalescible batch, and
+    /// spawns the batcher and worker threads. Fails with
+    /// [`ServeError::Rejected`] — carrying the lint summary — when the
+    /// network cannot run under the factory's parameters.
+    pub fn start<F>(cfg: ServeConfig, factory: F) -> Result<Self, ServeError>
+    where
+        F: Fn() -> CnnHePipeline + Send + Sync + 'static,
+    {
+        cfg.validate();
+        let factory = Arc::new(factory);
+        let mut first = factory();
+        first.set_exec_mode(cfg.exec_mode);
+        let max_batch_cap = cfg.max_batch.min(first.max_batch()).max(1);
+        let admission = first.validate_batch(max_batch_cap);
+        if admission.has_errors() {
+            return Err(ServeError::Rejected {
+                reason: admission.summary(),
+            });
+        }
+        let input_len = first.input_len();
+
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            // small batch buffer: pressure propagates back to the
+            // request queue instead of piling up unexecuted batches
+            batches: BoundedQueue::new(cfg.workers * 2),
+            stats: StatsCore::default(),
+            effective_max_batch: AtomicUsize::new(max_batch_cap),
+            max_batch_cap,
+            ewma: Mutex::new(WallEwma::new(cfg.ewma_alpha)),
+            max_linger: cfg.max_linger,
+            degrade_on_overrun: cfg.degrade_on_overrun,
+        });
+
+        let batcher = {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("he-serve-batcher".into())
+                .spawn(move || batcher_loop(&sh))
+                .expect("spawn batcher")
+        };
+
+        let mut workers = Vec::with_capacity(cfg.workers);
+        let mut first = Some(first);
+        for w in 0..cfg.workers {
+            let sh = Arc::clone(&shared);
+            let factory = Arc::clone(&factory);
+            let mode = cfg.exec_mode;
+            let seeded = first.take();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("he-serve-worker-{w}"))
+                    .spawn(move || {
+                        let mut pipe = seeded.unwrap_or_else(|| {
+                            let mut p = factory();
+                            p.set_exec_mode(mode);
+                            p
+                        });
+                        worker_loop(&sh, &mut pipe);
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        Ok(Self {
+            shared,
+            input_len,
+            default_deadline: cfg.default_deadline,
+            batcher: Some(batcher),
+            workers,
+        })
+    }
+
+    /// Submits one image under the configured default deadline.
+    pub fn submit(&self, image: Vec<f32>) -> Result<ResponseHandle, ServeError> {
+        self.submit_with_deadline(image, self.default_deadline)
+    }
+
+    /// Submits one image with an explicit deadline budget (measured
+    /// from now). Fails fast — without entering the queue — on shape
+    /// mismatch ([`ServeError::Rejected`]), a full queue
+    /// ([`ServeError::Overloaded`]) or a closed engine
+    /// ([`ServeError::ShuttingDown`]).
+    pub fn submit_with_deadline(
+        &self,
+        image: Vec<f32>,
+        budget: Option<Duration>,
+    ) -> Result<ResponseHandle, ServeError> {
+        let _span = he_trace::span("enqueue", cats::SERVE);
+        StatsCore::bump(&self.shared.stats.submitted, 1);
+        if image.len() != self.input_len {
+            he_trace::record_serve_rejected(1);
+            StatsCore::bump(&self.shared.stats.rejected, 1);
+            return Err(ServeError::Rejected {
+                reason: format!(
+                    "image has {} pixels, network expects {}",
+                    image.len(),
+                    self.input_len
+                ),
+            });
+        }
+        let now = Instant::now();
+        let (handle, responder) = response_pair();
+        let request = Request {
+            image,
+            submitted: now,
+            deadline: budget.map(|b| now + b),
+            budget,
+            responder,
+        };
+        match self.shared.queue.try_push(request) {
+            TryPush::Ok => {
+                he_trace::record_serve_enqueue(1);
+                Ok(handle)
+            }
+            TryPush::Full(_refused) => {
+                he_trace::record_serve_overloaded(1);
+                StatsCore::bump(&self.shared.stats.overloaded, 1);
+                Err(ServeError::Overloaded {
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            TryPush::Closed(_refused) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Convenience: submit and block for the result.
+    pub fn classify_blocking(&self, image: Vec<f32>) -> Result<ServeResult, ServeError> {
+        self.submit(image)?.wait()
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Current coalescing ceiling (the degradation ladder's state).
+    pub fn effective_max_batch(&self) -> usize {
+        self.shared.effective_max_batch.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time serving metrics.
+    pub fn report(&self) -> ServeReport {
+        self.shared
+            .stats
+            .snapshot(self.queue_depth(), self.effective_max_batch())
+    }
+
+    /// Stops accepting requests, drains everything already queued
+    /// through the batcher and workers, joins all threads, and returns
+    /// the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shutdown_inner();
+        self.report()
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _span = he_trace::span("drain", cats::SERVE);
+        self.shared.queue.close();
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        self.shared.batches.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn batcher_loop(shared: &Shared) {
+    loop {
+        match shared.queue.pop_timeout(TICK) {
+            Pop::TimedOut => continue,
+            // closed AND drained — every queued request has been batched
+            Pop::Closed => return,
+            Pop::Item(first) => {
+                let batch = coalesce(shared, first);
+                dispatch(shared, batch);
+            }
+        }
+    }
+}
+
+/// Collects co-passengers for `first` until the coalescing ceiling is
+/// reached, the linger window closes, or — deadline-aware — the
+/// tightest member's budget leaves no slack for further waiting (its
+/// latest viable start time is `deadline − estimated batch wall`).
+fn coalesce(shared: &Shared, first: Request) -> Vec<Request> {
+    let _span = he_trace::span("coalesce", cats::SERVE);
+    let mut batch = vec![first];
+    let linger_end = Instant::now() + shared.max_linger;
+    loop {
+        let ceiling = shared.effective_max_batch.load(Ordering::Relaxed);
+        if batch.len() >= ceiling {
+            break;
+        }
+        let est = shared.ewma_estimate().unwrap_or(Duration::ZERO);
+        let mut cutoff = linger_end;
+        if let Some(tightest) = batch.iter().filter_map(|r| r.deadline).min() {
+            let latest_start = tightest.checked_sub(est).unwrap_or_else(Instant::now);
+            cutoff = cutoff.min(latest_start);
+        }
+        let now = Instant::now();
+        if cutoff <= now {
+            break;
+        }
+        match shared.queue.pop_timeout(cutoff - now) {
+            Pop::Item(r) => batch.push(r),
+            Pop::TimedOut | Pop::Closed => break,
+        }
+    }
+    batch
+}
+
+fn dispatch(shared: &Shared, batch: Vec<Request>) {
+    he_trace::record_serve_batch(1);
+    he_trace::record_serve_batched_images(batch.len() as u64);
+    StatsCore::bump(&shared.stats.batches, 1);
+    StatsCore::bump(&shared.stats.batched_images, batch.len() as u64);
+    // a refused push (engine tearing down without drain) drops the
+    // batch; each responder resolves its client with ShuttingDown
+    let _ = shared.batches.push_wait(batch);
+}
+
+fn worker_loop(shared: &Shared, pipe: &mut CnnHePipeline) {
+    loop {
+        match shared.batches.pop_timeout(TICK) {
+            Pop::TimedOut => continue,
+            Pop::Closed => return,
+            Pop::Item(batch) => execute_batch(shared, pipe, batch),
+        }
+    }
+}
+
+fn respond_timeout(shared: &Shared, request: Request, at: Instant) {
+    he_trace::record_serve_timeout(1);
+    StatsCore::bump(&shared.stats.timed_out, 1);
+    let waited = at.duration_since(request.submitted);
+    request.responder.send(Err(ServeError::DeadlineExceeded {
+        deadline: request.budget.unwrap_or_default(),
+        waited,
+    }));
+}
+
+fn execute_batch(shared: &Shared, pipe: &mut CnnHePipeline, batch: Vec<Request>) {
+    let _span = he_trace::span("batch_execute", cats::SERVE);
+    // 1. shed already-expired requests without spending HE work
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for r in batch {
+        match r.deadline {
+            Some(d) if d <= now => respond_timeout(shared, r, now),
+            _ => live.push(r),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // 2. one slot-packed encrypted run for the whole batch
+    let images: Vec<&[f32]> = live.iter().map(|r| r.image.as_slice()).collect();
+    let t0 = Instant::now();
+    let cls = pipe.classify(&images);
+    let wall = t0.elapsed();
+    shared.observe_wall(wall);
+    let n = live.len();
+    let amortized = wall / u32::try_from(n).unwrap_or(u32::MAX);
+    shared.stats.record_amortized(amortized);
+
+    // 3. fan results back through each request's own responder
+    let end = Instant::now();
+    let mut overran = false;
+    for (i, r) in live.into_iter().enumerate() {
+        if let Some(d) = r.deadline {
+            if d < end {
+                // completed too late: typed timeout, never a stale answer
+                overran = true;
+                respond_timeout(shared, r, end);
+                continue;
+            }
+        }
+        let latency = end.duration_since(r.submitted);
+        shared.stats.record_latency(latency);
+        StatsCore::bump(&shared.stats.completed, 1);
+        r.responder.send(Ok(ServeResult {
+            logits: cls.logits[i].clone(),
+            prediction: cls.predictions[i],
+            batch_size: n,
+            request_latency: latency,
+            batch_wall: wall,
+            amortized,
+        }));
+    }
+
+    // 4. degradation ladder
+    adjust_ceiling(shared, overran);
+}
+
+/// After an overrun, retry batching at half the ceiling (once per
+/// overrun event, floor 1); clean batches recover multiplicatively
+/// toward the configured cap.
+fn adjust_ceiling(shared: &Shared, overran: bool) {
+    if overran {
+        if !shared.degrade_on_overrun {
+            return;
+        }
+        let cur = shared.effective_max_batch.load(Ordering::Relaxed);
+        if cur > 1 {
+            shared
+                .effective_max_batch
+                .store((cur / 2).max(1), Ordering::Relaxed);
+            he_trace::record_serve_degraded(1);
+            StatsCore::bump(&shared.stats.degradations, 1);
+        }
+    } else {
+        let cur = shared.effective_max_batch.load(Ordering::Relaxed);
+        if cur < shared.max_batch_cap {
+            shared
+                .effective_max_batch
+                .store((cur * 2).min(shared.max_batch_cap), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_he::he_layers::{ConvSpec, DenseSpec};
+    use cnn_he::network::HeLayerSpec;
+    use cnn_he::HeNetwork;
+    use rand::{Rng, SeedableRng};
+
+    /// The miniature CNN1-shaped network used across cnn-he's tests:
+    /// small enough for a 2^10 toy ring.
+    fn mini_network(seed: u64) -> HeNetwork {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut w =
+            |n: usize| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-0.3f32..0.3)).collect() };
+        let conv = ConvSpec {
+            weight: w(2 * 9),
+            bias: vec![0.05, -0.05],
+            in_ch: 1,
+            out_ch: 2,
+            k: 3,
+            stride: 2,
+            pad: 0,
+        };
+        let dense = DenseSpec {
+            weight: w(18 * 4),
+            bias: w(4),
+            in_dim: 18,
+            out_dim: 4,
+        };
+        HeNetwork {
+            layers: vec![
+                HeLayerSpec::Conv(conv),
+                HeLayerSpec::Activation(vec![0.1, 0.6, 0.2, 0.05]),
+                HeLayerSpec::Dense(dense),
+            ],
+            input_side: 8,
+        }
+    }
+
+    fn engine(cfg: ServeConfig, seed: u64) -> ServeEngine {
+        ServeEngine::start(cfg, move || {
+            CnnHePipeline::new(mini_network(seed), 1 << 10, seed)
+        })
+        .expect("engine starts")
+    }
+
+    fn image(bias: f32) -> Vec<f32> {
+        (0..64)
+            .map(|i| ((i % 9) as f32 / 9.0 + bias) % 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_smoke() {
+        let eng = engine(ServeConfig::default(), 41);
+        let res = eng.classify_blocking(image(0.0)).expect("served");
+        assert_eq!(res.logits.len(), 4);
+        assert!(res.batch_size >= 1);
+        assert!(res.amortized <= res.batch_wall);
+        let report = eng.shutdown();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.batches, 1);
+    }
+
+    #[test]
+    fn wrong_image_shape_rejected_at_admission() {
+        let eng = engine(ServeConfig::default(), 42);
+        let err = eng.submit(vec![0.5f32; 10]).unwrap_err();
+        match err {
+            ServeError::Rejected { reason } => {
+                assert!(reason.contains("10 pixels"), "{reason}");
+                assert!(reason.contains("64"), "{reason}");
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
+        let report = eng.shutdown();
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn start_fails_admission_on_too_shallow_chain() {
+        // a 1-level chain cannot run the 3-level mini network: start()
+        // must refuse with the lint summary, not panic mid-request
+        let err = ServeEngine::start(ServeConfig::default(), || {
+            let params = ckks_params_too_shallow();
+            CnnHePipeline::with_params(mini_network(43), params, 43)
+        })
+        .err()
+        .expect("start must fail admission");
+        match err {
+            ServeError::Rejected { reason } => {
+                assert!(reason.contains("error"), "{reason}");
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
+    }
+
+    fn ckks_params_too_shallow() -> ckks::CkksParams {
+        ckks::CkksParams {
+            n: 1 << 10,
+            chain_bits: vec![40, 26],
+            special_bits: vec![40],
+            scale_bits: 26,
+            security: ckks::SecurityLevel::None,
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_reports_shutting_down() {
+        let eng = engine(ServeConfig::default(), 44);
+        // close the intake while keeping the engine value alive
+        eng.shared.queue.close();
+        let err = eng.submit(image(0.1)).unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn ceiling_adjustment_halves_and_recovers() {
+        let shared = Shared {
+            queue: BoundedQueue::new(1),
+            batches: BoundedQueue::new(1),
+            stats: StatsCore::default(),
+            effective_max_batch: AtomicUsize::new(8),
+            max_batch_cap: 8,
+            ewma: Mutex::new(WallEwma::new(0.5)),
+            max_linger: Duration::ZERO,
+            degrade_on_overrun: true,
+        };
+        adjust_ceiling(&shared, true);
+        assert_eq!(shared.effective_max_batch.load(Ordering::Relaxed), 4);
+        adjust_ceiling(&shared, true);
+        assert_eq!(shared.effective_max_batch.load(Ordering::Relaxed), 2);
+        adjust_ceiling(&shared, false);
+        assert_eq!(shared.effective_max_batch.load(Ordering::Relaxed), 4);
+        adjust_ceiling(&shared, false);
+        assert_eq!(shared.effective_max_batch.load(Ordering::Relaxed), 8);
+        adjust_ceiling(&shared, false);
+        assert_eq!(shared.effective_max_batch.load(Ordering::Relaxed), 8);
+        // floor at 1
+        for _ in 0..5 {
+            adjust_ceiling(&shared, true);
+        }
+        assert_eq!(shared.effective_max_batch.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! A bounded multi-producer queue with blocking and non-blocking ends.
+//!
+//! This is the engine's backpressure primitive: `try_push` refuses
+//! instead of growing without bound (the caller surfaces
+//! [`crate::ServeError::Overloaded`]), `push_wait` blocks (used on the
+//! internal batch channel, where the pressure must propagate back to
+//! the request queue rather than drop work), and `pop_timeout` is the
+//! consumer end with drain-on-close semantics: a closed queue keeps
+//! yielding its remaining items, and reports [`Pop::Closed`] only once
+//! it is also empty — exactly what a clean shutdown needs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Outcome of a non-blocking push.
+#[derive(Debug)]
+pub enum TryPush<T> {
+    /// Item accepted.
+    Ok,
+    /// Queue at capacity; the item is handed back.
+    Full(T),
+    /// Queue closed; the item is handed back.
+    Closed(T),
+}
+
+/// Outcome of a timed pop.
+#[derive(Debug)]
+pub enum Pop<T> {
+    Item(T),
+    /// Nothing arrived within the timeout (queue still open).
+    TimedOut,
+    /// Queue closed *and* fully drained.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be >= 1");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (items waiting to be popped).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Non-blocking push; refuses when full or closed.
+    pub fn try_push(&self, item: T) -> TryPush<T> {
+        let mut st = self.lock();
+        if st.closed {
+            return TryPush::Closed(item);
+        }
+        if st.items.len() >= self.capacity {
+            return TryPush::Full(item);
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        TryPush::Ok
+    }
+
+    /// Blocking push: waits while the queue is full. `Err(item)` when
+    /// the queue is (or becomes) closed.
+    pub fn push_wait(&self, item: T) -> Result<(), T> {
+        let mut st = self.lock();
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Pops the oldest item, waiting up to `timeout` for one to arrive.
+    /// A closed queue drains: remaining items keep coming out, and
+    /// [`Pop::Closed`] is returned only when closed *and* empty.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Pop::Item(item);
+            }
+            if st.closed {
+                return Pop::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Pop::TimedOut;
+            }
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Closes the queue: pushes start failing, poppers drain what is
+    /// left and then see [`Pop::Closed`].
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// True once [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let q = BoundedQueue::new(4);
+        assert!(q.is_empty());
+        for i in 0..3 {
+            assert!(matches!(q.try_push(i), TryPush::Ok));
+        }
+        assert_eq!(q.len(), 3);
+        for want in 0..3 {
+            match q.pop_timeout(ms(10)) {
+                Pop::Item(got) => assert_eq!(got, want),
+                other => panic!("expected item, got {other:?}"),
+            }
+        }
+        assert!(matches!(q.pop_timeout(ms(1)), Pop::TimedOut));
+    }
+
+    #[test]
+    fn full_queue_refuses_and_recovers() {
+        let q = BoundedQueue::new(2);
+        assert!(matches!(q.try_push(1), TryPush::Ok));
+        assert!(matches!(q.try_push(2), TryPush::Ok));
+        match q.try_push(3) {
+            TryPush::Full(item) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        let Pop::Item(_) = q.pop_timeout(ms(10)) else {
+            panic!("pop failed");
+        };
+        assert!(matches!(q.try_push(3), TryPush::Ok));
+    }
+
+    #[test]
+    fn closed_queue_drains_then_reports_closed() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7);
+        q.try_push(8);
+        q.close();
+        match q.try_push(9) {
+            TryPush::Closed(item) => assert_eq!(item, 9),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert!(matches!(q.pop_timeout(ms(1)), Pop::Item(7)));
+        assert!(matches!(q.pop_timeout(ms(1)), Pop::Item(8)));
+        assert!(matches!(q.pop_timeout(ms(1)), Pop::Closed));
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn push_wait_blocks_until_space_and_fails_on_close() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0);
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.push_wait(1));
+        std::thread::sleep(ms(20));
+        assert!(matches!(q.pop_timeout(ms(10)), Pop::Item(0)));
+        t.join().unwrap().expect("push_wait should succeed");
+        assert!(matches!(q.pop_timeout(ms(10)), Pop::Item(1)));
+
+        q.try_push(2);
+        let q3 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q3.push_wait(3));
+        std::thread::sleep(ms(20));
+        q.close();
+        assert_eq!(t.join().unwrap(), Err(3), "close unblocks a waiting push");
+    }
+
+    #[test]
+    fn pop_wakes_on_cross_thread_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        std::thread::sleep(ms(20));
+        q.try_push(42);
+        match t.join().unwrap() {
+            Pop::Item(v) => assert_eq!(v, 42),
+            other => panic!("expected item, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! One-shot response slots tying each request to its result.
+//!
+//! Every submitted request gets a [`ResponseHandle`] the client blocks
+//! on and a [`Responder`] that travels with the request through the
+//! batcher and worker pool. The pairing is structural — a worker can
+//! only answer request *i* through request *i*'s responder — so results
+//! cannot cross wires regardless of how batches are coalesced, shrunk,
+//! or reordered. A responder dropped without sending (a batch discarded
+//! mid-shutdown) resolves its handle with
+//! [`ServeError::ShuttingDown`] rather than hanging the client.
+
+use crate::error::ServeError;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Outcome of one served classification request.
+#[derive(Debug, Clone)]
+pub struct ServeResult {
+    /// Decrypted logits for this request's image.
+    pub logits: Vec<f64>,
+    /// Argmax class.
+    pub prediction: usize,
+    /// How many requests shared the slot-packed batch that produced
+    /// this result.
+    pub batch_size: usize,
+    /// Submit → response wall-clock for this request (queueing +
+    /// coalescing linger + execution).
+    pub request_latency: Duration,
+    /// Execution wall-clock of the coalesced batch run.
+    pub batch_wall: Duration,
+    /// `batch_wall / batch_size` — the amortization the batcher buys.
+    pub amortized: Duration,
+}
+
+type Outcome = Result<ServeResult, ServeError>;
+
+#[derive(Debug)]
+struct Slot {
+    outcome: Mutex<Option<Outcome>>,
+    ready: Condvar,
+}
+
+/// Client side: blocks until the engine answers.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    slot: Arc<Slot>,
+}
+
+/// Engine side: delivers exactly one outcome (or `ShuttingDown` on
+/// drop).
+pub struct Responder {
+    slot: Arc<Slot>,
+    sent: bool,
+}
+
+/// Creates a connected handle/responder pair.
+pub fn response_pair() -> (ResponseHandle, Responder) {
+    let slot = Arc::new(Slot {
+        outcome: Mutex::new(None),
+        ready: Condvar::new(),
+    });
+    (
+        ResponseHandle {
+            slot: Arc::clone(&slot),
+        },
+        Responder { slot, sent: false },
+    )
+}
+
+impl Responder {
+    /// Delivers the outcome and wakes the waiting client.
+    pub fn send(mut self, outcome: Outcome) {
+        self.deliver(outcome);
+    }
+
+    fn deliver(&mut self, outcome: Outcome) {
+        if self.sent {
+            return;
+        }
+        self.sent = true;
+        let mut guard = self
+            .slot
+            .outcome
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *guard = Some(outcome);
+        drop(guard);
+        self.slot.ready.notify_all();
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        self.deliver(Err(ServeError::ShuttingDown));
+    }
+}
+
+impl ResponseHandle {
+    /// Blocks until the engine delivers this request's outcome.
+    pub fn wait(self) -> Outcome {
+        let mut guard = self
+            .slot
+            .outcome
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-destructive poll: true once an outcome is ready.
+    pub fn is_ready(&self) -> bool {
+        self.slot
+            .outcome
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_result() -> ServeResult {
+        ServeResult {
+            logits: vec![0.1, 0.9],
+            prediction: 1,
+            batch_size: 4,
+            request_latency: Duration::from_millis(30),
+            batch_wall: Duration::from_millis(20),
+            amortized: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn wait_receives_cross_thread_send() {
+        let (handle, responder) = response_pair();
+        assert!(!handle.is_ready());
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            responder.send(Ok(dummy_result()));
+        });
+        let out = handle.wait().expect("result");
+        assert_eq!(out.prediction, 1);
+        assert_eq!(out.batch_size, 4);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_responder_resolves_to_shutting_down() {
+        let (handle, responder) = response_pair();
+        drop(responder);
+        assert!(handle.is_ready());
+        assert_eq!(handle.wait().unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn explicit_send_wins_over_drop() {
+        let (handle, responder) = response_pair();
+        responder.send(Err(ServeError::Overloaded { capacity: 8 }));
+        assert_eq!(
+            handle.wait().unwrap_err(),
+            ServeError::Overloaded { capacity: 8 }
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Engine-local metrics and the rendered `ServeReport`.
+//!
+//! Counters here are per-engine (an engine's report must not include a
+//! neighbouring engine's traffic); the process-global
+//! [`he_trace::ServeSnapshot`] counters are bumped alongside for trace
+//! attribution.
+
+use cnn_he::LatencyStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// Shared mutable metric sink (one per engine).
+#[derive(Default)]
+pub(crate) struct StatsCore {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub overloaded: AtomicU64,
+    pub timed_out: AtomicU64,
+    pub batches: AtomicU64,
+    pub batched_images: AtomicU64,
+    pub degradations: AtomicU64,
+    /// Completed-request latencies, seconds.
+    latencies: Mutex<Vec<f64>>,
+    /// Per-batch amortized per-image wall, seconds.
+    amortized: Mutex<Vec<f64>>,
+}
+
+impl StatsCore {
+    pub fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    pub fn record_latency(&self, latency: Duration) {
+        self.latencies
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(latency.as_secs_f64());
+    }
+
+    pub fn record_amortized(&self, per_image: Duration) {
+        self.amortized
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(per_image.as_secs_f64());
+    }
+
+    pub fn snapshot(&self, queue_depth: usize, effective_max_batch: usize) -> ServeReport {
+        let latencies = self
+            .latencies
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let amortized = self
+            .amortized
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        ServeReport {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_images: self.batched_images.load(Ordering::Relaxed),
+            degradations: self.degradations.load(Ordering::Relaxed),
+            queue_depth,
+            effective_max_batch,
+            request_latency: LatencyStats::from_secs(&latencies),
+            amortized_per_image: LatencyStats::from_secs(&amortized),
+        }
+    }
+}
+
+/// Point-in-time serving metrics, renderable as the shared text table.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    pub submitted: u64,
+    pub completed: u64,
+    /// Refused at admission (shape/lint).
+    pub rejected: u64,
+    /// Refused with queue-full backpressure.
+    pub overloaded: u64,
+    /// Answered with a deadline-exceeded error.
+    pub timed_out: u64,
+    /// Batches dispatched to the worker pool.
+    pub batches: u64,
+    /// Images those batches carried.
+    pub batched_images: u64,
+    /// Times the coalescing ceiling was halved after an overrun.
+    pub degradations: u64,
+    /// Requests waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Current coalescing ceiling (== configured max batch unless the
+    /// degradation ladder stepped down).
+    pub effective_max_batch: usize,
+    /// Submit → response latency of completed requests.
+    pub request_latency: Option<LatencyStats>,
+    /// Per-batch `wall / batch_size` — amortized per-image latency.
+    pub amortized_per_image: Option<LatencyStats>,
+}
+
+impl ServeReport {
+    /// Mean images per dispatched batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_images as f64 / self.batches as f64
+    }
+
+    /// Column-aligned table via the shared he-trace formatter.
+    pub fn render(&self) -> String {
+        use he_trace::{Align, Table};
+        let mut t = Table::new(&[("metric", Align::Left), ("value", Align::Right)]);
+        t.row(vec![
+            "requests submitted".into(),
+            self.submitted.to_string(),
+        ]);
+        t.row(vec![
+            "requests completed".into(),
+            self.completed.to_string(),
+        ]);
+        t.row(vec![
+            "rejected (admission)".into(),
+            self.rejected.to_string(),
+        ]);
+        t.row(vec![
+            "overloaded (queue full)".into(),
+            self.overloaded.to_string(),
+        ]);
+        t.row(vec![
+            "timed out (deadline)".into(),
+            self.timed_out.to_string(),
+        ]);
+        t.row(vec!["batches executed".into(), self.batches.to_string()]);
+        t.row(vec![
+            "mean batch size".into(),
+            format!("{:.2}", self.mean_batch()),
+        ]);
+        t.row(vec!["degradations".into(), self.degradations.to_string()]);
+        t.row(vec!["queue depth".into(), self.queue_depth.to_string()]);
+        t.row(vec![
+            "effective max batch".into(),
+            self.effective_max_batch.to_string(),
+        ]);
+        if let Some(l) = &self.request_latency {
+            t.row(vec![
+                "request latency p50/p95 (s)".into(),
+                format!("{:.3} / {:.3}", l.p50, l.p95),
+            ]);
+        }
+        if let Some(a) = &self.amortized_per_image {
+            t.row(vec![
+                "amortized per image p50/p95 (s)".into(),
+                format!("{:.4} / {:.4}", a.p50, a.p95),
+            ]);
+        }
+        t.render()
+    }
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_aggregates_counters_and_samples() {
+        let core = StatsCore::default();
+        StatsCore::bump(&core.submitted, 5);
+        StatsCore::bump(&core.completed, 4);
+        StatsCore::bump(&core.batches, 2);
+        StatsCore::bump(&core.batched_images, 4);
+        core.record_latency(Duration::from_millis(100));
+        core.record_latency(Duration::from_millis(300));
+        core.record_amortized(Duration::from_millis(50));
+        let r = core.snapshot(3, 8);
+        assert_eq!(r.submitted, 5);
+        assert_eq!(r.completed, 4);
+        assert_eq!(r.queue_depth, 3);
+        assert_eq!(r.effective_max_batch, 8);
+        assert!((r.mean_batch() - 2.0).abs() < 1e-12);
+        let lat = r.request_latency.unwrap();
+        assert!((lat.avg - 0.2).abs() < 1e-9);
+        assert!(r.amortized_per_image.is_some());
+    }
+
+    #[test]
+    fn report_renders_every_headline_metric() {
+        let core = StatsCore::default();
+        core.record_latency(Duration::from_millis(10));
+        let r = core.snapshot(0, 4);
+        let s = r.render();
+        for needle in [
+            "requests submitted",
+            "timed out",
+            "overloaded",
+            "mean batch size",
+            "effective max batch",
+            "request latency p50/p95",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn empty_report_has_no_latency_rows() {
+        let core = StatsCore::default();
+        let r = core.snapshot(0, 1);
+        assert_eq!(r.mean_batch(), 0.0);
+        assert!(r.request_latency.is_none());
+        assert!(!r.render().contains("request latency"));
+    }
+}

@@ -8,7 +8,7 @@
 //!   rescales, key switches, CRT codec calls). Instrumented crates call
 //!   `record_*` once per primitive; consumers diff [`OpSnapshot`]s
 //!   around a region to attribute work.
-//! * **Spans** ([`span`]) — RAII wall-clock spans with thread identity,
+//! * **Spans** ([`mod@span`]) — RAII wall-clock spans with thread identity,
 //!   recorded only while a [`TraceSession`] has recording switched on.
 //!   Works under the vendored rayon pool: each OS thread gets a stable
 //!   small integer id, so parallel unit execution shows up as parallel
@@ -30,6 +30,7 @@
 //! default-on `trace` feature to `he-trace/enabled`, so
 //! `--no-default-features` builds prove the no-op path compiles.
 
+pub mod cats;
 pub mod chrome;
 pub mod counters;
 pub mod folded;
@@ -42,7 +43,9 @@ pub use chrome::{to_chrome_json, validate_chrome_json};
 pub use counters::{
     record_crt_decompose, record_crt_recompose, record_ct_mult, record_keyswitch,
     record_modmul_limbs, record_ntt_fwd, record_ntt_inv, record_relin, record_rescale,
-    record_rotation, record_scalar_mac, OpSnapshot,
+    record_rotation, record_scalar_mac, record_serve_batch, record_serve_batched_images,
+    record_serve_degraded, record_serve_enqueue, record_serve_overloaded, record_serve_rejected,
+    record_serve_timeout, OpSnapshot, ServeSnapshot,
 };
 pub use folded::to_folded_stacks;
 pub use report::{TraceReport, TraceRow, UnitStats};

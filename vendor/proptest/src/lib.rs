@@ -223,7 +223,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Size specification for [`vec()`]: a fixed `usize` or a `Range<usize>`.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,

@@ -1,0 +1,37 @@
+//! Microbenchmark: the he-diff differential oracle.
+//!
+//! Quantifies what a CI smoke leg costs — sequence generation (pure
+//! metadata simulation, should be ~free), dual-world harness setup
+//! (keygen in both worlds dominates), and per-op dual execution with
+//! decrypt-and-compare on the micro presets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use he_diff::oracle::Harness;
+use he_diff::{generate, preset, DiffConfig};
+use std::sync::Arc;
+
+fn bench_diff(c: &mut Criterion) {
+    let ctx = preset("micro2").unwrap().params.build();
+    let mut g = c.benchmark_group("diff_oracle_micro2");
+    g.sample_size(3);
+
+    g.bench_function("generate_100_ops", |b| {
+        b.iter(|| generate(&ctx, std::hint::black_box(1), 100));
+    });
+
+    g.bench_function("harness_setup", |b| {
+        b.iter(|| Harness::new(Arc::clone(&ctx), std::hint::black_box(1)));
+    });
+
+    let ops = generate(&ctx, 1, 50);
+    let cfg = DiffConfig::default();
+    g.bench_function("run_50_ops_dual_world", |b| {
+        let mut h = Harness::new(Arc::clone(&ctx), 1);
+        b.iter(|| h.run(std::hint::black_box(&ops), &cfg).unwrap());
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_diff);
+criterion_main!(benches);

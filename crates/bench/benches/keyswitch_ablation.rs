@@ -1,4 +1,4 @@
-//! Ablation (DESIGN.md §8): GHS (special-modulus) vs BV key switching —
+//! Ablation (DESIGN.md §13): GHS (special-modulus) vs BV key switching —
 //! latency here, the noise side in the `keyswitch_noise` integration
 //! test.
 

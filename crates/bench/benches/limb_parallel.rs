@@ -1,4 +1,4 @@
-//! Ablation (DESIGN.md §10): limb-level rayon parallelism of the
+//! Ablation (DESIGN.md §13): limb-level rayon parallelism of the
 //! double-CRT representation — the scheme-internal face of "RNS enables
 //! parallel processing". On a single-core host the two settings measure
 //! alike (rayon degrades to sequential); on a multi-core machine the

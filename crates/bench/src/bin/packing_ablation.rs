@@ -1,4 +1,4 @@
-//! Ablation (DESIGN.md §8): scalar (CryptoNets-style) packing vs packed
+//! Ablation (DESIGN.md §13): scalar (CryptoNets-style) packing vs packed
 //! Lo-La-style packing for CNN1.
 //!
 //! * scalar packing — one ciphertext per neuron, a batch of images in

@@ -26,6 +26,33 @@ impl Sampler {
         }
     }
 
+    /// Independent substream `stream` of the seed `seed`.
+    ///
+    /// `from_seed(s)` derives the generator state from `s` alone, so two
+    /// samplers built from nearby seeds share no guaranteed independence
+    /// properties — and consumers that need *several* uncorrelated
+    /// streams per logical seed (noise averaging, per-sequence oracle
+    /// worlds) were left deriving them ad hoc (`seed + 1000`, ...).
+    /// This mixes `(seed, stream)` through a SplitMix64-style finalizer
+    /// before seeding, so every `(seed, stream)` pair yields a
+    /// decorrelated generator while staying fully reproducible.
+    pub fn from_seed_stream(seed: u64, stream: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(mix64(
+                seed ^ mix64(stream.wrapping_add(0x9e37_79b9_7f4a_7c15)),
+            )),
+        }
+    }
+
+    /// Splits off an independent child sampler, advancing `self`.
+    /// The child is seeded from fresh output of this sampler's stream,
+    /// so repeated forks yield pairwise-decorrelated generators.
+    pub fn fork(&mut self) -> Self {
+        let a = self.rng.next_u64();
+        let b = self.rng.next_u64();
+        Self::from_seed_stream(a, b)
+    }
+
     pub fn from_entropy() -> Self {
         Self {
             rng: StdRng::from_entropy(),
@@ -85,6 +112,15 @@ impl Sampler {
     }
 }
 
+/// SplitMix64 finalizer: a full-avalanche bijection on u64, so distinct
+/// `(seed, stream)` pairs map to distinct, well-separated RNG seeds.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +178,38 @@ mod tests {
     fn hamming_weight_too_large() {
         let mut s = Sampler::from_seed(1);
         let _ = s.hamming_ternary(16, 17);
+    }
+
+    #[test]
+    fn seed_streams_reproducible_and_decorrelated() {
+        let m = Modulus::new((1 << 40) - 87);
+        let a = Sampler::from_seed_stream(7, 0).uniform_limb(256, &m);
+        let b = Sampler::from_seed_stream(7, 0).uniform_limb(256, &m);
+        assert_eq!(a, b, "same (seed, stream) must reproduce");
+        // distinct streams of the same seed differ, and differ from the
+        // plain from_seed stream
+        let c = Sampler::from_seed_stream(7, 1).uniform_limb(256, &m);
+        let d = Sampler::from_seed(7).uniform_limb(256, &m);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        // adjacent (seed, stream) pairs that collide under naive xor
+        // mixing stay distinct under the finalizer
+        let e = Sampler::from_seed_stream(6, 1).uniform_limb(256, &m);
+        assert_ne!(c, e);
+    }
+
+    #[test]
+    fn fork_advances_parent_and_decorrelates() {
+        let m = Modulus::new((1 << 40) - 87);
+        let mut parent = Sampler::from_seed(99);
+        let mut child1 = parent.fork();
+        let mut child2 = parent.fork();
+        let v1 = child1.uniform_limb(128, &m);
+        let v2 = child2.uniform_limb(128, &m);
+        assert_ne!(v1, v2, "successive forks must be independent");
+        // deterministic: re-running the whole fork tree reproduces it
+        let mut parent_b = Sampler::from_seed(99);
+        assert_eq!(parent_b.fork().uniform_limb(128, &m), v1);
+        assert_eq!(parent_b.fork().uniform_limb(128, &m), v2);
     }
 }

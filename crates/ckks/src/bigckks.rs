@@ -156,6 +156,24 @@ impl BigPoly {
             .map(|c| c.to_f64().abs())
             .fold(0.0, f64::max)
     }
+
+    /// Galois automorphism `X ↦ X^k` (k odd, < 2N) — the bignum mirror of
+    /// [`RnsPoly::automorphism`]: coefficient `i` lands at `i·k mod 2N`,
+    /// negated when it wraps past `N` (negacyclic ring).
+    pub fn automorphism(&self, k: usize) -> Self {
+        let n = self.coeffs.len();
+        assert!(k % 2 == 1 && k < 2 * n, "galois element must be odd, < 2N");
+        let mut out = vec![BigInt::zero(); n];
+        for (i, c) in self.coeffs.iter().enumerate() {
+            let j = (i * k) % (2 * n);
+            if j < n {
+                out[j] = out[j].add(c);
+            } else {
+                out[j - n] = out[j - n].sub(c);
+            }
+        }
+        Self { coeffs: out }
+    }
 }
 
 /// The bignum CKKS baseline scheme (textbook, §II of the paper).
@@ -179,6 +197,22 @@ pub struct BigKeys {
     pub pk: (BigPoly, BigPoly),
     /// `ek = (-a·s + e + P·s², a) mod P·Q_L`.
     pub ek: (BigPoly, BigPoly),
+}
+
+/// Bignum Galois (rotation/conjugation) keys: for each Galois element
+/// `g`, a switching key from `σ_g(s)` back to `s`, over `P·Q_L`.
+pub struct BigGaloisKeys {
+    keys: std::collections::BTreeMap<usize, (BigPoly, BigPoly)>,
+}
+
+impl BigGaloisKeys {
+    pub fn get(&self, elem: usize) -> Option<&(BigPoly, BigPoly)> {
+        self.keys.get(&elem)
+    }
+
+    pub fn elements(&self) -> impl Iterator<Item = usize> + '_ {
+        self.keys.keys().copied()
+    }
 }
 
 impl BigCkks {
@@ -294,27 +328,54 @@ impl BigCkks {
         }
     }
 
+    pub fn sub(&self, a: &BigCiphertext, b: &BigCiphertext) -> BigCiphertext {
+        assert_eq!(a.level, b.level);
+        let q = self.modulus_at(a.level);
+        BigCiphertext {
+            c0: a.c0.sub(&b.c0).reduce_centered(&q),
+            c1: a.c1.sub(&b.c1).reduce_centered(&q),
+            scale: a.scale,
+            level: a.level,
+        }
+    }
+
+    pub fn negate(&self, a: &BigCiphertext) -> BigCiphertext {
+        BigCiphertext {
+            c0: a.c0.neg(),
+            c1: a.c1.neg(),
+            scale: a.scale,
+            level: a.level,
+        }
+    }
+
+    /// Switches the key under `d` using a switching key over `P·Q_L`:
+    /// returns `round(d · kk / P) mod Q_ℓ`.
+    fn key_switch(&self, d: &BigPoly, kk: &(BigPoly, BigPoly), q: &BigInt) -> (BigPoly, BigPoly) {
+        let p = self.modulus_at(self.ctx.max_level());
+        let u0 = d
+            .mul(&kk.0)
+            .reduce_centered(&q.mul(&p))
+            .div_round(&p)
+            .reduce_centered(q);
+        let u1 = d
+            .mul(&kk.1)
+            .reduce_centered(&q.mul(&p))
+            .div_round(&p)
+            .reduce_centered(q);
+        (u0, u1)
+    }
+
     /// Full multiplication with GHS relinearization.
     pub fn multiply(&self, a: &BigCiphertext, b: &BigCiphertext, keys: &BigKeys) -> BigCiphertext {
         assert_eq!(a.level, b.level);
         let q = self.modulus_at(a.level);
-        let p = self.modulus_at(self.ctx.max_level()); // ek's q_L factor
 
         let d0 = a.c0.mul(&b.c0).reduce_centered(&q);
         let d1 = a.c0.mul(&b.c1).add(&a.c1.mul(&b.c0)).reduce_centered(&q);
         let d2 = a.c1.mul(&b.c1).reduce_centered(&q);
 
         // relin: round(d2 · ek / P) mod Q
-        let u0 = d2
-            .mul(&keys.ek.0)
-            .reduce_centered(&q.mul(&p))
-            .div_round(&p)
-            .reduce_centered(&q);
-        let u1 = d2
-            .mul(&keys.ek.1)
-            .reduce_centered(&q.mul(&p))
-            .div_round(&p)
-            .reduce_centered(&q);
+        let (u0, u1) = self.key_switch(&d2, &keys.ek, &q);
 
         BigCiphertext {
             c0: d0.add(&u0).reduce_centered(&q),
@@ -322,6 +383,97 @@ impl BigCkks {
             scale: a.scale * b.scale,
             level: a.level,
         }
+    }
+
+    /// Galois keys for the given rotation steps (plus conjugation if
+    /// requested) — mirrors [`crate::keys::KeyGenerator::gen_galois_keys`].
+    pub fn gen_galois_keys(
+        &self,
+        keys: &BigKeys,
+        steps: &[i64],
+        with_conjugate: bool,
+        sampler: &mut Sampler,
+    ) -> BigGaloisKeys {
+        let q_l = self.modulus_at(self.ctx.max_level());
+        let p = q_l.clone();
+        let pq = q_l.mul(&p);
+        let mut elems: Vec<usize> = steps
+            .iter()
+            .map(|&st| self.ctx.params().galois_element_for_rotation(st))
+            .collect();
+        if with_conjugate {
+            elems.push(self.ctx.params().galois_element_conjugate());
+        }
+        let mut out = std::collections::BTreeMap::new();
+        for g in elems {
+            // gk_g = (-a·s + e + P·σ_g(s), a) over P·Q_L
+            let a = self.uniform_poly(&pq, sampler);
+            let e = self.error_poly(sampler);
+            let sg = keys.s.automorphism(g).mul_scalar(&p);
+            let b = a.mul(&keys.s).neg().add(&e).add(&sg).reduce_centered(&pq);
+            out.insert(g, (b, a));
+        }
+        BigGaloisKeys { keys: out }
+    }
+
+    /// Rotation by `steps` slots (the textbook Rot of paper §II): apply
+    /// the Galois automorphism to both components, then switch the `c1`
+    /// part from `σ_g(s)` back to `s`.
+    pub fn rotate(&self, ct: &BigCiphertext, steps: i64, gk: &BigGaloisKeys) -> BigCiphertext {
+        let g = self.ctx.params().galois_element_for_rotation(steps);
+        self.apply_galois(ct, g, gk)
+    }
+
+    /// Complex conjugation (`X ↦ X^{2N−1}`).
+    pub fn conjugate(&self, ct: &BigCiphertext, gk: &BigGaloisKeys) -> BigCiphertext {
+        let g = self.ctx.params().galois_element_conjugate();
+        self.apply_galois(ct, g, gk)
+    }
+
+    fn apply_galois(&self, ct: &BigCiphertext, g: usize, gk: &BigGaloisKeys) -> BigCiphertext {
+        let q = self.modulus_at(ct.level);
+        let kk = gk
+            .get(g)
+            .unwrap_or_else(|| panic!("missing bignum galois key for element {g}"));
+        let c0g = ct.c0.automorphism(g).reduce_centered(&q);
+        let c1g = ct.c1.automorphism(g).reduce_centered(&q);
+        let (u0, u1) = self.key_switch(&c1g, kk, &q);
+        BigCiphertext {
+            c0: c0g.add(&u0).reduce_centered(&q),
+            c1: u1,
+            scale: ct.scale,
+            level: ct.level,
+        }
+    }
+
+    /// Encodes real slot values into a scaled coefficient polynomial
+    /// (`m = ⌊Δ·τ⁻¹(z)⌉`), ready for [`Self::encrypt_coeffs`].
+    pub fn encode_slots(&self, values: &[f64], scale: f64) -> BigPoly {
+        let slots = self.ctx.slots();
+        assert!(values.len() <= slots, "too many slots");
+        let mut padded = vec![ckks_math::fft::Complex::from(0.0); slots];
+        for (p, &v) in padded.iter_mut().zip(values) {
+            *p = ckks_math::fft::Complex::from(v);
+        }
+        let coeffs = self.ctx.embedding().slots_to_coeffs(&padded);
+        BigPoly {
+            coeffs: coeffs
+                .iter()
+                .map(|&c| BigInt::from_f64_rounded(c * scale))
+                .collect(),
+        }
+    }
+
+    /// Decrypts and decodes back to real slot values.
+    pub fn decrypt_to_real(&self, ct: &BigCiphertext, keys: &BigKeys) -> Vec<f64> {
+        let m = self.decrypt_coeffs(ct, keys);
+        let coeffs_f: Vec<f64> = m.coeffs.iter().map(|c| c.to_f64() / ct.scale).collect();
+        self.ctx
+            .embedding()
+            .coeffs_to_slots(&coeffs_f, self.ctx.slots())
+            .iter()
+            .map(|c| c.re)
+            .collect()
     }
 
     /// Rescale: divide by the top prime `q_ℓ`.
@@ -492,6 +644,89 @@ mod tests {
                 "slot {i}: {} vs {want}",
                 slots[i].re
             );
+        }
+    }
+
+    #[test]
+    fn bignum_rotate_and_conjugate_act_on_slots() {
+        let ctx = micro_ctx();
+        let scheme = BigCkks::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(11);
+        let keys = scheme.keygen(&mut s);
+        let gk = scheme.gen_galois_keys(&keys, &[1, 3], true, &mut s);
+        let scale = ctx.params().scale();
+        let x: Vec<f64> = (0..ctx.slots()).map(|i| 0.1 + 0.01 * i as f64).collect();
+        let ct = scheme.encrypt_coeffs(&scheme.encode_slots(&x, scale), scale, &keys, &mut s);
+        for steps in [1usize, 3] {
+            let rot = scheme.rotate(&ct, steps as i64, &gk);
+            let back = scheme.decrypt_to_real(&rot, &keys);
+            for i in 0..8 {
+                let want = x[(i + steps) % ctx.slots()];
+                assert!(
+                    (back[i] - want).abs() < 1e-3,
+                    "steps {steps} slot {i}: {} vs {want}",
+                    back[i]
+                );
+            }
+        }
+        // conjugation of a real vector is the identity on slots
+        let conj = scheme.conjugate(&ct, &gk);
+        let back = scheme.decrypt_to_real(&conj, &keys);
+        for i in 0..8 {
+            assert!((back[i] - x[i]).abs() < 1e-3, "conj slot {i}");
+        }
+    }
+
+    #[test]
+    fn bignum_rotate_matches_rns_rotate() {
+        // The parity that completes the differential oracle: the RNS
+        // evaluator's hybrid-keyswitched rotation and the bignum
+        // textbook rotation decrypt to the same slots.
+        let ctx = micro_ctx();
+        let scheme = BigCkks::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(12);
+        let keys = scheme.keygen(&mut s);
+        let gk_big = scheme.gen_galois_keys(&keys, &[2], false, &mut s);
+
+        let mut kg = crate::keys::KeyGenerator::new(Arc::clone(&ctx), 12);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let gk_rns = kg.gen_galois_keys(&sk, &[2], false);
+        let ev = crate::eval::Evaluator::new(Arc::clone(&ctx));
+        let mut s2 = Sampler::from_seed(13);
+
+        let scale = ctx.params().scale();
+        let x: Vec<f64> = (0..ctx.slots()).map(|i| 0.2 - 0.003 * i as f64).collect();
+        let ct_big = scheme.encrypt_coeffs(&scheme.encode_slots(&x, scale), scale, &keys, &mut s);
+        let ct_rns = ev.encrypt_real(&x, &pk, &mut s2);
+
+        let big = scheme.decrypt_to_real(&scheme.rotate(&ct_big, 2, &gk_big), &keys);
+        let rns = ev.decrypt_to_real(&ev.rotate(&ct_rns, 2, &gk_rns), &sk);
+        for i in 0..8 {
+            let want = x[(i + 2) % ctx.slots()];
+            assert!((big[i] - want).abs() < 1e-3, "bignum slot {i}");
+            assert!((rns[i] - want).abs() < 1e-3, "rns slot {i}");
+            assert!((big[i] - rns[i]).abs() < 2e-3, "worlds diverge at {i}");
+        }
+    }
+
+    #[test]
+    fn bignum_sub_negate_roundtrip() {
+        let ctx = micro_ctx();
+        let scheme = BigCkks::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(14);
+        let keys = scheme.keygen(&mut s);
+        let scale = ctx.params().scale();
+        let x: Vec<f64> = (0..ctx.slots()).map(|i| 0.3 + 0.002 * i as f64).collect();
+        let y: Vec<f64> = (0..ctx.slots()).map(|i| -0.1 + 0.004 * i as f64).collect();
+        let cx = scheme.encrypt_coeffs(&scheme.encode_slots(&x, scale), scale, &keys, &mut s);
+        let cy = scheme.encrypt_coeffs(&scheme.encode_slots(&y, scale), scale, &keys, &mut s);
+        let diff = scheme.decrypt_to_real(&scheme.sub(&cx, &cy), &keys);
+        let ndiff = scheme.decrypt_to_real(&scheme.negate(&scheme.sub(&cy, &cx)), &keys);
+        for i in 0..8 {
+            let want = x[i] - y[i];
+            assert!((diff[i] - want).abs() < 1e-3, "sub slot {i}");
+            assert!((ndiff[i] - want).abs() < 1e-3, "neg(sub) slot {i}");
         }
     }
 

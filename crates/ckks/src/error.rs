@@ -34,6 +34,24 @@ pub enum HeError {
     ModSwitchUpward { from: usize, to: usize },
     /// Two operands' scales differ beyond `SCALE_RTOL`.
     ScaleMismatch { a: f64, b: f64 },
+    /// An RNS input codec's radix weights (`β_j = Π_{i<j} m_j`) overflow
+    /// the i128 recomposition arithmetic — too many / too large stream
+    /// moduli.
+    CodecRadixOverflow {
+        /// Number of streams requested.
+        k: usize,
+        /// The modulus whose inclusion overflowed the running product.
+        modulus: u64,
+    },
+    /// A recomposed digit value `Σ_j β_j·d_j` exceeds the i64 output
+    /// domain: the digit planes are inconsistent with the codec's
+    /// declared dynamic range.
+    CodecRecomposeOverflow {
+        /// Index of the offending element within the planes.
+        index: usize,
+        /// The out-of-range recomposed value.
+        value: i128,
+    },
 }
 
 impl std::fmt::Display for HeError {
@@ -57,6 +75,16 @@ impl std::fmt::Display for HeError {
                 write!(f, "cannot mod-switch upward (level {from} to {to})")
             }
             HeError::ScaleMismatch { a, b } => write!(f, "scale mismatch: {a} vs {b}"),
+            // keep the historical expect-message prefixes — callers and
+            // tests match on them
+            HeError::CodecRadixOverflow { k, modulus } => write!(
+                f,
+                "radix weight overflow: product of {k} stream moduli exceeds i128 at modulus {modulus}"
+            ),
+            HeError::CodecRecomposeOverflow { index, value } => write!(
+                f,
+                "recomposed digit value exceeds i64 at index {index} (value {value})"
+            ),
         }
     }
 }
@@ -89,6 +117,21 @@ mod tests {
 
         let e = HeError::ScaleMismatch { a: 2.0, b: 4.0 };
         assert!(e.to_string().contains("scale mismatch"), "{e}");
+
+        let e = HeError::CodecRadixOverflow {
+            k: 12,
+            modulus: 2053,
+        };
+        assert!(e.to_string().contains("radix weight overflow"), "{e}");
+
+        let e = HeError::CodecRecomposeOverflow {
+            index: 3,
+            value: i128::MAX,
+        };
+        assert!(
+            e.to_string().contains("recomposed digit value exceeds i64"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -913,22 +913,30 @@ mod tests {
 
     #[test]
     fn bv_relinearization_works_but_noisier() {
-        let mut f = fixture(2, 20);
-        let mut kg = KeyGenerator::new(Arc::clone(&f.ctx), 555);
-        let rk_bv = kg.gen_relin_key_variant(&f.sk, KsVariant::Bv);
         let a: Vec<f64> = (0..32).map(|i| 0.5 + 0.01 * i as f64).collect();
-        let ca = f.ev.encrypt_real(&a, &f.pk, &mut f.sampler);
-        let ghs = f.ev.multiply_rescale(&ca, &ca, &f.rk);
-        let bv = f.ev.multiply_rescale(&ca, &ca, &rk_bv);
         let expect: Vec<f64> = a.iter().map(|x| x * x).collect();
-        let err_ghs = max_err(&f.ev.decrypt_to_real(&ghs, &f.sk)[..32], &expect);
-        let err_bv = max_err(&f.ev.decrypt_to_real(&bv, &f.sk)[..32], &expect);
-        // both correct to coarse precision, GHS strictly tighter. The BV
-        // bound is loose: BV noise scales with q_j·N·σ and the exact
-        // magnitude depends on the sampler's RNG stream.
-        assert!(err_ghs < 1e-3, "GHS error {err_ghs}");
-        assert!(err_bv < 0.75, "BV error {err_bv}");
-        assert!(err_ghs < err_bv, "GHS {err_ghs} should beat BV {err_bv}");
+        // BV noise scales with q_j·N·σ and is dominated by the key
+        // draw, so average over independent (key, encryption) streams
+        // rather than pinning a single draw.
+        const STREAMS: u64 = 12;
+        let (mut sum_ghs, mut sum_bv) = (0.0f64, 0.0f64);
+        for stream in 0..STREAMS {
+            let f = fixture(2, 20 + stream);
+            let mut kg = KeyGenerator::new(Arc::clone(&f.ctx), 555 + stream);
+            let rk_bv = kg.gen_relin_key_variant(&f.sk, KsVariant::Bv);
+            let mut s = Sampler::from_seed_stream(1020, stream);
+            let ca = f.ev.encrypt_real(&a, &f.pk, &mut s);
+            let ghs = f.ev.multiply_rescale(&ca, &ca, &f.rk);
+            let bv = f.ev.multiply_rescale(&ca, &ca, &rk_bv);
+            sum_ghs += max_err(&f.ev.decrypt_to_real(&ghs, &f.sk)[..32], &expect);
+            sum_bv += max_err(&f.ev.decrypt_to_real(&bv, &f.sk)[..32], &expect);
+        }
+        let avg_ghs = sum_ghs / STREAMS as f64;
+        let avg_bv = sum_bv / STREAMS as f64;
+        // both correct to coarse precision, GHS strictly tighter
+        assert!(avg_ghs < 1e-3, "GHS error {avg_ghs}");
+        assert!(avg_bv < 0.3, "BV error {avg_bv}");
+        assert!(avg_ghs < avg_bv, "GHS {avg_ghs} should beat BV {avg_bv}");
     }
 
     #[test]

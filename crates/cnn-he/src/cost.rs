@@ -1,0 +1,163 @@
+//! Deterministic op-count cost model for the execution simulator.
+//!
+//! [`InferenceTiming`] records *measured* per-unit walls, which makes
+//! makespan assertions hostage to host load: one context-switched
+//! straggler unit lower-bounds every parallel schedule. This module
+//! derives an equivalent timing record purely from the network
+//! architecture — each unit costs a tick count proportional to the HE
+//! ops it performs — so simulated makespans (and their speed-up ratios)
+//! are exact functions of the layer shapes and the LPT scheduler,
+//! reproducible on any machine.
+//!
+//! The tick weights are coarse relative costs of the underlying
+//! primitives (a ct×ct multiply with relinearization is keyswitch-
+//! dominated and ~an order of magnitude above a ct×plain multiply;
+//! a rescale is a few limb passes). They parameterize *ratios* between
+//! schedules of the same workload, so only their relative order
+//! matters.
+
+use crate::exec::{InferenceTiming, LayerTiming};
+use crate::network::{HeLayerSpec, HeNetwork};
+use std::time::Duration;
+
+/// Tick cost of a ciphertext×plaintext multiply.
+pub const PT_MUL_TICKS: u64 = 2;
+/// Tick cost of a ciphertext addition.
+pub const ADD_TICKS: u64 = 1;
+/// Tick cost of a rescale (limb-wise exact division + drop).
+pub const RESCALE_TICKS: u64 = 6;
+/// Tick cost of a ct×ct multiply + relinearization (keyswitch-bound).
+pub const CT_MUL_RELIN_TICKS: u64 = 40;
+
+/// Tick cost of one work unit of a layer (the spatial shape is implied
+/// by the spec itself).
+fn unit_ticks(layer: &HeLayerSpec) -> u64 {
+    match layer {
+        HeLayerSpec::Conv(c) => {
+            let taps = (c.in_ch * c.k * c.k) as u64;
+            taps * (PT_MUL_TICKS + ADD_TICKS) + RESCALE_TICKS
+        }
+        HeLayerSpec::Dense(d) => d.in_dim as u64 * (PT_MUL_TICKS + ADD_TICKS) + RESCALE_TICKS,
+        // deg ≤ 3 Horner always squares once (relin) and rescales twice,
+        // plus per-coefficient plaintext muls/adds
+        HeLayerSpec::Activation(coeffs) => {
+            let deg = (coeffs.len() as u64).saturating_sub(1);
+            CT_MUL_RELIN_TICKS + 2 * RESCALE_TICKS + deg * (PT_MUL_TICKS + ADD_TICKS)
+        }
+    }
+}
+
+/// Number of independent work units the scalar engine runs for a layer,
+/// and the ciphertext count it hands to the next layer.
+fn unit_count(layer: &HeLayerSpec, in_cts: usize, in_side: usize) -> (usize, usize, usize) {
+    match layer {
+        HeLayerSpec::Conv(c) => {
+            let o = (in_side + 2 * c.pad - c.k) / c.stride + 1;
+            let units = c.out_ch * o * o;
+            (units, units, o)
+        }
+        HeLayerSpec::Dense(d) => (d.out_dim, d.out_dim, 0),
+        HeLayerSpec::Activation(_) => (in_cts, in_cts, in_side),
+    }
+}
+
+/// Builds the deterministic timing record of one encrypted inference of
+/// `net` (1 tick = 1 µs). Unit counts, parallel flags and layer order
+/// match what [`HeNetwork::infer_encrypted_with`] would record; only
+/// the durations are modeled instead of measured.
+pub fn modeled_timing(net: &HeNetwork) -> InferenceTiming {
+    let mut timing = InferenceTiming::default();
+    let mut cts = net.input_side * net.input_side;
+    let mut side = net.input_side;
+    for layer in &net.layers {
+        let (units, out_cts, out_side) = unit_count(layer, cts, side);
+        let ticks = unit_ticks(layer);
+        let unit_times = vec![Duration::from_micros(ticks); units];
+        let wall = unit_times.iter().sum();
+        timing.layers.push(LayerTiming {
+            name: layer.name(),
+            unit_times,
+            parallel: !matches!(layer, HeLayerSpec::Activation(_)),
+            fixed: Duration::ZERO,
+            wall,
+        });
+        cts = out_cts;
+        side = out_side;
+    }
+    timing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecPlan;
+    use crate::he_layers::{ConvSpec, DenseSpec};
+
+    fn toy_net() -> HeNetwork {
+        HeNetwork {
+            layers: vec![
+                HeLayerSpec::Conv(ConvSpec {
+                    weight: vec![0.0; 2 * 9],
+                    bias: vec![0.0; 2],
+                    in_ch: 1,
+                    out_ch: 2,
+                    k: 3,
+                    stride: 2,
+                    pad: 1,
+                }),
+                HeLayerSpec::Activation(vec![0.0, 0.5, 0.25]),
+                HeLayerSpec::Dense(DenseSpec {
+                    weight: vec![0.0; 10 * 32],
+                    bias: vec![0.0; 10],
+                    in_dim: 32,
+                    out_dim: 10,
+                }),
+            ],
+            input_side: 8,
+        }
+    }
+
+    #[test]
+    fn modeled_timing_is_deterministic_and_shaped_like_the_network() {
+        let net = toy_net();
+        let t1 = modeled_timing(&net);
+        let t2 = modeled_timing(&net);
+        assert_eq!(t1.layers.len(), 3);
+        // conv 8×8 s2 p1 k3 → 4×4 per channel, 2 channels
+        assert_eq!(t1.layers[0].unit_times.len(), 32);
+        assert_eq!(t1.layers[1].unit_times.len(), 32);
+        assert_eq!(t1.layers[2].unit_times.len(), 10);
+        assert!(t1.layers[0].parallel && t1.layers[2].parallel);
+        assert!(!t1.layers[1].parallel);
+        assert_eq!(t1.cpu_total(), t2.cpu_total(), "model must be exact");
+    }
+
+    #[test]
+    fn modeled_makespan_improves_monotonically_with_streams() {
+        let t = modeled_timing(&toy_net());
+        let base = t.simulated_wall(ExecPlan::baseline());
+        let mut prev = base;
+        for k in [2usize, 4, 8] {
+            let w = t.simulated_wall(ExecPlan::rns(k));
+            assert!(w <= prev, "k={k}: {w:?} > {prev:?}");
+            prev = w;
+        }
+        assert!(prev < base);
+    }
+
+    #[test]
+    fn activation_units_dominate_per_unit_cost() {
+        // a relin-bearing SLAF unit must cost more than a small conv tap
+        let slaf = unit_ticks(&HeLayerSpec::Activation(vec![0.0, 1.0, 0.5]));
+        let conv = unit_ticks(&HeLayerSpec::Conv(ConvSpec {
+            weight: vec![],
+            bias: vec![],
+            in_ch: 1,
+            out_ch: 1,
+            k: 3,
+            stride: 1,
+            pad: 0,
+        }));
+        assert!(slaf > conv, "{slaf} vs {conv}");
+    }
+}

@@ -18,6 +18,7 @@
 //!   sampling, cross-checked against the `he-lint` static plan
 //!   ([`trace`], [`pipeline::CnnHePipeline::traced_infer`]).
 
+pub mod cost;
 pub mod encrypted_weights;
 pub mod exec;
 pub mod he_layers;
@@ -33,6 +34,7 @@ pub mod throughput;
 pub mod trace;
 pub mod weights;
 
+pub use cost::modeled_timing;
 pub use exec::{ExecMode, ExecPlan, InferenceTiming, SimulationCheck, WallEwma};
 pub use he_tensor::CtTensor;
 pub use metrics::LatencyStats;

@@ -1,5 +1,5 @@
 //! Packed (Lo-La-style) inference engine — the alternative to scalar
-//! packing, provided as the packing ablation of DESIGN.md §8.
+//! packing, provided as the packing ablation of DESIGN.md §13.
 //!
 //! The whole activation vector of a layer lives in ONE ciphertext
 //! (tiled cyclically across the slots); linear layers become

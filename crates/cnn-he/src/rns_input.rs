@@ -21,6 +21,7 @@
 //! Both decompose into `k` independent streams that the engine processes
 //! in parallel, which is the performance mechanism the paper measures.
 
+use ckks::HeError;
 use ckks_math::modring::Modulus;
 use ckks_math::rns::{IntegerRns, RnsBasis};
 use rayon::prelude::*;
@@ -85,7 +86,18 @@ impl SignalDecomposition {
     }
     /// Builds a decomposition with `k` streams whose dynamic range covers
     /// integer values up to `max_abs`.
+    ///
+    /// Panics when the stream moduli overflow the radix arithmetic; use
+    /// [`Self::try_new`] for a typed error instead.
     pub fn new(k: usize, max_abs: i64) -> Self {
+        Self::try_new(k, max_abs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::new`]: returns
+    /// [`HeError::CodecRadixOverflow`] when the product of the `k`
+    /// stream moduli exceeds the i128 recomposition arithmetic (many
+    /// streams × the ≥11-bit per-stream prime floor).
+    pub fn try_new(k: usize, max_abs: i64) -> Result<Self, HeError> {
         assert!(k >= 1);
         // Size the per-stream primes so that k of them cover the dynamic
         // range with margin: start near (4·max_abs)^(1/k), at least 11 bits.
@@ -96,11 +108,14 @@ impl SignalDecomposition {
         let mut acc: i128 = 1;
         for m in rns.basis().moduli() {
             radix_weights.push(acc);
-            acc = acc
-                .checked_mul(m.value() as i128)
-                .expect("radix weight overflow");
+            acc = acc.checked_mul(m.value() as i128).ok_or({
+                HeError::CodecRadixOverflow {
+                    k,
+                    modulus: m.value(),
+                }
+            })?;
         }
-        Self { rns, radix_weights }
+        Ok(Self { rns, radix_weights })
     }
 
     /// Number of streams `k`.
@@ -193,7 +208,19 @@ impl SignalDecomposition {
 
     /// Exact linear reassembly `Σ_j β_j·plane_j` — a plain weighted sum,
     /// which is why this form survives homomorphic evaluation.
+    ///
+    /// Panics when a recomposed value exceeds i64; use
+    /// [`Self::try_recompose_digits`] for a typed error instead.
     pub fn recompose_digits(&self, planes: &[Vec<i64>]) -> Vec<i64> {
+        self.try_recompose_digits(planes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::recompose_digits`]: returns
+    /// [`HeError::CodecRecomposeOverflow`] when a digit plane set is
+    /// inconsistent with the codec's range and `Σ_j β_j·d_j` escapes i64
+    /// (e.g. planes produced by a different, wider codec).
+    pub fn try_recompose_digits(&self, planes: &[Vec<i64>]) -> Result<Vec<i64>, HeError> {
         he_trace::record_crt_recompose(1);
         assert_eq!(planes.len(), self.k());
         let len = planes[0].len();
@@ -204,7 +231,7 @@ impl SignalDecomposition {
                     .zip(&self.radix_weights)
                     .map(|(p, &b)| p[i] as i128 * b)
                     .sum();
-                i64::try_from(v).expect("recomposed digit value exceeds i64")
+                i64::try_from(v).map_err(|_| HeError::CodecRecomposeOverflow { index: i, value: v })
             })
             .collect()
     }
@@ -322,6 +349,60 @@ mod tests {
         let planes = d.decompose_digits(&xs);
         assert_eq!(planes[0], xs);
         assert_eq!(d.radix_weights(), &[1i128]);
+    }
+
+    #[test]
+    fn radix_overflow_is_a_typed_error_not_an_abort() {
+        // 12 streams × the ≥2^11 per-stream prime floor → Π m_j ≈ 2^132,
+        // past i128: this input used to hit `.expect("radix weight
+        // overflow")`.
+        let err = SignalDecomposition::try_new(12, 100).unwrap_err();
+        match err {
+            HeError::CodecRadixOverflow { k, .. } => assert_eq!(k, 12),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(err.to_string().contains("radix weight overflow"));
+        // wide-range bases that fit i128 still construct
+        assert!(SignalDecomposition::try_new(9, 100).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "radix weight overflow")]
+    fn radix_overflow_infallible_path_panics_with_typed_message() {
+        let _ = SignalDecomposition::new(12, 100);
+    }
+
+    /// Codec over the three largest primes below 2^31: Π m_j ≈ 2^93, so
+    /// max-digit planes recompose past i64.
+    fn wide_codec() -> SignalDecomposition {
+        SignalDecomposition::from_moduli(&[2_147_483_647, 2_147_483_629, 2_147_483_587], 1 << 40)
+            .unwrap()
+    }
+
+    #[test]
+    fn recompose_overflow_is_a_typed_error_not_an_abort() {
+        let d = wide_codec();
+        // digit planes at each modulus' ceiling: Σ β_j·(m_j−1) = Πm_j − 1
+        let planes: Vec<Vec<i64>> = d.moduli().iter().map(|&m| vec![0, m as i64 - 1]).collect();
+        let err = d.try_recompose_digits(&planes).unwrap_err();
+        match err {
+            HeError::CodecRecomposeOverflow { index, value } => {
+                assert_eq!(index, 1);
+                assert!(value > i64::MAX as i128);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(err
+            .to_string()
+            .contains("recomposed digit value exceeds i64"));
+    }
+
+    #[test]
+    #[should_panic(expected = "recomposed digit value exceeds i64")]
+    fn recompose_overflow_infallible_path_panics_with_typed_message() {
+        let d = wide_codec();
+        let planes: Vec<Vec<i64>> = d.moduli().iter().map(|&m| vec![m as i64 - 1]).collect();
+        let _ = d.recompose_digits(&planes);
     }
 
     #[test]

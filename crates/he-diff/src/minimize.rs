@@ -1,0 +1,176 @@
+//! Shrinks a failing op sequence to a minimal reproducing one.
+//!
+//! Two phases, both deterministic:
+//!
+//! 1. **Truncate** to the failing prefix — ops after the op whose check
+//!    fired cannot contribute.
+//! 2. **Greedy dependency-aware removal** — repeatedly try deleting one
+//!    op together with the downstream ops its removal orphans (reads of
+//!    a register no longer defined), keeping any candidate that is
+//!    still metadata-feasible *and* still fails. Feasibility is checked
+//!    with the cheap [`sim`](crate::sim) before paying for dual-world
+//!    execution.
+//!
+//! The result is 1-minimal under this removal move: deleting any single
+//! remaining op (plus its orphan closure) no longer reproduces.
+
+use crate::gen::DiffOp;
+use crate::sim::{validate_sequence, NUM_REGS};
+use ckks::params::CkksContext;
+use std::sync::Arc;
+
+/// Removes `ops[idx]` and every later op left with an undefined operand.
+fn remove_with_orphans(ops: &[DiffOp], idx: usize) -> Vec<DiffOp> {
+    let mut defined = [false; NUM_REGS];
+    let mut out = Vec::with_capacity(ops.len() - 1);
+    for (i, op) in ops.iter().enumerate() {
+        if i == idx || !op.srcs().iter().all(|&r| defined[r]) {
+            continue;
+        }
+        if let Some(dst) = op.dst() {
+            defined[dst] = true;
+        }
+        out.push(op.clone());
+    }
+    out
+}
+
+/// Generic shrinker: `valid` gates candidates cheaply, `still_fails`
+/// is the (expensive) reproduction check. `ops` itself must fail.
+pub fn minimize_with(
+    ops: &[DiffOp],
+    valid: impl Fn(&[DiffOp]) -> bool,
+    mut still_fails: impl FnMut(&[DiffOp]) -> bool,
+) -> Vec<DiffOp> {
+    let mut cur = ops.to_vec();
+    loop {
+        let mut shrunk = false;
+        // backward so removing late ops (cheap to re-check) goes first
+        let mut i = cur.len();
+        while i > 0 {
+            i -= 1;
+            let candidate = remove_with_orphans(&cur, i);
+            if candidate.len() < cur.len() && valid(&candidate) && still_fails(&candidate) {
+                cur = candidate;
+                shrunk = true;
+                i = i.min(cur.len());
+            }
+        }
+        if !shrunk {
+            return cur;
+        }
+    }
+}
+
+/// Shrinks a sequence that diverged at `fail_index` when executed by
+/// `still_fails` (typically a [`Harness`](crate::oracle::Harness) run
+/// with a fixed seed). Truncates to the failing prefix first.
+pub fn minimize(
+    ctx: &Arc<CkksContext>,
+    ops: &[DiffOp],
+    fail_index: usize,
+    mut still_fails: impl FnMut(&[DiffOp]) -> bool,
+) -> Vec<DiffOp> {
+    let prefix = &ops[..(fail_index + 1).min(ops.len())];
+    // the prefix should reproduce by construction; if the failure is
+    // flaky enough that it doesn't, fall back to the full sequence
+    let base: Vec<DiffOp> = if still_fails(prefix) {
+        prefix.to_vec()
+    } else {
+        ops.to_vec()
+    };
+    minimize_with(&base, |c| validate_sequence(ctx, c), still_fails)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(dst: usize) -> DiffOp {
+        DiffOp::Encrypt {
+            dst,
+            value_seed: dst as u64,
+        }
+    }
+
+    /// Structural validity only: every read sees a prior write.
+    fn deps_ok(ops: &[DiffOp]) -> bool {
+        let mut defined = [false; NUM_REGS];
+        for op in ops {
+            if !op.srcs().iter().all(|&r| defined[r]) {
+                return false;
+            }
+            if let Some(dst) = op.dst() {
+                defined[dst] = true;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn shrinks_to_the_two_culprit_ops() {
+        // synthetic bug: sequences "fail" iff they still contain the
+        // mul of r0 with itself (which needs enc r0 to stay defined)
+        let ops = vec![
+            enc(0),
+            enc(1),
+            enc(2),
+            DiffOp::Add { dst: 3, a: 1, b: 2 },
+            DiffOp::MulRelin { dst: 4, a: 0, b: 0 },
+            DiffOp::Negate { dst: 3, src: 3 },
+        ];
+        let fails = |c: &[DiffOp]| {
+            c.iter()
+                .any(|op| matches!(op, DiffOp::MulRelin { a: 0, b: 0, .. }))
+        };
+        assert!(fails(&ops));
+        let min = minimize_with(&ops, deps_ok, fails);
+        assert_eq!(
+            min,
+            vec![enc(0), DiffOp::MulRelin { dst: 4, a: 0, b: 0 }],
+            "only the culprit and its dependency survive"
+        );
+    }
+
+    #[test]
+    fn orphan_closure_cascades() {
+        // removing enc r0 must also drop everything transitively fed by r0
+        let ops = vec![
+            enc(0),
+            DiffOp::Negate { dst: 1, src: 0 },
+            DiffOp::Add { dst: 2, a: 1, b: 1 },
+            enc(3),
+        ];
+        let out = remove_with_orphans(&ops, 0);
+        assert_eq!(out, vec![enc(3)]);
+    }
+
+    #[test]
+    fn redefinition_keeps_later_readers() {
+        // r0 is written twice; deleting the first write must not orphan
+        // a read that the second write still covers
+        let ops = vec![enc(0), enc(1), enc(0), DiffOp::Negate { dst: 2, src: 0 }];
+        let out = remove_with_orphans(&ops, 0);
+        assert_eq!(out, vec![enc(1), enc(0), DiffOp::Negate { dst: 2, src: 0 }]);
+    }
+
+    #[test]
+    fn minimize_truncates_to_failing_prefix() {
+        let ctx = crate::preset("micro2").unwrap().params.build();
+        let ops = vec![
+            enc(0),
+            enc(1),
+            DiffOp::Sub { dst: 2, a: 0, b: 1 },
+            DiffOp::Rotate {
+                dst: 3,
+                src: 2,
+                steps: 1,
+            },
+        ];
+        // "fails" at op 2 whenever a sub of r0,r1 is present
+        let fails = |c: &[DiffOp]| c.iter().any(|op| matches!(op, DiffOp::Sub { .. }));
+        let min = minimize(&ctx, &ops, 2, fails);
+        assert_eq!(min.len(), 3, "rotate after the failure is gone: {min:?}");
+        assert!(matches!(min.last(), Some(DiffOp::Sub { .. })));
+    }
+}

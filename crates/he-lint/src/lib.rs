@@ -26,11 +26,13 @@
 pub mod analyze;
 pub mod diag;
 pub mod model;
+pub mod noise;
 pub mod paramfile;
 pub mod plan;
 
 pub use analyze::{analyze, is_clean, trajectory, OpState};
 pub use diag::{Diagnostic, LintReport, Severity};
 pub use model::{read_hent_shape, ModelShape};
+pub use noise::NoiseModel;
 pub use paramfile::parse_params;
 pub use plan::{CircuitOp, CircuitPlan, KeyInventory};

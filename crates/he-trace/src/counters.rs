@@ -38,6 +38,10 @@ mod imp {
     pub static CRT_DECOMPOSE: AtomicU64 = AtomicU64::new(0);
     pub static CRT_RECOMPOSE: AtomicU64 = AtomicU64::new(0);
 
+    // fault-injection event counters (see `FaultSnapshot`)
+    pub static FAULTS_INJECTED: AtomicU64 = AtomicU64::new(0);
+    pub static FAULTS_DETECTED: AtomicU64 = AtomicU64::new(0);
+
     // serving-layer event counters (see `ServeSnapshot`)
     pub static SERVE_ENQUEUED: AtomicU64 = AtomicU64::new(0);
     pub static SERVE_BATCHES: AtomicU64 = AtomicU64::new(0);
@@ -232,6 +236,64 @@ impl ServeSnapshot {
     }
 }
 
+/// A point-in-time copy of the fault-injection event counters.
+///
+/// Like [`ServeSnapshot`], these are *harness* events (he-diff fault
+/// injection and the guards that catch the corruptions), not HE
+/// primitives — keeping them out of [`OpSnapshot`] preserves the
+/// op-count invariance checks exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Deterministic corruptions injected by the fault harness.
+    pub injected: u64,
+    /// Corruptions caught by a guard (lint admission, ciphertext
+    /// validation, or noise telemetry).
+    pub detected: u64,
+}
+
+impl FaultSnapshot {
+    /// Current counter values. All-zero when tracing is compiled out.
+    #[must_use]
+    pub fn now() -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            use std::sync::atomic::Ordering::Relaxed;
+            Self {
+                injected: imp::FAULTS_INJECTED.load(Relaxed),
+                detected: imp::FAULTS_DETECTED.load(Relaxed),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            Self::default()
+        }
+    }
+
+    /// Events recorded between `earlier` and `self` (saturating).
+    #[must_use]
+    pub fn delta(&self, earlier: &Self) -> Self {
+        Self {
+            injected: self.injected.saturating_sub(earlier.injected),
+            detected: self.detected.saturating_sub(earlier.detected),
+        }
+    }
+
+    /// True when every counter is zero (e.g. tracing compiled out).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// `(label, value)` pairs in a stable display order.
+    #[must_use]
+    pub fn named(&self) -> [(&'static str, u64); 2] {
+        [
+            ("faults_injected", self.injected),
+            ("faults_detected", self.detected),
+        ]
+    }
+}
+
 macro_rules! recorder {
     ($(#[$doc:meta])* $name:ident, $counter:ident) => {
         $(#[$doc])*
@@ -288,6 +350,14 @@ recorder!(
 recorder!(
     /// Record `by` RNS→signal CRT recompositions.
     record_crt_recompose, CRT_RECOMPOSE
+);
+recorder!(
+    /// Record `by` injected fault corruptions.
+    record_fault_injected, FAULTS_INJECTED
+);
+recorder!(
+    /// Record `by` guard-detected fault corruptions.
+    record_fault_detected, FAULTS_DETECTED
 );
 recorder!(
     /// Record `by` requests admitted into the serving queue.
@@ -382,5 +452,25 @@ mod tests {
         record_serve_enqueue(9);
         record_serve_overloaded(9);
         assert!(ServeSnapshot::now().is_zero());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn fault_recorders_increment_fault_snapshot() {
+        let before = FaultSnapshot::now();
+        record_fault_injected(3);
+        record_fault_detected(2);
+        let d = FaultSnapshot::now().delta(&before);
+        assert!(d.injected >= 3);
+        assert!(d.detected >= 2);
+        assert_eq!(d.named()[0].0, "faults_injected");
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_build_records_no_fault_events() {
+        record_fault_injected(9);
+        record_fault_detected(9);
+        assert!(FaultSnapshot::now().is_zero());
     }
 }

@@ -1,5 +1,5 @@
 //! Self-Learning Activation Functions (paper §III.B) — the degree
-//! ablation promised in DESIGN.md §8.
+//! ablation promised in DESIGN.md §13.
 //!
 //! Trains CNN1 with ReLU, then retrains SLAF variants of degree 2, 3 and
 //! 4 and reports the accuracy / multiplicative-depth trade-off. Degree 3

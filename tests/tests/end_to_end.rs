@@ -3,7 +3,7 @@
 //! accuracy parity between the encrypted and plaintext worlds.
 
 use cnn_he::exec::ExecPlan;
-use cnn_he::{CnnHePipeline, HeNetwork};
+use cnn_he::{modeled_timing, CnnHePipeline, HeNetwork};
 use neural::mnist;
 use neural::models::{cnn1, cnn2, ActKind};
 use neural::slaf::{run_protocol, SlafProtocol};
@@ -95,19 +95,38 @@ fn rns_plans_preserve_results_and_order_latency() {
 
     let test = mnist::synthetic(1, 303);
     let result = pipe.classify(&[test.image(0)]);
-    let base = result.timing.simulated_wall(ExecPlan::baseline());
+
+    // Assert on the op-count-derived timing model: unit counts and
+    // layer shapes match the run exactly, but durations come from the
+    // deterministic tick model, so the makespan ratio is a pure
+    // function of the architecture and the LPT scheduler — immune to
+    // host load.
+    let modeled = modeled_timing(&pipe.network);
+    assert_eq!(modeled.layers.len(), result.timing.layers.len());
+    for (m, r) in modeled.layers.iter().zip(&result.timing.layers) {
+        assert_eq!(m.unit_times.len(), r.unit_times.len(), "{}", m.name);
+        assert_eq!(m.parallel, r.parallel, "{}", m.name);
+    }
+    let base = modeled.simulated_wall(ExecPlan::baseline());
     let mut prev = base;
     for k in [3usize, 6, 9, 12] {
-        let wall = result.timing.simulated_wall(ExecPlan::rns(k));
+        let wall = modeled.simulated_wall(ExecPlan::rns(k));
         assert!(wall <= prev, "k={k} slower than k-1 plan");
         prev = wall;
     }
-    // Generous margin: unit walls are *measured*, and under a loaded
-    // host (the other tests in this binary train CNNs concurrently) a
-    // single context-switched straggler unit lower-bounds every
-    // parallel makespan, so 0.5× flakes even though the plan is sound.
     assert!(
-        prev.as_secs_f64() < base.as_secs_f64() * 0.75,
-        "k=12 should be well below baseline"
+        prev.as_secs_f64() < base.as_secs_f64() * 0.5,
+        "k=12 modeled makespan {prev:?} should halve baseline {base:?}"
+    );
+
+    // measured walls stay a logged diagnostic — informative, never
+    // asserted (they flake under concurrent test load)
+    let mbase = result.timing.simulated_wall(ExecPlan::baseline());
+    let m12 = result.timing.simulated_wall(ExecPlan::rns(12));
+    println!(
+        "measured: baseline {:.3}s, k=12 {:.3}s (ratio {:.2})",
+        mbase.as_secs_f64(),
+        m12.as_secs_f64(),
+        m12.as_secs_f64() / mbase.as_secs_f64().max(1e-12)
     );
 }

@@ -18,6 +18,8 @@
 //! legitimately changes the circuit (op counts) and let CI catch the
 //! unintentional ones.
 
+#![forbid(unsafe_code)]
+
 use bench::smoke::{self, SmokeReport};
 use he_trace::{Align, Table};
 use std::path::{Path, PathBuf};

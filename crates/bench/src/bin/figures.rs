@@ -4,6 +4,8 @@
 //!
 //! Run: `cargo run --release -p bench --bin figures`
 
+#![forbid(unsafe_code)]
+
 use cnn_he::exec::ExecPlan;
 use cnn_he::quantize::QuantSpec;
 use cnn_he::{CnnHePipeline, HeNetwork, SignalDecomposition};

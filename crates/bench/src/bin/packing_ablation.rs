@@ -10,6 +10,8 @@
 //! Run: `cargo run --release -p bench --bin packing_ablation`
 //! (reduced-profile: `RNS_CNN_LOGN=12`)
 
+#![forbid(unsafe_code)]
+
 use bench::harness::{self, Arch};
 use ckks::{CkksParams, Evaluator, KeyGenerator, SecurityLevel};
 use ckks_math::sampler::Sampler;

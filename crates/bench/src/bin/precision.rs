@@ -8,6 +8,8 @@
 //!
 //! Run: `cargo run --release -p bench --bin precision`
 
+#![forbid(unsafe_code)]
+
 use ckks::noise::min_representable;
 use ckks_math::fft::{Complex, EmbeddingTable};
 use cnn_he::{CnnHePipeline, HeNetwork};

@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release -p bench --bin table1`
 
+#![forbid(unsafe_code)]
+
 struct Row {
     year: u32,
     model: &'static str,

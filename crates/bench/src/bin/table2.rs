@@ -8,6 +8,8 @@
 //!
 //! Run: `cargo run --release -p bench --bin table2`
 
+#![forbid(unsafe_code)]
+
 use ckks::{CkksParams, SecurityLevel};
 
 fn main() {

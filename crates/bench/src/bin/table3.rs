@@ -11,6 +11,8 @@
 //!
 //! Run: `cargo run --release -p bench --bin table3`
 
+#![forbid(unsafe_code)]
+
 use bench::harness::{self, Arch};
 
 fn main() {

@@ -6,6 +6,8 @@
 //!
 //! Run: `cargo run --release -p bench --bin table4`
 
+#![forbid(unsafe_code)]
+
 use bench::harness::{self, Arch};
 
 fn main() {

@@ -3,6 +3,8 @@
 //!
 //! Run: `cargo run --release -p bench --bin table5`
 
+#![forbid(unsafe_code)]
+
 use bench::harness::{self, Arch};
 
 fn main() {

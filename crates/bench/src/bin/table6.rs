@@ -4,6 +4,8 @@
 //!
 //! Run: `cargo run --release -p bench --bin table6`
 
+#![forbid(unsafe_code)]
+
 use bench::harness::{self, Arch};
 
 fn main() {

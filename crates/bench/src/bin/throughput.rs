@@ -6,6 +6,8 @@
 //!
 //! Run: `cargo run --release -p bench --bin throughput`
 
+#![forbid(unsafe_code)]
+
 use bench::harness::{self, Arch};
 use cnn_he::throughput::throughput;
 use cnn_he::CnnHePipeline;

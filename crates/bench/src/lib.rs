@@ -7,6 +7,8 @@
 //!   regenerate the paper's evaluation artifacts; see DESIGN.md's
 //!   experiment index.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod modelio;
 pub mod smoke;

@@ -10,6 +10,8 @@
 //! Everything here is implemented from scratch; the only external
 //! dependencies are `rand` (randomness) and `rayon` (limb parallelism).
 
+#![forbid(unsafe_code)]
+
 pub mod bigint;
 pub mod fft;
 pub mod modring;

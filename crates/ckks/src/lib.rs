@@ -13,6 +13,8 @@
 //! validation, a bignum reference implementation for cross-validation,
 //! and binary serialization.
 
+#![forbid(unsafe_code)]
+
 pub mod bigckks;
 pub mod ciphertext;
 pub mod encoding;

@@ -1,0 +1,218 @@
+//! `he-ir` — lower the paper's CNN1/CNN2 models to the circuit IR and
+//! run the static analysis passes over them.
+//!
+//! ```text
+//! he-ir check  <cnn1|cnn2> [--packed] [--per-tap] [--depth N]
+//! he-ir dump   <cnn1|cnn2> [--dot] [-o FILE] [--packed] [--per-tap]
+//! he-ir passes
+//! ```
+//!
+//! `check` runs the full standard pass suite and prints every
+//! diagnostic; `dump` prints a per-region table (or Graphviz DOT with
+//! `--dot`); `passes` lists the registered analyses. Exits 0 when the
+//! circuit is clean (warnings allowed), 1 on error diagnostics, 2 on
+//! usage problems.
+//!
+//! Lowering is *nominal* (`q_i = 2^chain_bits[i]`): no ring context is
+//! built and no key material exists, so checking the full 28×28 models
+//! is fast. The networks are freshly initialized from a fixed seed —
+//! the analyses depend on the architecture, not the trained values
+//! (only exact-zero weights would change tap counts).
+
+#![forbid(unsafe_code)]
+
+use cnn_he::graph::{lower_network, EncodeSharing};
+use cnn_he::network::HeNetwork;
+use cnn_he::packed::PackedNetwork;
+use he_ir::{Circuit, GraphBuilder, PassManager};
+use neural::models::{cnn1, cnn2, ActKind};
+
+const USAGE: &str = "usage:
+  he-ir check  <cnn1|cnn2> [--packed] [--per-tap] [--depth N]
+  he-ir dump   <cnn1|cnn2> [--dot] [-o FILE] [--packed] [--per-tap]
+  he-ir passes";
+
+/// Seed for the fresh model weights (analysis is architecture-driven).
+const MODEL_SEED: u64 = 1;
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+struct Opts {
+    model: Option<String>,
+    packed: bool,
+    per_tap: bool,
+    dot: bool,
+    out: Option<String>,
+    depth: Option<usize>,
+}
+
+fn parse(args: Vec<String>) -> Result<Opts, String> {
+    let mut o = Opts {
+        model: None,
+        packed: false,
+        per_tap: false,
+        dot: false,
+        out: None,
+        depth: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--packed" => o.packed = true,
+            "--per-tap" => o.per_tap = true,
+            "--dot" => o.dot = true,
+            "-o" => {
+                o.out = Some(it.next().ok_or("-o needs a file path")?);
+            }
+            "--depth" => {
+                o.depth = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--depth needs an integer")?,
+                );
+            }
+            other if !other.starts_with('-') && o.model.is_none() => {
+                o.model = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn run(mut args: Vec<String>) -> i32 {
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        return 2;
+    }
+    let cmd = args.remove(0);
+    if matches!(cmd.as_str(), "-h" | "--help" | "help") {
+        println!("{USAGE}");
+        return 0;
+    }
+    if cmd == "passes" {
+        for (name, desc) in PassManager::standard().catalog() {
+            println!("{name:<14} {desc}");
+        }
+        return 0;
+    }
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let Some(model) = opts.model.as_deref() else {
+        eprintln!("error: {cmd} needs a model name (cnn1 or cnn2)\n{USAGE}");
+        return 2;
+    };
+    let net = match model {
+        "cnn1" => HeNetwork::from_trained(&cnn1(ActKind::slaf3(), MODEL_SEED), 28),
+        "cnn2" => HeNetwork::from_trained(&cnn2(ActKind::slaf3(), MODEL_SEED), 28),
+        other => {
+            eprintln!("error: unknown model `{other}` (expected cnn1 or cnn2)\n{USAGE}");
+            return 2;
+        }
+    };
+    let circuit = build_circuit(&net, &opts);
+
+    match cmd.as_str() {
+        "check" => {
+            let report = PassManager::standard().run(&circuit);
+            print!("{}", report.render());
+            i32::from(report.has_errors())
+        }
+        "dump" => {
+            let text = if opts.dot {
+                he_ir::dot::render(&circuit)
+            } else {
+                region_table(&circuit)
+            };
+            match opts.out.as_deref() {
+                None => {
+                    print!("{text}");
+                    0
+                }
+                Some(path) => match std::fs::write(path, &text) {
+                    Ok(()) => 0,
+                    Err(e) => {
+                        eprintln!("error: cannot write {path}: {e}");
+                        2
+                    }
+                },
+            }
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`\n{USAGE}");
+            2
+        }
+    }
+}
+
+/// Paper-style parameters sized to the network (`CnnHePipeline::new`'s
+/// chain: `[40, 26 × levels]`, Δ = 2^26, ring 2^14), nominal moduli —
+/// no context build.
+fn params_for(levels: usize) -> ckks::CkksParams {
+    let mut chain_bits = vec![40u32];
+    chain_bits.extend(std::iter::repeat_n(26, levels));
+    ckks::CkksParams {
+        n: 1 << 14,
+        chain_bits,
+        special_bits: vec![40],
+        scale_bits: 26,
+        security: ckks::SecurityLevel::Bits128,
+    }
+}
+
+fn build_circuit(net: &HeNetwork, opts: &Opts) -> Circuit {
+    if opts.packed {
+        // the packed engine's plan-level lowering (BSGS rotations +
+        // matrix/SLAF trajectory), provisioned with exactly the keys
+        // the engine would generate
+        let packed = PackedNetwork::from_network(net);
+        let params = params_for(opts.depth.unwrap_or_else(|| packed.required_levels()));
+        cnn_he::lint::plan_for_packed(&packed, params, &packed.required_rotation_steps())
+            .to_circuit()
+    } else {
+        let params = params_for(opts.depth.unwrap_or_else(|| net.required_levels()));
+        let sharing = if opts.per_tap {
+            EncodeSharing::PerTap
+        } else {
+            EncodeSharing::Shared
+        };
+        lower_network(net, GraphBuilder::new(params), sharing)
+    }
+}
+
+/// One row per region: node count, op counts, exit type.
+fn region_table(c: &Circuit) -> String {
+    let mut out = format!(
+        "{} nodes, {} regions, {} outputs\n",
+        c.nodes.len(),
+        c.regions.len(),
+        c.outputs.len()
+    );
+    for r in &c.regions {
+        let counts = c.op_counts_in(r);
+        let exit = r
+            .nodes()
+            .rev()
+            .find_map(|id| c.node(id).ty.as_ct())
+            .map_or_else(String::new, |t| {
+                format!("  → L{} Δ2^{:.2}", t.level, t.log2_scale())
+            });
+        out.push_str(&format!(
+            "  {:<22} {:>7} nodes  {:>6} macs  {:>4} ct-mults  {:>5} rescales  {:>4} rots{exit}\n",
+            r.name, r.len, counts.scalar_macs, counts.ct_mults, counts.rescales, counts.rotations
+        ));
+    }
+    let t = c.op_counts();
+    out.push_str(&format!(
+        "total: {} macs, {} ct-mults, {} rescales, {} rotations\n",
+        t.scalar_macs, t.ct_mults, t.rescales, t.rotations
+    ));
+    out
+}

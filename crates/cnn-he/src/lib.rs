@@ -18,9 +18,12 @@
 //!   sampling, cross-checked against the `he-lint` static plan
 //!   ([`trace`], [`pipeline::CnnHePipeline::traced_infer`]).
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod encrypted_weights;
 pub mod exec;
+pub mod graph;
 pub mod he_layers;
 pub mod he_tensor;
 pub mod lint;
@@ -36,6 +39,7 @@ pub mod weights;
 
 pub use cost::modeled_timing;
 pub use exec::{ExecMode, ExecPlan, InferenceTiming, SimulationCheck, WallEwma};
+pub use graph::{lower_network, EncodeSharing};
 pub use he_tensor::CtTensor;
 pub use metrics::LatencyStats;
 pub use network::{HeLayerSpec, HeNetwork};

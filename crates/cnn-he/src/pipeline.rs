@@ -109,6 +109,24 @@ impl CnnHePipeline {
         self.validate_batch(1)
     }
 
+    /// Lowers the network to the `he-ir` circuit against this
+    /// pipeline's *built* context, so declared types are bit-identical
+    /// to what eager execution computes.
+    pub fn lower_to_ir(&self) -> he_ir::Circuit {
+        crate::graph::lower_network(
+            &self.network,
+            he_ir::GraphBuilder::for_context(&self.ctx),
+            crate::graph::EncodeSharing::Shared,
+        )
+    }
+
+    /// Runs the full standard analysis-pass suite over the lowered
+    /// circuit — the deep (per-node) counterpart of the plan-level
+    /// [`Self::validate`].
+    pub fn check_ir(&self) -> he_ir::AnalysisReport {
+        he_ir::PassManager::standard().run(&self.lower_to_ir())
+    }
+
     /// Largest image batch one slot-packed request can carry (the CKKS
     /// slot count) — the ceiling a serving engine may coalesce up to.
     pub fn max_batch(&self) -> usize {
@@ -191,7 +209,7 @@ impl CnnHePipeline {
         let events = session.finish();
         let plan =
             crate::lint::plan_for_network(&self.network, self.ctx.params().clone(), images.len());
-        let trace = crate::trace::InferenceTrace::new(
+        let mut trace = crate::trace::InferenceTrace::new(
             start_level,
             start_scale,
             start_headroom,
@@ -201,6 +219,12 @@ impl CnnHePipeline {
             total_ops,
             &plan,
         );
+        // second, finer cross-check: the per-region exit types and op
+        // counts of the lowered IR circuit against the observed telemetry
+        trace.divergence.extend(crate::trace::ir_cross_check(
+            &trace.layers,
+            &self.lower_to_ir(),
+        ));
         let logits = decrypt_tensor(&self.ev, &self.sk, &logits_ct, images.len());
         let predictions = logits
             .iter()

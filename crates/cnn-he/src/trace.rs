@@ -210,6 +210,70 @@ pub fn cross_check(layers: &[LayerTrace], traj: &[OpState]) -> Vec<String> {
     out
 }
 
+/// Diffs observed per-layer telemetry against the lowered `he-ir`
+/// circuit (one region per layer): exit level must match exactly, exit
+/// scale within [`SCALE_TOL_BITS`] (a `for_context` lowering is
+/// bit-identical, so any drift is real), and the observed HE op
+/// counters must not *undershoot* the static per-region counts.
+/// Overshoot is not flagged — the runtime counters are process-global,
+/// so concurrent HE work in other threads can only inflate them — and
+/// layers whose counters are all zero (the `trace` feature compiled
+/// out) skip the op comparison entirely.
+pub fn ir_cross_check(layers: &[LayerTrace], circuit: &he_ir::Circuit) -> Vec<String> {
+    let mut out = Vec::new();
+    if circuit.regions.len() != layers.len() {
+        out.push(format!(
+            "region count mismatch: runtime executed {} layers, the IR circuit has {} regions",
+            layers.len(),
+            circuit.regions.len()
+        ));
+        return out;
+    }
+    for (i, (l, region)) in layers.iter().zip(&circuit.regions).enumerate() {
+        let exit = region
+            .nodes()
+            .rev()
+            .find_map(|id| circuit.node(id).ty.as_ct());
+        if let Some(ty) = exit {
+            if ty.level != l.level {
+                out.push(format!(
+                    "layer {i} ({}): exit level {} observed, IR region declares {}",
+                    l.name, l.level, ty.level
+                ));
+            }
+            let drift = (l.scale.log2() - ty.log2_scale()).abs();
+            if drift > SCALE_TOL_BITS {
+                out.push(format!(
+                    "layer {i} ({}): exit log2(scale) {:.4} drifts {drift:.4} bits \
+                     from the IR-declared {:.4}",
+                    l.name,
+                    l.scale.log2(),
+                    ty.log2_scale()
+                ));
+            }
+        }
+        if l.ops == OpSnapshot::default() {
+            continue;
+        }
+        let want = circuit.op_counts_in(region);
+        for (what, observed, statically) in [
+            ("ct_mults", l.ops.ct_mults, want.ct_mults),
+            ("scalar_macs", l.ops.scalar_macs, want.scalar_macs),
+            ("rescales", l.ops.rescales, want.rescales),
+            ("rotations", l.ops.rotations, want.rotations),
+        ] {
+            if observed < statically {
+                out.push(format!(
+                    "layer {i} ({}): observed only {observed} {what} but the IR \
+                     region contains {statically}",
+                    l.name
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +370,47 @@ mod tests {
         let div = cross_check(&layers, &traj);
         assert_eq!(div.len(), 1);
         assert!(div[0].contains("op count mismatch"));
+    }
+
+    #[test]
+    fn ir_cross_check_flags_level_scale_and_undercount() {
+        use he_ir::{GraphBuilder, Layout};
+        let params = CkksParams::tiny(2);
+        let s = params.scale();
+        let mut b = GraphBuilder::new(params);
+        let x = b.input("x", 2, Layout::BatchSlots);
+        b.begin_region("lin");
+        let q = b.q_at(2);
+        let w = b.encode_scalar(0.5, q, 2);
+        let z = b.zero(s * q, 2);
+        let acc = b.mac_plain(z, x, w);
+        let y = b.rescale(acc);
+        b.output(y);
+        let c = b.finish(he_ir::KeyInventory::relin_only());
+
+        // matching telemetry (counters at or above the static counts)
+        let mut ok = layer("lin", 1, s);
+        ok.ops.scalar_macs = 1;
+        ok.ops.rescales = 2; // another thread's rescale: not flagged
+        assert_eq!(ir_cross_check(&[ok], &c), Vec::<String>::new());
+
+        // counters all zero (trace feature off): op comparison skipped
+        let quiet = layer("lin", 1, s);
+        assert_eq!(ir_cross_check(&[quiet], &c), Vec::<String>::new());
+
+        // wrong level, drifted scale, and an undershot rescale counter
+        let mut bad = layer("lin", 2, s * 8.0);
+        bad.ops.scalar_macs = 1;
+        let div = ir_cross_check(&[bad], &c);
+        assert_eq!(div.len(), 3, "{div:?}");
+        assert!(div[0].contains("exit level"), "{}", div[0]);
+        assert!(div[1].contains("drifts"), "{}", div[1]);
+        assert!(div[2].contains("rescales"), "{}", div[2]);
+
+        // layer-count mismatch short-circuits
+        let div = ir_cross_check(&[], &c);
+        assert_eq!(div.len(), 1);
+        assert!(div[0].contains("region count mismatch"));
     }
 
     #[test]

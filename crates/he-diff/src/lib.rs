@@ -15,6 +15,11 @@
 //!   worlds must agree with the exact plaintext reference within an
 //!   *analytically derived* bound composed from
 //!   [`he_lint::NoiseModel`] — never a hand-tuned epsilon.
+//! * [`ir`] — the third world: every sequence is also lowered to the
+//!   `he-ir` circuit IR and interpreted with the same keys, and each
+//!   register write must match the eager ciphertext **bit for bit**
+//!   (limb for limb, zero tolerance), with the lowered circuit passing
+//!   the full static-analysis suite.
 //! * [`mod@minimize`] — failing sequences shrink to a minimal
 //!   reproducing op list, reported with the replayable seed.
 //! * `fault` (feature `fault-inject`) — deterministic corruption
@@ -30,7 +35,10 @@
 //! RNS decryption path against bignum CRT arithmetic without paying for
 //! schoolbook ciphertext ops.
 
+#![forbid(unsafe_code)]
+
 pub mod gen;
+pub mod ir;
 pub mod minimize;
 pub mod oracle;
 pub mod sim;
@@ -39,6 +47,7 @@ pub mod sim;
 pub mod fault;
 
 pub use gen::{generate, DiffOp};
+pub use ir::{lower_ops, run_ir_vs_eager, IrReport};
 pub use minimize::{minimize, minimize_with};
 pub use oracle::{run_sequence, DiffConfig, Divergence, RunReport};
 

@@ -1,12 +1,14 @@
 //! `he-diff` — differential oracle runner.
 //!
 //! ```text
-//! he-diff run [--seed S] [--ops N] [--preset NAME|all] [--safety F] [--minimize]
+//! he-diff run [--seed S] [--ops N] [--preset NAME|all] [--safety F] [--minimize] [--ir]
 //! he-diff presets
 //! ```
 //!
 //! Exits 0 when every checked sequence agrees within the analytic
 //! bound, 1 on a divergence (printing a replay line), 2 on bad usage.
+
+#![forbid(unsafe_code)]
 
 use he_diff::oracle::Harness;
 use he_diff::{generate, minimize, presets, DiffConfig, Divergence};
@@ -50,6 +52,7 @@ fn run_cmd(args: Vec<String>) -> i32 {
     let mut preset_name = "all".to_string();
     let mut cfg = DiffConfig::default();
     let mut shrink = false;
+    let mut ir = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -79,6 +82,7 @@ fn run_cmd(args: Vec<String>) -> i32 {
                 preset_name = v;
             }
             "--minimize" => shrink = true,
+            "--ir" => ir = true,
             _ => {
                 eprintln!("unknown flag `{arg}`\n{USAGE}");
                 return 2;
@@ -131,6 +135,22 @@ fn run_cmd(args: Vec<String>) -> i32 {
                 }
             }
         }
+        if ir {
+            match he_diff::run_ir_vs_eager(&ctx, seed, ops_count) {
+                Ok(r) => println!(
+                    "{:8} ir: {} register write(s) bit-identical across {} IR node(s) ok",
+                    p.name, r.compares, r.nodes
+                ),
+                Err(e) => {
+                    failed = true;
+                    println!("{:8} IR DIVERGENCE: {e}", p.name);
+                    println!(
+                        "replay: he-diff run --seed {seed} --ops {ops_count} --preset {} --ir",
+                        p.name
+                    );
+                }
+            }
+        }
     }
     i32::from(failed)
 }
@@ -143,12 +163,15 @@ fn report_divergence(preset: &str, seed: u64, ops: usize, div: &Divergence) {
 const USAGE: &str = "usage: he-diff <command>
 
 commands:
-    run [--seed S] [--ops N] [--preset NAME|all] [--safety F] [--minimize]
+    run [--seed S] [--ops N] [--preset NAME|all] [--safety F] [--minimize] [--ir]
         Generate a seeded op sequence and execute it on the production
         RNS evaluator and the bignum CKKS reference simultaneously,
         checking both against the analytic noise bound after every op.
         With --minimize, a divergence is shrunk to a minimal
-        reproducing op list before reporting.
+        reproducing op list before reporting. With --ir, the sequence
+        is additionally lowered to the he-ir circuit IR and interpreted
+        with the same keys, demanding bit-identical ciphertexts at
+        every register write.
     presets
         List the oracle's parameter presets.
 

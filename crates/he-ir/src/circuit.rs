@@ -1,0 +1,415 @@
+//! The circuit graph: SSA-style nodes of HE ops with typed results.
+//!
+//! A [`Circuit`] is an append-only list of [`Node`]s; a node's operands
+//! are [`NodeId`]s of earlier nodes, so the list order is already a
+//! topological order and every analysis is a single forward or backward
+//! sweep. Nodes are grouped into named [`Region`]s (one per network
+//! layer or plan op) so pass results can be cross-checked against
+//! per-layer runtime telemetry.
+
+use crate::types::ValueTy;
+use ckks::CkksParams;
+use std::collections::BTreeSet;
+
+/// Index of a node in [`Circuit::nodes`].
+pub type NodeId = usize;
+
+/// What key material the evaluation will have available. `None` for the
+/// Galois set means "unknown — skip coverage checks".
+#[derive(Debug, Clone, Default)]
+pub struct KeyInventory {
+    pub relin: bool,
+    pub galois_elements: Option<BTreeSet<usize>>,
+}
+
+impl KeyInventory {
+    /// Inventory of a standard pipeline: relin key present, no Galois
+    /// keys generated.
+    pub fn relin_only() -> Self {
+        Self {
+            relin: true,
+            galois_elements: Some(BTreeSet::new()),
+        }
+    }
+
+    /// Full declared inventory.
+    pub fn with_galois(relin: bool, elements: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            relin,
+            galois_elements: Some(elements.into_iter().collect()),
+        }
+    }
+
+    /// Unknown key material: key-coverage checks are skipped.
+    pub fn unknown() -> Self {
+        Self {
+            relin: true,
+            galois_elements: None,
+        }
+    }
+}
+
+/// One HE operation. Ciphertext-producing ops reference ciphertext
+/// nodes; `MulPlain`/`MacPlain` additionally reference an
+/// [`Op::EncodeScalar`] node for their weight.
+///
+/// Relinearization is folded into `Mul`/`Square` (the eager evaluator
+/// relinearizes every ct×ct product immediately), and key-switching is
+/// implicit in `Mul`/`Square`/`Rotate`/`Conjugate` — mirroring the
+/// primitive set `ckks::Evaluator` actually exposes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A free ciphertext input, bound by name at interpretation time
+    /// (an encryption happens outside the circuit).
+    Input {
+        name: String,
+    },
+    /// `Evaluator::zero_ciphertext` — a transparent zero used to seed
+    /// accumulators.
+    Zero,
+    /// `Evaluator::prepare_scalar`: a scalar encoded at `pt_scale` in
+    /// the residue basis of the node's declared level.
+    EncodeScalar {
+        value: f64,
+        pt_scale: f64,
+    },
+    Add {
+        a: NodeId,
+        b: NodeId,
+    },
+    Sub {
+        a: NodeId,
+        b: NodeId,
+    },
+    Negate {
+        src: NodeId,
+    },
+    /// `Evaluator::add_scalar`: adds an encoded constant.
+    AddScalar {
+        src: NodeId,
+        value: f64,
+    },
+    /// `Evaluator::mul_scalar` with the weight from `plain`.
+    MulPlain {
+        src: NodeId,
+        plain: NodeId,
+    },
+    /// `Evaluator::mul_residues_acc`: `acc + src·plain`, the fused MAC
+    /// the CNN layers are built from.
+    MacPlain {
+        acc: NodeId,
+        src: NodeId,
+        plain: NodeId,
+    },
+    /// ct×ct product, relinearized (one keyswitch).
+    Mul {
+        a: NodeId,
+        b: NodeId,
+    },
+    /// ct², relinearized (one keyswitch).
+    Square {
+        src: NodeId,
+    },
+    /// Drop the top chain prime: scale divided by `q_level`, level − 1.
+    Rescale {
+        src: NodeId,
+    },
+    /// Drop primes without scaling (level alignment).
+    ModSwitch {
+        src: NodeId,
+        level: usize,
+    },
+    /// Slot rotation by `steps` (one keyswitch unless the rotation is
+    /// an identity).
+    Rotate {
+        src: NodeId,
+        steps: i64,
+    },
+    /// Slot-wise complex conjugation (one keyswitch).
+    Conjugate {
+        src: NodeId,
+    },
+}
+
+impl Op {
+    /// Operand node ids, in a fixed order.
+    pub fn args(&self) -> Vec<NodeId> {
+        match self {
+            Op::Input { .. } | Op::Zero | Op::EncodeScalar { .. } => vec![],
+            Op::Add { a, b } | Op::Sub { a, b } | Op::Mul { a, b } => vec![*a, *b],
+            Op::Negate { src }
+            | Op::AddScalar { src, .. }
+            | Op::Square { src }
+            | Op::Rescale { src }
+            | Op::ModSwitch { src, .. }
+            | Op::Rotate { src, .. }
+            | Op::Conjugate { src } => vec![*src],
+            Op::MulPlain { src, plain } => vec![*src, *plain],
+            Op::MacPlain { acc, src, plain } => vec![*acc, *src, *plain],
+        }
+    }
+
+    /// Short lowercase mnemonic for rendering.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Input { .. } => "input",
+            Op::Zero => "zero",
+            Op::EncodeScalar { .. } => "encode",
+            Op::Add { .. } => "add",
+            Op::Sub { .. } => "sub",
+            Op::Negate { .. } => "negate",
+            Op::AddScalar { .. } => "add_scalar",
+            Op::MulPlain { .. } => "mul_plain",
+            Op::MacPlain { .. } => "mac_plain",
+            Op::Mul { .. } => "mul",
+            Op::Square { .. } => "square",
+            Op::Rescale { .. } => "rescale",
+            Op::ModSwitch { .. } => "mod_switch",
+            Op::Rotate { .. } => "rotate",
+            Op::Conjugate { .. } => "conjugate",
+        }
+    }
+}
+
+/// One node: an op plus the type of the value it produces.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub op: Op,
+    pub ty: ValueTy,
+}
+
+/// A contiguous, named span of nodes (one network layer / plan op).
+#[derive(Debug, Clone)]
+pub struct Region {
+    pub name: String,
+    /// First node id of the region.
+    pub first: NodeId,
+    /// Number of nodes in the region.
+    pub len: usize,
+}
+
+impl Region {
+    /// Node ids covered by this region.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        self.first..self.first + self.len
+    }
+}
+
+/// Per-kind op counts of a circuit — comparable against the runtime
+/// `he-trace` counters an eager execution of the same circuit records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// ct×ct products (`Mul` + `Square`) — each also relinearizes.
+    pub ct_mults: u64,
+    /// Fused plaintext MACs (`MacPlain`).
+    pub scalar_macs: u64,
+    pub rescales: u64,
+    /// Non-identity rotations plus conjugations — each a keyswitch.
+    pub rotations: u64,
+}
+
+/// A complete circuit: parameters, per-level modulus values, nodes,
+/// outputs, declared keys, and regions.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    pub params: CkksParams,
+    /// Value of the chain modulus at each level index. Nominal
+    /// (`2^chain_bits[i]`) for plan-level circuits; the real generated
+    /// prime values for circuits lowered from a built context, which
+    /// makes declared scales bit-identical to eager execution.
+    pub moduli: Vec<f64>,
+    pub nodes: Vec<Node>,
+    /// Result nodes, in output order.
+    pub outputs: Vec<NodeId>,
+    pub keys: KeyInventory,
+    pub regions: Vec<Region>,
+}
+
+impl Circuit {
+    /// Nominal per-level modulus values (`2^chain_bits[i]`) — exact
+    /// powers of two, so bit-domain arithmetic on them is exact.
+    pub fn nominal_moduli(params: &CkksParams) -> Vec<f64> {
+        params
+            .chain_bits
+            .iter()
+            .map(|&b| 2f64.powi(b as i32))
+            .collect()
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// The region a node belongs to, if any.
+    pub fn region_of(&self, id: NodeId) -> Option<&Region> {
+        self.regions.iter().find(|r| r.nodes().contains(&id))
+    }
+
+    /// Static op counts (rotation identities excluded, matching the
+    /// runtime counters which never key-switch an identity rotation).
+    pub fn op_counts(&self) -> OpCounts {
+        self.op_counts_over(0..self.nodes.len())
+    }
+
+    /// [`Self::op_counts`] restricted to one region — comparable against
+    /// the per-layer counter deltas runtime telemetry records.
+    pub fn op_counts_in(&self, region: &Region) -> OpCounts {
+        self.op_counts_over(region.nodes())
+    }
+
+    fn op_counts_over(&self, nodes: std::ops::Range<NodeId>) -> OpCounts {
+        let slots = self.params.slots() as i64;
+        let mut c = OpCounts::default();
+        for node in &self.nodes[nodes] {
+            match &node.op {
+                Op::Mul { .. } | Op::Square { .. } => c.ct_mults += 1,
+                Op::MacPlain { .. } => c.scalar_macs += 1,
+                Op::Rescale { .. } => c.rescales += 1,
+                Op::Rotate { steps, .. } if steps.rem_euclid(slots) != 0 => c.rotations += 1,
+                Op::Conjugate { .. } => c.rotations += 1,
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Structural validation: operands precede their users (SSA/topo
+    /// order), operand kinds match (ct vs plain), and outputs exist.
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, node) in self.nodes.iter().enumerate() {
+            for arg in node.op.args() {
+                if arg >= id {
+                    return Err(format!(
+                        "node {id} ({}) uses node {arg} which does not precede it",
+                        node.op.mnemonic()
+                    ));
+                }
+            }
+            let ct_ok = |a: NodeId| self.nodes[a].ty.as_ct().is_some();
+            let pt_ok = |a: NodeId| self.nodes[a].ty.as_plain().is_some();
+            let kinds_ok = match &node.op {
+                Op::MulPlain { src, plain } => ct_ok(*src) && pt_ok(*plain),
+                Op::MacPlain { acc, src, plain } => ct_ok(*acc) && ct_ok(*src) && pt_ok(*plain),
+                other => other.args().iter().all(|&a| ct_ok(a)),
+            };
+            if !kinds_ok {
+                return Err(format!(
+                    "node {id} ({}) has an operand of the wrong kind",
+                    node.op.mnemonic()
+                ));
+            }
+            let produces_ct = !matches!(node.op, Op::EncodeScalar { .. });
+            if produces_ct != node.ty.as_ct().is_some() {
+                return Err(format!(
+                    "node {id} ({}) declares the wrong result kind",
+                    node.op.mnemonic()
+                ));
+            }
+        }
+        for &o in &self.outputs {
+            if o >= self.nodes.len() {
+                return Err(format!("output {o} is out of range"));
+            }
+            if self.nodes[o].ty.as_ct().is_none() {
+                return Err(format!("output {o} is not a ciphertext"));
+            }
+        }
+        for (i, r) in self.regions.iter().enumerate() {
+            if r.first + r.len > self.nodes.len() {
+                return Err(format!("region {i} ('{}') exceeds the node list", r.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GraphBuilder;
+    use crate::types::Layout;
+
+    #[test]
+    fn key_inventory_constructors() {
+        assert!(KeyInventory::relin_only().relin);
+        assert_eq!(
+            KeyInventory::relin_only().galois_elements,
+            Some(BTreeSet::new())
+        );
+        let ki = KeyInventory::with_galois(false, [3, 5]);
+        assert!(!ki.relin);
+        assert_eq!(ki.galois_elements.unwrap().len(), 2);
+        assert!(KeyInventory::unknown().galois_elements.is_none());
+    }
+
+    #[test]
+    fn op_args_and_mnemonics() {
+        let mac = Op::MacPlain {
+            acc: 0,
+            src: 1,
+            plain: 2,
+        };
+        assert_eq!(mac.args(), vec![0, 1, 2]);
+        assert_eq!(mac.mnemonic(), "mac_plain");
+        assert!(Op::Zero.args().is_empty());
+    }
+
+    fn small_circuit() -> Circuit {
+        let params = CkksParams::tiny(2);
+        let mut b = GraphBuilder::new(params);
+        let x = b.input("x", 2, Layout::BatchSlots);
+        let w = b.encode_scalar(0.5, b.q_at(2), 2);
+        let z = b.zero(b.scale() * b.q_at(2), 2);
+        let acc = b.mac_plain(z, x, w);
+        let y = b.rescale(acc);
+        b.output(y);
+        b.finish(KeyInventory::relin_only())
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        let c = small_circuit();
+        assert!(c.validate().is_ok(), "{:?}", c.validate());
+        assert_eq!(c.op_counts().scalar_macs, 1);
+        assert_eq!(c.op_counts().rescales, 1);
+        assert_eq!(c.op_counts().ct_mults, 0);
+    }
+
+    #[test]
+    fn validate_rejects_forward_reference_and_bad_kind() {
+        let mut c = small_circuit();
+        // forward reference
+        let last = c.nodes.len() - 1;
+        if let Op::Rescale { src } = &mut c.nodes[last].op {
+            *src = last + 5;
+        }
+        assert!(c.validate().is_err());
+
+        let mut c2 = small_circuit();
+        // point a rescale at the encode node: wrong operand kind
+        let enc = c2
+            .nodes
+            .iter()
+            .position(|n| matches!(n.op, Op::EncodeScalar { .. }))
+            .unwrap();
+        let last = c2.nodes.len() - 1;
+        if let Op::Rescale { src } = &mut c2.nodes[last].op {
+            *src = enc;
+        }
+        assert!(c2.validate().is_err());
+    }
+
+    #[test]
+    fn identity_rotations_not_counted() {
+        let params = CkksParams::tiny(1);
+        let slots = params.slots() as i64;
+        let mut b = GraphBuilder::new(params);
+        let x = b.input("x", 1, Layout::Tiled);
+        let r1 = b.rotate(x, 1);
+        let r2 = b.rotate(r1, slots); // identity
+        b.output(r2);
+        let c = b.finish(KeyInventory::unknown());
+        assert_eq!(c.op_counts().rotations, 1);
+    }
+}

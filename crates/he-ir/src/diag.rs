@@ -1,4 +1,9 @@
 //! Diagnostics: severity, lint codes, and the report container.
+//!
+//! This is the severity model every static analysis in the workspace
+//! reports through — the IR passes in this crate and he-lint's plan
+//! analyzer alike (he-lint re-exports this module, so `he_lint::diag`
+//! paths keep working).
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -21,13 +26,14 @@ impl std::fmt::Display for Severity {
     }
 }
 
-/// One finding of the static analyzer.
+/// One finding of a static analysis.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
     pub severity: Severity,
     /// Stable machine-readable code (`chain-exhausted`, `missing-galois-key`, …).
     pub code: &'static str,
-    /// Index of the offending op in the plan, when attributable.
+    /// Index of the offending op — a plan op index for he-lint's
+    /// analyzer, a [`crate::NodeId`] for IR passes — when attributable.
     pub op_index: Option<usize>,
     /// Human-readable description of the violation.
     pub message: String,
@@ -121,6 +127,11 @@ impl LintReport {
         self.diagnostics.iter().any(|d| d.code == code)
     }
 
+    /// Appends every diagnostic of `other` to this report.
+    pub fn extend(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
     /// One-line digest for embedding in typed errors (e.g. a serving
     /// engine's admission rejection): severity counts plus the first
     /// error's code and message. Use [`Self::render`] for the full
@@ -193,5 +204,16 @@ mod tests {
         assert!(!s.contains('\n'));
         assert!(s.starts_with("2 error(s), 1 warning(s)"));
         assert!(s.contains("[chain-exhausted] too deep"));
+    }
+
+    #[test]
+    fn extend_merges_reports() {
+        let mut a = LintReport::default();
+        a.push(Diagnostic::warn("low-headroom", None, "thin"));
+        let mut b = LintReport::default();
+        b.push(Diagnostic::error("dead-op", Some(2), "unused"));
+        a.extend(b);
+        assert_eq!(a.diagnostics.len(), 2);
+        assert!(a.has_errors());
     }
 }

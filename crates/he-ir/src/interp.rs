@@ -1,0 +1,345 @@
+//! IR interpreter: executes a [`Circuit`] against the real
+//! `ckks::Evaluator`, op for op.
+//!
+//! Every IR node maps to exactly one evaluator call (the same call the
+//! eager engine makes), so a circuit recorded from an eager run and
+//! interpreted with the same context, keys, and input ciphertexts
+//! produces **bit-identical** outputs — the property he-diff's
+//! IR-vs-eager differential mode checks limb for limb.
+//!
+//! Ciphertexts are freed at their last use (the schedule computed by the
+//! liveness pass), so interpreting a large circuit holds no more
+//! ciphertexts than the eager engine would.
+
+use crate::circuit::{Circuit, NodeId, Op};
+use crate::passes::liveness;
+use ckks::{Ciphertext, Evaluator, GaloisKeys, PreparedScalar, RelinKey};
+use std::collections::HashMap;
+
+/// A value computed for one node.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Ct(Ciphertext),
+    Plain(PreparedScalar),
+}
+
+impl Value {
+    pub fn as_ct(&self) -> Option<&Ciphertext> {
+        match self {
+            Value::Ct(ct) => Some(ct),
+            Value::Plain(_) => None,
+        }
+    }
+
+    fn ct(&self) -> Result<&Ciphertext, String> {
+        self.as_ct().ok_or_else(|| "expected a ciphertext".into())
+    }
+
+    fn plain(&self) -> Result<&PreparedScalar, String> {
+        match self {
+            Value::Plain(p) => Ok(p),
+            Value::Ct(_) => Err("expected a prepared scalar".into()),
+        }
+    }
+}
+
+/// Executes circuits with real key material.
+pub struct Interpreter<'a> {
+    pub ev: &'a Evaluator,
+    pub rk: Option<&'a RelinKey>,
+    pub gk: Option<&'a GaloisKeys>,
+}
+
+impl<'a> Interpreter<'a> {
+    pub fn new(ev: &'a Evaluator) -> Self {
+        Self {
+            ev,
+            rk: None,
+            gk: None,
+        }
+    }
+
+    pub fn with_relin(mut self, rk: &'a RelinKey) -> Self {
+        self.rk = Some(rk);
+        self
+    }
+
+    pub fn with_galois(mut self, gk: &'a GaloisKeys) -> Self {
+        self.gk = Some(gk);
+        self
+    }
+
+    /// Runs the circuit, freeing intermediates at their last use, and
+    /// returns the output ciphertexts in output order.
+    pub fn run(
+        &self,
+        c: &Circuit,
+        inputs: &HashMap<String, Ciphertext>,
+    ) -> Result<Vec<Ciphertext>, String> {
+        c.validate()?;
+        let lv = liveness::analyze(c);
+        let mut values: Vec<Option<Value>> = Vec::with_capacity(c.nodes.len());
+        for id in 0..c.nodes.len() {
+            let v = self.exec(c, id, &values, inputs)?;
+            values.push(Some(v));
+            // free operands whose last use this was (outputs stay)
+            for arg in c.nodes[id].op.args() {
+                if lv.last_use[arg] == Some(id) && !c.outputs.contains(&arg) {
+                    values[arg] = None;
+                }
+            }
+        }
+        c.outputs
+            .iter()
+            .map(|&o| {
+                values[o]
+                    .as_ref()
+                    .ok_or_else(|| format!("output {o} was freed"))?
+                    .ct()
+                    .cloned()
+            })
+            .collect()
+    }
+
+    /// Runs the circuit keeping every node's value — for per-node
+    /// differential comparison against an eager trace.
+    pub fn run_all(
+        &self,
+        c: &Circuit,
+        inputs: &HashMap<String, Ciphertext>,
+    ) -> Result<Vec<Value>, String> {
+        c.validate()?;
+        let mut values: Vec<Option<Value>> = Vec::with_capacity(c.nodes.len());
+        for id in 0..c.nodes.len() {
+            let v = self.exec(c, id, &values, inputs)?;
+            values.push(Some(v));
+        }
+        Ok(values.into_iter().map(|v| v.expect("kept")).collect())
+    }
+
+    fn exec(
+        &self,
+        c: &Circuit,
+        id: NodeId,
+        values: &[Option<Value>],
+        inputs: &HashMap<String, Ciphertext>,
+    ) -> Result<Value, String> {
+        let get = |arg: NodeId| -> Result<&Value, String> {
+            values[arg]
+                .as_ref()
+                .ok_or_else(|| format!("node {arg} used after being freed"))
+        };
+        let ct = |arg: NodeId| -> Result<&Ciphertext, String> { get(arg)?.ct() };
+        let node = &c.nodes[id];
+        let out = match &node.op {
+            Op::Input { name } => {
+                let bound = inputs
+                    .get(name)
+                    .ok_or_else(|| format!("no input ciphertext bound for '{name}'"))?;
+                Value::Ct(bound.clone())
+            }
+            Op::Zero => {
+                let ty = node.ty.as_ct().ok_or("zero node must be a ciphertext")?;
+                Value::Ct(self.ev.zero_ciphertext(ty.scale, ty.level, ty.slots))
+            }
+            Op::EncodeScalar { value, pt_scale } => {
+                let ty = node.ty.as_plain().ok_or("encode node must be plain")?;
+                Value::Plain(self.ev.prepare_scalar(*value, *pt_scale, ty.level))
+            }
+            Op::Add { a, b } => Value::Ct(self.ev.add(ct(*a)?, ct(*b)?)),
+            Op::Sub { a, b } => Value::Ct(self.ev.sub(ct(*a)?, ct(*b)?)),
+            Op::Negate { src } => Value::Ct(self.ev.negate(ct(*src)?)),
+            Op::AddScalar { src, value } => Value::Ct(self.ev.add_scalar(ct(*src)?, *value)),
+            Op::MulPlain { src, plain } => {
+                // replay the exact eager call: mul_scalar re-encodes the
+                // weight from the Encode node's value/pt_scale
+                let Op::EncodeScalar { value, pt_scale } = &c.nodes[*plain].op else {
+                    return Err(format!("node {id}: plain operand is not an encode"));
+                };
+                Value::Ct(self.ev.mul_scalar(ct(*src)?, *value, *pt_scale))
+            }
+            Op::MacPlain { acc, src, plain } => {
+                let mut out = ct(*acc)?.clone();
+                self.ev
+                    .mul_residues_acc(&mut out, ct(*src)?, get(*plain)?.plain()?);
+                Value::Ct(out)
+            }
+            Op::Mul { a, b } => {
+                let rk = self.rk.ok_or("ct×ct product but no relin key bound")?;
+                Value::Ct(self.ev.multiply(ct(*a)?, ct(*b)?, rk))
+            }
+            Op::Square { src } => {
+                let rk = self.rk.ok_or("square but no relin key bound")?;
+                Value::Ct(self.ev.square(ct(*src)?, rk))
+            }
+            Op::Rescale { src } => {
+                Value::Ct(self.ev.try_rescale(ct(*src)?).map_err(|e| e.to_string())?)
+            }
+            Op::ModSwitch { src, level } => Value::Ct(
+                self.ev
+                    .try_mod_switch_to_level(ct(*src)?, *level)
+                    .map_err(|e| e.to_string())?,
+            ),
+            Op::Rotate { src, steps } => {
+                let x = ct(*src)?;
+                match self.gk {
+                    Some(gk) => Value::Ct(
+                        self.ev
+                            .try_rotate(x, *steps, gk)
+                            .map_err(|e| e.to_string())?,
+                    ),
+                    // identity rotations touch no key in the eager engine
+                    None if steps.rem_euclid(x.slots as i64) == 0 => Value::Ct(x.clone()),
+                    None => return Err("rotation but no galois keys bound".into()),
+                }
+            }
+            Op::Conjugate { src } => {
+                let gk = self.gk.ok_or("conjugation but no galois keys bound")?;
+                Value::Ct(
+                    self.ev
+                        .try_conjugate(ct(*src)?, gk)
+                        .map_err(|e| e.to_string())?,
+                )
+            }
+        };
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GraphBuilder;
+    use crate::circuit::KeyInventory;
+    use crate::types::Layout;
+    use ckks::{CkksContext, CkksParams, KeyGenerator, PublicKey, RelinKey, SecretKey};
+    use ckks_math::sampler::Sampler;
+    use std::sync::Arc;
+
+    struct Fixture {
+        ctx: Arc<CkksContext>,
+        sk: SecretKey,
+        pk: PublicKey,
+        rk: RelinKey,
+        ev: Evaluator,
+        sampler: Sampler,
+    }
+
+    fn fixture(depth: usize, seed: u64) -> Fixture {
+        let ctx = CkksParams::tiny(depth).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), seed);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let rk = kg.gen_relin_key(&sk);
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        Fixture {
+            ctx,
+            sk,
+            pk,
+            rk,
+            ev,
+            sampler: Sampler::from_seed(seed + 1000),
+        }
+    }
+
+    /// Eager vs interpreted execution of the same op sequence must be
+    /// bit-identical: same limbs, same scale bits, same decryption.
+    #[test]
+    fn interpreted_matches_eager_bit_for_bit() {
+        let mut f = fixture(3, 7);
+        let (ctx, ev, rk) = (&f.ctx, &f.ev, &f.rk);
+
+        let vals: Vec<f64> = (0..ctx.slots()).map(|i| (i as f64 % 7.0) / 8.0).collect();
+        let x_ct = ev.encrypt_real(&vals, &f.pk, &mut f.sampler);
+
+        // eager: y = rescale(x²) + rescale(0.25·x), both branches at
+        // Δ²/q_top so the final add sees identical scales
+        let top = x_ct.level;
+        let s = ctx.params().scale();
+        let e_sq = ev.rescale(&ev.square(&x_ct, rk));
+        let e_lin = ev.rescale(&ev.mul_scalar(&x_ct, 0.25, s));
+        let e_lin = ev.mod_switch_to_level(&e_lin, e_sq.level);
+        let eager = ev.add(&e_sq, &e_lin);
+
+        // the same circuit in IR, moduli from the built context
+        let mut b = GraphBuilder::for_context(ctx);
+        let x = b.input("x", top, Layout::BatchSlots);
+        let sq = b.square(x);
+        let sqr = b.rescale(sq);
+        let w = b.encode_scalar(0.25, s, top);
+        let lin = b.mul_plain(x, w);
+        let linr = b.rescale(lin);
+        let lins = b.mod_switch(linr, top - 1);
+        let y = b.add(sqr, lins);
+        b.output(y);
+        let circuit = b.finish(KeyInventory::relin_only());
+
+        let interp = Interpreter::new(ev).with_relin(rk);
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), x_ct.clone());
+        let outs = interp.run(&circuit, &inputs).expect("interpretation");
+        assert_eq!(outs.len(), 1);
+        let got = &outs[0];
+
+        assert_eq!(got.level, eager.level);
+        assert_eq!(got.slots, eager.slots);
+        assert_eq!(got.scale.to_bits(), eager.scale.to_bits());
+        for li in 0..=got.level {
+            assert_eq!(got.c0.limb(li), eager.c0.limb(li), "c0 limb {li}");
+            assert_eq!(got.c1.limb(li), eager.c1.limb(li), "c1 limb {li}");
+        }
+        // and the declared IR type matches what eager produced
+        let ty = circuit.nodes[y].ty.as_ct().unwrap();
+        assert_eq!(ty.level, eager.level);
+        assert_eq!(ty.scale.to_bits(), eager.scale.to_bits());
+        // bit-identical ciphertexts decrypt bit-identically
+        let d_eager = ev.decrypt_to_real(&eager, &f.sk);
+        let d_ir = ev.decrypt_to_real(got, &f.sk);
+        assert_eq!(d_eager, d_ir);
+    }
+
+    #[test]
+    fn missing_input_and_missing_relin_are_errors() {
+        let mut f = fixture(2, 11);
+        let mut b = GraphBuilder::for_context(&f.ctx);
+        let x = b.input("x", 2, Layout::BatchSlots);
+        let sq = b.square(x);
+        b.output(sq);
+        let circuit = b.finish(KeyInventory::relin_only());
+
+        let interp = Interpreter::new(&f.ev);
+        let err = interp.run(&circuit, &HashMap::new()).unwrap_err();
+        assert!(err.contains("no input ciphertext bound"), "{err}");
+
+        let vals = vec![0.5; f.ctx.slots()];
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "x".to_string(),
+            f.ev.encrypt_real(&vals, &f.pk, &mut f.sampler),
+        );
+        let err = interp.run(&circuit, &inputs).unwrap_err();
+        assert!(err.contains("no relin key"), "{err}");
+    }
+
+    #[test]
+    fn run_all_keeps_every_node() {
+        let mut f = fixture(2, 13);
+        let mut b = GraphBuilder::for_context(&f.ctx);
+        let x = b.input("x", 2, Layout::BatchSlots);
+        let n = b.negate(x);
+        let y = b.add(x, n);
+        b.output(y);
+        let circuit = b.finish(KeyInventory::relin_only());
+        let vals = vec![0.25; f.ctx.slots()];
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "x".to_string(),
+            f.ev.encrypt_real(&vals, &f.pk, &mut f.sampler),
+        );
+        let all = Interpreter::new(&f.ev)
+            .run_all(&circuit, &inputs)
+            .expect("run_all");
+        assert_eq!(all.len(), circuit.nodes.len());
+        assert!(all.iter().all(|v| v.as_ct().is_some()));
+    }
+}

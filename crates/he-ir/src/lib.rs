@@ -1,0 +1,51 @@
+//! # he-ir
+//!
+//! A typed dataflow circuit IR for CKKS-RNS computations plus a static
+//! analysis pass framework — phase 1 of the he-compile plan in
+//! ROADMAP item 2.
+//!
+//! The eager evaluators in `ckks`/`cnn-he` execute homomorphic ops as
+//! they are issued; every whole-circuit property (level/scale
+//! trajectory, rotation-key coverage, rescale placement, dead work) was
+//! previously reconstructed after the fact by he-lint's linear replay.
+//! This crate lifts a circuit into an SSA-style graph first:
+//!
+//! - [`circuit::Circuit`]: nodes are HE ops ([`circuit::Op`]) with a
+//!   per-node type ([`types::ValueTy`]) carrying `{level, scale, slots,
+//!   layout}` — computed once by the [`build::GraphBuilder`], which
+//!   mirrors the eager `ckks::Evaluator` method-for-method.
+//! - [`pass`]: a [`pass::Pass`] trait and [`pass::PassManager`]
+//!   producing typed diagnostics ([`diag::Diagnostic`], the same
+//!   severity model he-lint reports through).
+//! - [`passes`]: the standard analyses — level/scale/noise abstract
+//!   interpretation, rotation-set/key coverage, liveness + dead ops,
+//!   value-numbering/CSE, and rescale/relin placement.
+//! - [`interp::Interpreter`]: replays a circuit through the real
+//!   `Evaluator`, bit-identical to eager execution — the anchor for
+//!   he-diff's IR-vs-eager differential mode.
+//! - [`dot`]: Graphviz export (full graph or region-collapsed summary).
+//!
+//! he-lint depends on this crate (its `diag`/`noise` modules live here
+//! now and are re-exported from he-lint for compatibility), lowers its
+//! `CircuitPlan` into a [`circuit::Circuit`], and implements
+//! `trajectory()` as a thin wrapper over the level/scale pass.
+
+#![forbid(unsafe_code)]
+
+pub mod build;
+pub mod circuit;
+pub mod diag;
+pub mod dot;
+pub mod interp;
+pub mod noise;
+pub mod pass;
+pub mod passes;
+pub mod types;
+
+pub use build::GraphBuilder;
+pub use circuit::{Circuit, KeyInventory, Node, NodeId, Op, Region};
+pub use diag::{Diagnostic, LintReport, Severity};
+pub use interp::{Interpreter, Value};
+pub use noise::NoiseModel;
+pub use pass::{AnalysisReport, Pass, PassManager, PassOutput};
+pub use types::{CtType, Layout, PlainType, ValueTy};

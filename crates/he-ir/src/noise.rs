@@ -1,14 +1,16 @@
-//! Analytic CKKS noise model — the bound side of the lint trajectory.
+//! Analytic CKKS noise model — the bound side of static analysis.
 //!
-//! [`crate::trajectory`] replays levels and scales; this module supplies
-//! the matching *error magnitudes*: per-primitive heuristic noise bounds
-//! in the standard CKKS average-case model (canonical-embedding
-//! heuristics as in the CKKS and SEAL noise analyses), parameterized
-//! only by `(N, σ, h)` from the [`CkksParams`]. Nothing here is
-//! hand-tuned to an observed run: the differential harness (`he-diff`)
-//! composes these per-op bounds along an executed sequence and asserts
-//! the *measured* decryption error stays under the composed bound times
-//! a fixed, documented safety factor.
+//! The level/scale abstract interpretation ([`crate::passes::levels`])
+//! and he-lint's plan replay track levels and scales; this module
+//! supplies the matching *error magnitudes*: per-primitive heuristic
+//! noise bounds in the standard CKKS average-case model
+//! (canonical-embedding heuristics as in the CKKS and SEAL noise
+//! analyses), parameterized only by `(N, σ, h)` from the
+//! [`CkksParams`]. Nothing here is hand-tuned to an observed run: the
+//! differential harness (`he-diff`) composes these per-op bounds along
+//! an executed sequence and asserts the *measured* decryption error
+//! stays under the composed bound times a fixed, documented safety
+//! factor.
 //!
 //! All `*_coeff` quantities are coefficient-domain absolute bounds; the
 //! value-domain (per-slot) error of a ciphertext at scale Δ is the
@@ -102,6 +104,14 @@ impl NoiseModel {
         ma * eb + mb * ea + ea * eb + self.keyswitch_coeff() / product_scale
     }
 
+    /// Plaintext multiplication by a scalar of magnitude `w`: the slot
+    /// error scales with the weight, plus the encoding rounding of the
+    /// weight itself acting on the message (½ ulp at the plaintext
+    /// scale times the message bound).
+    pub fn mul_plain_value(&self, m: f64, e: f64, w: f64, pt_scale: f64) -> f64 {
+        w.abs() * e + 0.5 * m / pt_scale
+    }
+
     /// Rescale: the slot error is preserved (both message and error are
     /// divided together with the scale) plus the rounding term at the
     /// *new* scale.
@@ -162,6 +172,17 @@ mod tests {
         assert!(e_rs >= e_mul);
         let e_rot = m.rotate_value(e_rs, scale);
         assert!(e_rot > e_rs);
+    }
+
+    #[test]
+    fn plain_mult_scales_error_with_weight() {
+        let m = NoiseModel::new(&micro());
+        let scale = 2f64.powi(26);
+        let e = m.fresh_value(scale);
+        let half = m.mul_plain_value(1.0, e, 0.5, scale);
+        let double = m.mul_plain_value(1.0, e, 2.0, scale);
+        assert!(half < double);
+        assert!(double > 2.0 * e);
     }
 
     #[test]

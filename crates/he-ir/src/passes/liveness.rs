@@ -1,0 +1,224 @@
+//! Pass 3: liveness + dead-op detection.
+//!
+//! A backward sweep from the outputs marks every node that contributes
+//! to a result; everything else is dead work the eager engine would
+//! still execute (and pay NTTs/keyswitches for). The forward part of
+//! the analysis — each node's *last use* — doubles as the interpreter's
+//! deallocation schedule and yields the peak number of simultaneously
+//! live ciphertexts, a direct proxy for working-set memory.
+
+use crate::circuit::{Circuit, NodeId, Op};
+use crate::diag::{Diagnostic, LintReport};
+use crate::pass::{Pass, PassOutput};
+
+/// Liveness facts for one circuit.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Whether the node (transitively) reaches an output.
+    pub live: Vec<bool>,
+    /// Highest node id using each node (`None` when never used; outputs
+    /// are pinned to the end of the circuit).
+    pub last_use: Vec<Option<NodeId>>,
+    /// Peak number of simultaneously live ciphertext values.
+    pub peak_live_cts: usize,
+}
+
+/// Computes reachability, last uses, and the ciphertext high-water mark.
+pub fn analyze(c: &Circuit) -> Liveness {
+    let n = c.nodes.len();
+    let mut live = vec![false; n];
+    let mut last_use: Vec<Option<NodeId>> = vec![None; n];
+
+    for (id, node) in c.nodes.iter().enumerate() {
+        for arg in node.op.args() {
+            last_use[arg] = Some(id);
+        }
+    }
+    // outputs stay live to the very end
+    for &o in &c.outputs {
+        last_use[o] = Some(n.saturating_sub(1).max(o));
+        live[o] = true;
+    }
+    for id in (0..n).rev() {
+        if live[id] {
+            for arg in c.nodes[id].op.args() {
+                live[arg] = true;
+            }
+        }
+    }
+
+    // forward sweep: count ciphertexts alive after each step under the
+    // "free at last use" discipline the interpreter applies
+    let mut alive = 0usize;
+    let mut peak = 0usize;
+    let mut frees: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (id, lu) in last_use.iter().enumerate() {
+        if let Some(&u) = lu.as_ref() {
+            frees[u].push(id);
+        }
+    }
+    for id in 0..n {
+        if c.nodes[id].ty.as_ct().is_some() {
+            alive += 1;
+        }
+        peak = peak.max(alive);
+        for &f in &frees[id] {
+            if c.nodes[f].ty.as_ct().is_some() && f != id {
+                alive = alive.saturating_sub(1);
+            }
+        }
+        // a node that is never used dies immediately
+        if last_use[id].is_none() && c.nodes[id].ty.as_ct().is_some() {
+            alive = alive.saturating_sub(1);
+        }
+    }
+
+    Liveness {
+        live,
+        last_use,
+        peak_live_cts: peak,
+    }
+}
+
+/// The [`Pass`] wrapper: dead ops become warnings.
+pub struct LivenessPass;
+
+impl Pass for LivenessPass {
+    fn name(&self) -> &'static str {
+        "liveness"
+    }
+
+    fn description(&self) -> &'static str {
+        "reachability from outputs (dead-op detection) and peak live-ciphertext count"
+    }
+
+    fn run(&self, circuit: &Circuit) -> PassOutput {
+        let lv = analyze(circuit);
+        let mut report = LintReport::default();
+
+        let dead: Vec<NodeId> = (0..circuit.nodes.len())
+            .filter(|&id| !lv.live[id])
+            .collect();
+        // unused inputs are a milder smell than dead computation — the
+        // caller encrypted something nobody reads
+        let (dead_inputs, dead_ops): (Vec<_>, Vec<_>) = dead
+            .iter()
+            .partition(|&&id| matches!(circuit.nodes[id].op, Op::Input { .. }));
+        if !dead_ops.is_empty() {
+            let sample: Vec<String> = dead_ops
+                .iter()
+                .take(5)
+                .map(|&&id| format!("{}#{id}", circuit.nodes[id].op.mnemonic()))
+                .collect();
+            report.push(
+                Diagnostic::warn(
+                    "dead-op",
+                    Some(**dead_ops.first().expect("nonempty")),
+                    format!(
+                        "{} op(s) compute values that never reach an output \
+                         (e.g. {})",
+                        dead_ops.len(),
+                        sample.join(", ")
+                    ),
+                )
+                .with_suggestion("drop the dead computation before encrypting"),
+            );
+        }
+        if !dead_inputs.is_empty() {
+            report.push(Diagnostic::warn(
+                "unused-input",
+                Some(**dead_inputs.first().expect("nonempty")),
+                format!("{} input ciphertext(s) are never read", dead_inputs.len()),
+            ));
+        }
+        report.push(Diagnostic::info(
+            "liveness",
+            None,
+            format!(
+                "{} of {} nodes live; peak {} ciphertext(s) resident",
+                lv.live.iter().filter(|&&l| l).count(),
+                circuit.nodes.len(),
+                lv.peak_live_cts
+            ),
+        ));
+
+        let summary = format!(
+            "{} dead op(s), peak {} live ciphertext(s)",
+            dead.len(),
+            lv.peak_live_cts
+        );
+        PassOutput { report, summary }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GraphBuilder;
+    use crate::circuit::KeyInventory;
+    use crate::types::Layout;
+    use ckks::CkksParams;
+
+    #[test]
+    fn all_live_chain_is_clean() {
+        let mut b = GraphBuilder::new(CkksParams::tiny(2));
+        let x = b.input("x", 2, Layout::BatchSlots);
+        let y = b.negate(x);
+        let z = b.add(x, y);
+        b.output(z);
+        let c = b.finish(KeyInventory::relin_only());
+        let out = LivenessPass.run(&c);
+        assert!(!out.report.has_code("dead-op"), "{}", out.report.render());
+        assert!(!out.report.has_code("unused-input"));
+        let lv = analyze(&c);
+        assert!(lv.live.iter().all(|&l| l));
+        assert_eq!(lv.last_use[x], Some(z));
+    }
+
+    #[test]
+    fn dead_computation_and_unused_input_warn() {
+        let mut b = GraphBuilder::new(CkksParams::tiny(2));
+        let x = b.input("x", 2, Layout::BatchSlots);
+        let unused = b.input("ghost", 2, Layout::BatchSlots);
+        let dead = b.negate(x); // never consumed
+        let _ = dead;
+        let _ = unused;
+        let y = b.add_scalar(x, 1.0);
+        b.output(y);
+        let c = b.finish(KeyInventory::relin_only());
+        let out = LivenessPass.run(&c);
+        assert!(out.report.has_code("dead-op"), "{}", out.report.render());
+        assert!(out.report.has_code("unused-input"));
+        assert!(!out.report.has_errors()); // dead work still runs
+    }
+
+    #[test]
+    fn peak_count_reflects_freeing() {
+        // a long chain frees as it goes: peak stays small
+        let mut b = GraphBuilder::new(CkksParams::tiny(2));
+        let mut x = b.input("x", 2, Layout::BatchSlots);
+        for _ in 0..10 {
+            x = b.negate(x);
+        }
+        b.output(x);
+        let chain = b.finish(KeyInventory::relin_only());
+        let chain_peak = analyze(&chain).peak_live_cts;
+        assert!(chain_peak <= 2, "chain peak {chain_peak}");
+
+        // a wide fan-in keeps everything alive until the final adds
+        let mut b = GraphBuilder::new(CkksParams::tiny(2));
+        let x = b.input("x", 2, Layout::BatchSlots);
+        let parts: Vec<_> = (0..10).map(|_| b.negate(x)).collect();
+        let mut acc = parts[0];
+        for &p in &parts[1..] {
+            acc = b.add(acc, p);
+        }
+        b.output(acc);
+        let wide = b.finish(KeyInventory::relin_only());
+        let wide_peak = analyze(&wide).peak_live_cts;
+        assert!(
+            wide_peak > chain_peak,
+            "wide {wide_peak} vs chain {chain_peak}"
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! The standard analyses. Each submodule exports a unit-struct
+//! implementing [`crate::pass::Pass`] plus the underlying analysis
+//! function for callers that want the raw results (he-lint's
+//! `trajectory()` wraps [`levels::infer`]; the CLI compares
+//! [`rotations::required_elements`] against generated keys; the
+//! interpreter frees values with [`liveness::analyze`]).
+
+pub mod cse;
+pub mod levels;
+pub mod liveness;
+pub mod placement;
+pub mod rotations;

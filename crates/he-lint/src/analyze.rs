@@ -41,27 +41,29 @@ pub struct OpState {
 /// `s³/(q_m·q_{m−1})` two levels down). Runtime tracing
 /// (`cnn_he::trace`) diffs observed ciphertext metadata against this to
 /// close the static↔runtime loop.
+///
+/// A thin wrapper over the shared IR's abstract interpretation: the plan
+/// is lowered to a circuit ([`CircuitPlan::to_circuit`], one region per
+/// op) and `he_ir::passes::levels::infer` computes every node's
+/// level/scale; each op's [`OpState`] is its region's exit state.
 pub fn trajectory(plan: &CircuitPlan) -> Vec<OpState> {
     let p = &plan.params;
+    let circuit = plan.to_circuit();
+    let analysis = he_ir::passes::levels::infer(&circuit);
     let depth = p.depth() as i64;
-    let start = plan.start_level.map_or(depth, |l| (l as i64).min(depth));
-    let mut level = start;
+    let mut level = plan.start_level.map_or(depth, |l| (l as i64).min(depth));
     let mut log_scale = f64::from(p.scale_bits);
     let mut out = Vec::with_capacity(plan.ops.len());
-    for (i, op) in plan.ops.iter().enumerate() {
-        match op {
-            CircuitOp::Linear { .. } => level -= 1,
-            CircuitOp::SlafActivation { .. } => {
-                if level >= 2 {
-                    let qm = f64::from(p.chain_bits[level as usize]);
-                    let qm1 = f64::from(p.chain_bits[level as usize - 1]);
-                    log_scale = 3.0 * log_scale - qm - qm1;
+    for (i, (op, region)) in plan.ops.iter().zip(&circuit.regions).enumerate() {
+        // exit state = the region's last ciphertext node; ops that lower
+        // to no HE work (e.g. RnsDecompose) carry the previous state
+        for id in region.nodes() {
+            if circuit.nodes[id].ty.as_ct().is_some() {
+                if let Some(st) = analysis.state(id) {
+                    level = st.level;
+                    log_scale = st.log_scale();
                 }
-                level -= 2;
             }
-            CircuitOp::Rotation { .. }
-            | CircuitOp::Conjugation
-            | CircuitOp::RnsDecompose { .. } => {}
         }
         out.push(OpState {
             op_index: i,

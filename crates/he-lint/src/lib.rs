@@ -23,16 +23,22 @@
 //! (lints a serialized HENT model against a parameter file), and debug
 //! assertions inside the evaluators.
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
-pub mod diag;
 pub mod model;
-pub mod noise;
 pub mod paramfile;
 pub mod plan;
 
+// The diagnostics model and the noise estimator moved into `he-ir`
+// (the shared circuit-IR layer); re-exported here so existing
+// `he_lint::diag::…` / `he_lint::noise::…` paths keep working.
+pub use he_ir::diag;
+pub use he_ir::noise;
+
 pub use analyze::{analyze, is_clean, trajectory, OpState};
-pub use diag::{Diagnostic, LintReport, Severity};
-pub use model::{read_hent_shape, ModelShape};
-pub use noise::NoiseModel;
+pub use he_ir::diag::{Diagnostic, LintReport, Severity};
+pub use he_ir::noise::NoiseModel;
+pub use model::{read_hent_shape, LintError, ModelShape};
 pub use paramfile::parse_params;
 pub use plan::{CircuitOp, CircuitPlan, KeyInventory};

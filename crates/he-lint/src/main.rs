@@ -8,6 +8,8 @@
 //! Exits 0 when the plan is clean (warnings allowed), 1 on lint errors,
 //! 2 on usage/IO problems.
 
+#![forbid(unsafe_code)]
+
 use he_lint::{analyze, read_hent_shape, CircuitPlan, KeyInventory};
 
 fn main() {

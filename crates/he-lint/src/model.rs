@@ -6,10 +6,76 @@
 //! geometry, activation degree — so this reader walks the same byte
 //! layout but discards the weight payloads, and he-lint stays free of a
 //! cnn-he dependency.
+//!
+//! Parsing failures are typed ([`LintError`]) so callers can
+//! distinguish a truncated download from a model whose declared shapes
+//! are inconsistent; every byte access is bounds-checked and no slice
+//! conversion can panic.
 
 use crate::plan::CircuitOp;
+use std::fmt;
 
 const MAGIC: u32 = 0x4845_4E54; // "HENT"
+
+/// Typed HENT parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintError {
+    /// The byte stream ended mid-field.
+    Truncated { at: usize, want: usize },
+    /// The stream does not start with the HENT magic.
+    BadMagic { found: u32 },
+    /// A declared array length overflows the address space.
+    LengthOverflow { at: usize },
+    /// A layer's weight/bias payload disagrees with its declared shape.
+    ShapeMismatch {
+        layer: usize,
+        kind: &'static str,
+        expected: usize,
+        found: usize,
+    },
+    /// A conv layer whose geometry produces no output pixels.
+    DegenerateGeometry { layer: usize },
+    /// An activation layer with no coefficients.
+    EmptyActivation { layer: usize },
+    /// An unrecognized layer tag.
+    UnknownTag { layer: usize, tag: u32 },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Truncated { at, want } => {
+                write!(f, "truncated at byte {at} (needed {want} more byte(s))")
+            }
+            LintError::BadMagic { found } => {
+                write!(f, "not a HENT model (bad magic 0x{found:08X})")
+            }
+            LintError::LengthOverflow { at } => {
+                write!(f, "array length at byte {at} overflows")
+            }
+            LintError::ShapeMismatch {
+                layer,
+                kind,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{kind} layer {layer}: shape mismatch (declared {expected}, payload {found})"
+            ),
+            LintError::DegenerateGeometry { layer } => {
+                write!(f, "conv layer {layer}: degenerate geometry")
+            }
+            LintError::EmptyActivation { layer } => {
+                write!(f, "activation layer {layer}: no coefficients")
+            }
+            LintError::UnknownTag { layer, tag } => {
+                write!(f, "layer {layer}: unknown tag {tag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
 
 /// What the linter learned about a serialized model.
 #[derive(Debug, Clone)]
@@ -24,24 +90,41 @@ struct Reader<'a> {
 }
 
 impl Reader<'_> {
-    fn u32(&mut self) -> Result<u32, String> {
-        let b = self
-            .data
-            .get(self.pos..self.pos + 4)
-            .ok_or_else(|| format!("truncated at byte {}", self.pos))?;
-        self.pos += 4;
-        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    /// Bounds-checked fixed-width read: no slice conversion can panic.
+    fn bytes<const W: usize>(&mut self) -> Result<[u8; W], LintError> {
+        let end = self
+            .pos
+            .checked_add(W)
+            .ok_or(LintError::LengthOverflow { at: self.pos })?;
+        let b = self.data.get(self.pos..end).ok_or(LintError::Truncated {
+            at: self.pos,
+            want: W,
+        })?;
+        let arr: [u8; W] = b.try_into().map_err(|_| LintError::Truncated {
+            at: self.pos,
+            want: W,
+        })?;
+        self.pos = end;
+        Ok(arr)
+    }
+
+    fn u32(&mut self) -> Result<u32, LintError> {
+        Ok(u32::from_le_bytes(self.bytes::<4>()?))
     }
 
     /// Skips a length-prefixed array of `width`-byte scalars, returning
     /// its element count.
-    fn skip_array(&mut self, width: usize) -> Result<usize, String> {
+    fn skip_array(&mut self, width: usize) -> Result<usize, LintError> {
+        let at = self.pos;
         let n = self.u32()? as usize;
         let bytes = n
             .checked_mul(width)
-            .ok_or_else(|| "array length overflows".to_string())?;
+            .ok_or(LintError::LengthOverflow { at })?;
         if self.data.len() - self.pos < bytes {
-            return Err(format!("truncated array at byte {}", self.pos));
+            return Err(LintError::Truncated {
+                at: self.pos,
+                want: bytes,
+            });
         }
         self.pos += bytes;
         Ok(n)
@@ -49,28 +132,34 @@ impl Reader<'_> {
 
     /// Reads a length-prefixed f64 array (activation coefficients are
     /// small and the linter needs the degree, i.e. the count).
-    fn f64s(&mut self) -> Result<Vec<f64>, String> {
+    fn f64s(&mut self) -> Result<Vec<f64>, LintError> {
+        let at = self.pos;
         let n = self.u32()? as usize;
-        let b = self
-            .data
-            .get(self.pos..self.pos + 8 * n)
-            .ok_or_else(|| format!("truncated array at byte {}", self.pos))?;
-        self.pos += 8 * n;
-        Ok(b.chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect())
+        let mut out = Vec::with_capacity(n.min(64));
+        let total = n.checked_mul(8).ok_or(LintError::LengthOverflow { at })?;
+        if self.data.len() - self.pos < total {
+            return Err(LintError::Truncated {
+                at: self.pos,
+                want: total,
+            });
+        }
+        for _ in 0..n {
+            out.push(f64::from_le_bytes(self.bytes::<8>()?));
+        }
+        Ok(out)
     }
 }
 
 /// Parses the shapes of a serialized HENT model into circuit ops.
-pub fn read_hent_shape(data: &[u8]) -> Result<ModelShape, String> {
+pub fn read_hent_shape(data: &[u8]) -> Result<ModelShape, LintError> {
     let mut r = Reader { data, pos: 0 };
-    if r.u32()? != MAGIC {
-        return Err("not a HENT model (bad magic)".to_string());
+    let magic = r.u32()?;
+    if magic != MAGIC {
+        return Err(LintError::BadMagic { found: magic });
     }
     let input_side = r.u32()? as usize;
     let count = r.u32()? as usize;
-    let mut ops = Vec::with_capacity(count);
+    let mut ops = Vec::with_capacity(count.min(1024));
     let mut side = input_side;
     for idx in 0..count {
         match r.u32()? {
@@ -82,11 +171,29 @@ pub fn read_hent_shape(data: &[u8]) -> Result<ModelShape, String> {
                 let pad = r.u32()? as usize;
                 let weights = r.skip_array(4)?;
                 let biases = r.skip_array(4)?;
-                if weights != out_ch * in_ch * k * k || biases != out_ch {
-                    return Err(format!("conv layer {idx}: weight/bias shape mismatch"));
+                let expected = out_ch
+                    .checked_mul(in_ch)
+                    .and_then(|v| v.checked_mul(k))
+                    .and_then(|v| v.checked_mul(k))
+                    .ok_or(LintError::LengthOverflow { at: r.pos })?;
+                if weights != expected {
+                    return Err(LintError::ShapeMismatch {
+                        layer: idx,
+                        kind: "conv",
+                        expected,
+                        found: weights,
+                    });
+                }
+                if biases != out_ch {
+                    return Err(LintError::ShapeMismatch {
+                        layer: idx,
+                        kind: "conv",
+                        expected: out_ch,
+                        found: biases,
+                    });
                 }
                 if stride == 0 || side + 2 * pad < k {
-                    return Err(format!("conv layer {idx}: degenerate geometry"));
+                    return Err(LintError::DegenerateGeometry { layer: idx });
                 }
                 side = (side + 2 * pad - k) / stride + 1;
                 ops.push(CircuitOp::Linear {
@@ -99,8 +206,24 @@ pub fn read_hent_shape(data: &[u8]) -> Result<ModelShape, String> {
                 let out_dim = r.u32()? as usize;
                 let weights = r.skip_array(4)?;
                 let biases = r.skip_array(4)?;
-                if weights != in_dim * out_dim || biases != out_dim {
-                    return Err(format!("dense layer {idx}: weight/bias shape mismatch"));
+                let expected = in_dim
+                    .checked_mul(out_dim)
+                    .ok_or(LintError::LengthOverflow { at: r.pos })?;
+                if weights != expected {
+                    return Err(LintError::ShapeMismatch {
+                        layer: idx,
+                        kind: "dense",
+                        expected,
+                        found: weights,
+                    });
+                }
+                if biases != out_dim {
+                    return Err(LintError::ShapeMismatch {
+                        layer: idx,
+                        kind: "dense",
+                        expected: out_dim,
+                        found: biases,
+                    });
                 }
                 ops.push(CircuitOp::Linear {
                     name: format!("dense{idx}[{in_dim}→{out_dim}]"),
@@ -110,14 +233,14 @@ pub fn read_hent_shape(data: &[u8]) -> Result<ModelShape, String> {
             2 => {
                 let coeffs = r.f64s()?;
                 if coeffs.is_empty() {
-                    return Err(format!("activation layer {idx}: no coefficients"));
+                    return Err(LintError::EmptyActivation { layer: idx });
                 }
                 ops.push(CircuitOp::SlafActivation {
                     name: format!("slaf{idx}"),
                     degree: coeffs.len() - 1,
                 });
             }
-            tag => return Err(format!("layer {idx}: unknown tag {tag}")),
+            tag => return Err(LintError::UnknownTag { layer: idx, tag }),
         }
     }
     Ok(ModelShape { input_side, ops })
@@ -189,14 +312,72 @@ mod tests {
 
     #[test]
     fn rejects_garbage_and_truncation() {
-        assert!(read_hent_shape(b"garbage").is_err());
-        assert!(read_hent_shape(&[]).is_err());
+        assert!(matches!(
+            read_hent_shape(b"garbage"),
+            Err(LintError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            read_hent_shape(&[]),
+            Err(LintError::Truncated { at: 0, want: 4 })
+        ));
         let bytes = sample_model();
-        assert!(read_hent_shape(&bytes[..bytes.len() - 3]).is_err());
+        assert!(matches!(
+            read_hent_shape(&bytes[..bytes.len() - 3]),
+            Err(LintError::Truncated { .. })
+        ));
+    }
+
+    /// Every strict prefix of a valid model must fail cleanly (no
+    /// panic), and always with a truncation or shape error.
+    #[test]
+    fn every_truncation_point_errors_without_panicking() {
+        let bytes = sample_model();
+        for cut in 0..bytes.len() {
+            let err = read_hent_shape(&bytes[..cut])
+                .expect_err(&format!("prefix of {cut} bytes should not parse"));
+            assert!(
+                matches!(
+                    err,
+                    LintError::Truncated { .. } | LintError::ShapeMismatch { .. }
+                ),
+                "cut {cut}: unexpected error {err}"
+            );
+        }
+    }
+
+    /// A length prefix claiming a huge array must not allocate or panic.
+    #[test]
+    fn corrupt_length_prefix_is_truncation_not_panic() {
+        let mut bytes = sample_model();
+        // the model ends with the dense bias array: 4-byte length + 2
+        // f32s. Corrupting the length's low byte claims 255 elements.
+        let n = bytes.len();
+        bytes[n - 12] = 0xFF;
+        assert!(matches!(
+            read_hent_shape(&bytes),
+            Err(LintError::Truncated { .. })
+        ));
+
+        // u32::MAX elements × 8 bytes overflows on 32-bit and truncates
+        // on 64-bit — either way, a typed error
+        let mut out = Vec::new();
+        put_u32(&mut out, MAGIC);
+        put_u32(&mut out, 3);
+        put_u32(&mut out, 1);
+        put_u32(&mut out, 2); // activation
+        put_u32(&mut out, u32::MAX); // coefficient count
+        let err = read_hent_shape(&out).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LintError::Truncated { .. } | LintError::LengthOverflow { .. }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
-    fn rejects_shape_mismatch() {
+    fn rejects_shape_mismatch_with_typed_detail() {
         let mut out = Vec::new();
         put_u32(&mut out, MAGIC);
         put_u32(&mut out, 3);
@@ -206,6 +387,43 @@ mod tests {
         put_u32(&mut out, 2);
         put_f32s(&mut out, &[1.0; 3]);
         put_f32s(&mut out, &[0.0; 2]);
-        assert!(read_hent_shape(&out).is_err());
+        match read_hent_shape(&out) {
+            Err(LintError::ShapeMismatch {
+                layer,
+                kind,
+                expected,
+                found,
+            }) => {
+                assert_eq!(layer, 0);
+                assert_eq!(kind, "dense");
+                assert_eq!(expected, 8);
+                assert_eq!(found, 3);
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_empty_activation_are_typed() {
+        let mut out = Vec::new();
+        put_u32(&mut out, MAGIC);
+        put_u32(&mut out, 3);
+        put_u32(&mut out, 1);
+        put_u32(&mut out, 9); // bogus tag
+        assert_eq!(
+            read_hent_shape(&out).unwrap_err(),
+            LintError::UnknownTag { layer: 0, tag: 9 }
+        );
+
+        let mut out = Vec::new();
+        put_u32(&mut out, MAGIC);
+        put_u32(&mut out, 3);
+        put_u32(&mut out, 1);
+        put_u32(&mut out, 2); // activation
+        put_f64s(&mut out, &[]);
+        assert_eq!(
+            read_hent_shape(&out).unwrap_err(),
+            LintError::EmptyActivation { layer: 0 }
+        );
     }
 }

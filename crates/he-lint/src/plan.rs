@@ -7,7 +7,11 @@
 //! model reader) lower their layer types into these ops.
 
 use ckks::CkksParams;
-use std::collections::BTreeSet;
+use he_ir::{Circuit, GraphBuilder, Layout};
+
+// The key inventory moved into `he-ir` (circuits carry it too);
+// re-exported so `he_lint::plan::KeyInventory` keeps working.
+pub use he_ir::KeyInventory;
 
 /// One metadata-level operation of a planned encrypted circuit.
 #[derive(Debug, Clone)]
@@ -60,41 +64,6 @@ impl CircuitOp {
     }
 }
 
-/// What key material the evaluation will have available. `None` for the
-/// Galois set means "unknown — skip coverage checks".
-#[derive(Debug, Clone, Default)]
-pub struct KeyInventory {
-    pub relin: bool,
-    pub galois_elements: Option<BTreeSet<usize>>,
-}
-
-impl KeyInventory {
-    /// Inventory of a standard pipeline: relin key present, no Galois
-    /// keys generated.
-    pub fn relin_only() -> Self {
-        Self {
-            relin: true,
-            galois_elements: Some(BTreeSet::new()),
-        }
-    }
-
-    /// Full declared inventory.
-    pub fn with_galois(relin: bool, elements: impl IntoIterator<Item = usize>) -> Self {
-        Self {
-            relin,
-            galois_elements: Some(elements.into_iter().collect()),
-        }
-    }
-
-    /// Unknown key material: key-coverage checks are skipped.
-    pub fn unknown() -> Self {
-        Self {
-            relin: true,
-            galois_elements: None,
-        }
-    }
-}
-
 /// A complete plan: parameters + ops + declared keys + batch size.
 #[derive(Debug, Clone)]
 pub struct CircuitPlan {
@@ -139,5 +108,134 @@ impl CircuitPlan {
     /// Total levels the plan consumes.
     pub fn required_levels(&self) -> usize {
         self.ops.iter().map(CircuitOp::levels).sum()
+    }
+
+    /// Lowers the plan to the shared circuit IR at nominal scales, one
+    /// region per plan op (named like the op, so per-region pass
+    /// results line up with the plan's op list).
+    ///
+    /// Metadata-faithful, not workload-faithful: a linear layer lowers
+    /// to one representative unit (encode at `q_m`, zero accumulator at
+    /// `s·q_m`, fused MAC, bias add, rescale) and a SLAF activation to
+    /// the engine's exact deg-≤3 recipe with placeholder coefficients —
+    /// the level/scale trajectory is exact while the node count stays
+    /// O(ops).
+    pub fn to_circuit(&self) -> Circuit {
+        let mut b = GraphBuilder::new(self.params.clone());
+        let depth = self.params.depth();
+        let start = self.start_level.map_or(depth, |l| l.min(depth));
+        let s = self.params.scale();
+        let mut x = b.input("x", start, Layout::BatchSlots);
+        for op in &self.ops {
+            b.begin_region(op.name());
+            match op {
+                CircuitOp::Linear { .. } => {
+                    let m = b.ct_ty(x).level;
+                    let q_m = b.q_at(m);
+                    let w = b.encode_scalar(1.0, q_m, m);
+                    let z = b.zero(s * q_m, m);
+                    let acc = b.mac_plain(z, x, w);
+                    let biased = b.add_scalar(acc, 0.0);
+                    x = b.rescale(biased);
+                }
+                CircuitOp::SlafActivation { degree, .. } => {
+                    // the engine's Horner shape: squares once and
+                    // rescales every product, landing 2 levels down at
+                    // s³/(q_m·q_{m−1})
+                    let m = b.ct_ty(x).level;
+                    let q_m = b.q_at(m);
+                    let x2 = b.square(x);
+                    let x2r = b.rescale(x2);
+                    let c2 = b.encode_scalar(0.25, s, m.saturating_sub(1));
+                    let a = b.mul_plain(x2r, c2);
+                    let mut acc = b.rescale(a);
+                    if *degree >= 3 {
+                        let c3 = b.encode_scalar(0.125, q_m, m);
+                        let t = b.mul_plain(x, c3);
+                        let tr = b.rescale(t);
+                        let y3m = b.mul(tr, x2r);
+                        let y3 = b.rescale(y3m);
+                        acc = b.add(acc, y3);
+                    }
+                    let c1 = b.encode_scalar(0.5, s, m);
+                    let t1 = b.mul_plain(x, c1);
+                    let t1r = b.rescale(t1);
+                    let one = b.encode_scalar(1.0, s, m.saturating_sub(1));
+                    let y1m = b.mul_plain(t1r, one);
+                    let y1 = b.rescale(y1m);
+                    acc = b.add(acc, y1);
+                    x = b.add_scalar(acc, 0.0);
+                }
+                CircuitOp::Rotation { steps } => {
+                    x = b.rotate(x, *steps);
+                }
+                CircuitOp::Conjugation => {
+                    x = b.conjugate(x);
+                }
+                // plaintext pre-processing: no ciphertext op, empty region
+                CircuitOp::RnsDecompose { .. } => {}
+            }
+        }
+        b.output(x);
+        b.finish(self.keys.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckks::CkksParams;
+
+    #[test]
+    fn lowering_produces_one_region_per_op() {
+        let ops = vec![
+            CircuitOp::Linear {
+                name: "conv0".into(),
+                output_units: 4,
+            },
+            CircuitOp::SlafActivation {
+                name: "slaf0".into(),
+                degree: 3,
+            },
+            CircuitOp::RnsDecompose {
+                moduli: vec![97, 101],
+                max_abs: 100,
+            },
+            CircuitOp::Rotation { steps: 2 },
+        ];
+        let plan = CircuitPlan::new(CkksParams::tiny(4), ops).with_keys(KeyInventory::unknown());
+        let c = plan.to_circuit();
+        assert!(c.validate().is_ok(), "{:?}", c.validate());
+        assert_eq!(c.regions.len(), plan.ops.len());
+        assert_eq!(c.regions[0].name, "conv0");
+        assert_eq!(c.regions[1].name, "slaf0(deg 3)");
+        assert_eq!(c.regions[2].len, 0, "RnsDecompose lowers to no HE ops");
+        assert_eq!(c.outputs.len(), 1);
+        // one square per SLAF, one MAC per linear layer, one rotation
+        let counts = c.op_counts();
+        assert_eq!(counts.ct_mults, 2); // square + the deg-3 ct×ct mul
+        assert_eq!(counts.scalar_macs, 1);
+        assert_eq!(counts.rotations, 1);
+    }
+
+    #[test]
+    fn lowered_circuit_is_clean_under_the_standard_passes() {
+        let ops = vec![
+            CircuitOp::Linear {
+                name: "conv0".into(),
+                output_units: 4,
+            },
+            CircuitOp::SlafActivation {
+                name: "slaf0".into(),
+                degree: 3,
+            },
+            CircuitOp::Linear {
+                name: "dense".into(),
+                output_units: 2,
+            },
+        ];
+        let plan = CircuitPlan::new(CkksParams::tiny(4), ops).with_keys(KeyInventory::relin_only());
+        let report = he_ir::PassManager::standard().run(&plan.to_circuit());
+        assert!(!report.has_errors(), "{}", report.render());
     }
 }

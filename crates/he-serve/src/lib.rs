@@ -36,6 +36,8 @@
 //! # fn my_network() -> cnn_he::HeNetwork { unimplemented!() }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod engine;
 pub mod error;

@@ -30,6 +30,8 @@
 //! default-on `trace` feature to `he-trace/enabled`, so
 //! `--no-default-features` builds prove the no-op path compiles.
 
+#![forbid(unsafe_code)]
+
 pub mod cats;
 pub mod chrome;
 pub mod counters;

@@ -6,6 +6,8 @@
 //! he-trace --validate trace.json # validity check only (exit 1 on fail)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use he_trace::{json, validate_chrome_json, Align, Table};
 
 fn main() {

@@ -11,6 +11,8 @@
 //! the frozen weights and SLAF coefficients and re-evaluates the same
 //! network over CKKS ciphertexts.
 
+#![forbid(unsafe_code)]
+
 pub mod augment;
 pub mod init;
 pub mod layers;

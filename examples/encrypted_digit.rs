@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release -p examples --bin encrypted_digit`
 
+#![forbid(unsafe_code)]
+
 use cnn_he::{CnnHePipeline, HeNetwork};
 use neural::mnist;
 use neural::models::{cnn1, ActKind};

@@ -7,6 +7,8 @@
 //!
 //! Run: `cargo run --release -p examples --bin quickstart`
 
+#![forbid(unsafe_code)]
+
 use ckks::{CkksParams, Evaluator, KeyGenerator};
 use ckks_math::sampler::Sampler;
 use std::sync::Arc;

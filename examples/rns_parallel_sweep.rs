@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p examples --bin rns_parallel_sweep`
 
+#![forbid(unsafe_code)]
+
 use cnn_he::exec::ExecPlan;
 use cnn_he::quantize::QuantSpec;
 use cnn_he::{CnnHePipeline, HeNetwork, SignalDecomposition};

@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release -p examples --bin serialization_roundtrip`
 
+#![forbid(unsafe_code)]
+
 use ckks::serialize::*;
 use ckks::{CkksParams, Evaluator, KeyGenerator};
 use ckks_math::sampler::Sampler;

@@ -14,6 +14,8 @@
 //! in one batch) and that amortization beat the lone request — CI runs
 //! this binary as an acceptance check.
 
+#![forbid(unsafe_code)]
+
 use cnn_he::he_layers::{ConvSpec, DenseSpec};
 use cnn_he::{CnnHePipeline, HeLayerSpec, HeNetwork};
 use he_serve::{ServeConfig, ServeEngine};

@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release -p examples --bin slaf_training`
 
+#![forbid(unsafe_code)]
+
 use neural::layers::activation::relu_poly_fit;
 use neural::mnist;
 use neural::models::{cnn1, swap_activations_for_slaf, ActKind};

@@ -17,6 +17,8 @@
 //!
 //! Run: `cargo run --release -p examples --bin static_lint`
 
+#![forbid(unsafe_code)]
+
 use ckks::{CkksParams, SecurityLevel};
 use cnn_he::lint::plan_for_network;
 use cnn_he::HeNetwork;

@@ -16,6 +16,8 @@
 //! Inspect the trace: open chrome://tracing (or <https://ui.perfetto.dev>)
 //! and load `target/trace-demo/trace.json`.
 
+#![forbid(unsafe_code)]
+
 use cnn_he::{CnnHePipeline, ExecMode, HeNetwork};
 use neural::models::{cnn1, ActKind};
 use std::path::Path;

@@ -1,1 +1,3 @@
 //! Shared helpers for integration tests.
+
+#![forbid(unsafe_code)]

@@ -2,6 +2,8 @@
 //! and the bignum reference, plus failure-injection checks on the scheme
 //! boundary.
 
+#![forbid(unsafe_code)]
+
 use ckks::bigckks::{BigCkks, BigPoly};
 use ckks::{CkksParams, Evaluator, KeyGenerator, SecurityLevel};
 use ckks_math::sampler::Sampler;

@@ -19,6 +19,8 @@
 //! Also here: the CRT codec split→recompose round-trip pinned at the
 //! dynamic-range boundary (±max_abs), where overflow bugs live.
 
+#![forbid(unsafe_code)]
+
 use ckks::bigckks::{BigCkks, BigPoly};
 use ckks::params::CkksContext;
 use ckks::{Ciphertext, CkksParams, Evaluator, KeyGenerator, SecretKey};

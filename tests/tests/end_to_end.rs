@@ -2,6 +2,8 @@
 //! synthetic data → SLAF training → extraction → encrypted inference →
 //! accuracy parity between the encrypted and plaintext worlds.
 
+#![forbid(unsafe_code)]
+
 use cnn_he::exec::ExecPlan;
 use cnn_he::{modeled_timing, CnnHePipeline, HeNetwork};
 use neural::mnist;

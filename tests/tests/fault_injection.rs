@@ -13,6 +13,8 @@
 //! healthy twin of the corrupted object, so detection is specific, not
 //! a tripwire that fires on everything.
 
+#![forbid(unsafe_code)]
+
 use ckks::{CkksParams, Evaluator, KeyGenerator};
 use ckks_math::fft::Complex;
 use ckks_math::sampler::Sampler;

@@ -1,6 +1,8 @@
 //! Integration: the packed (Lo-La-style) engine against a trained SLAF
 //! model, plus the evaluation-metrics layer on encrypted predictions.
 
+#![forbid(unsafe_code)]
+
 use ckks::{CkksParams, Evaluator, KeyGenerator, SecurityLevel};
 use ckks_math::sampler::Sampler;
 use cnn_he::packed::PackedNetwork;

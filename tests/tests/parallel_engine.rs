@@ -7,6 +7,8 @@
 //! under whatever `RAYON_NUM_THREADS` the environment sets (CI exercises
 //! the 1-thread matrix variant) plus explicit 2- and 4-thread modes.
 
+#![forbid(unsafe_code)]
+
 use ckks::{CkksContext, Evaluator, KeyGenerator, PublicKey, RelinKey};
 use ckks_math::sampler::Sampler;
 use cnn_he::he_layers::{ConvSpec, DenseSpec};

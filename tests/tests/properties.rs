@@ -1,6 +1,8 @@
 //! Cross-crate property tests: homomorphism laws of the full stack and
 //! invariants of the RNS signal decomposition, under randomized inputs.
 
+#![forbid(unsafe_code)]
+
 use ckks::{CkksParams, Evaluator, KeyGenerator};
 use ckks_math::sampler::Sampler;
 use cnn_he::SignalDecomposition;

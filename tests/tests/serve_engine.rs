@@ -12,6 +12,8 @@
 //! its own OS process under `cargo test`, keeping foreign HE work out
 //! of the deltas.
 
+#![forbid(unsafe_code)]
+
 use cnn_he::he_layers::{ConvSpec, DenseSpec};
 use cnn_he::{CnnHePipeline, HeLayerSpec, HeNetwork};
 use he_serve::{ServeConfig, ServeEngine, ServeError};

@@ -7,6 +7,8 @@
 //! encryption work, and `Pipeline::validate()` must catch them before
 //! `classify()` would panic inside a layer.
 
+#![forbid(unsafe_code)]
+
 use ckks::{CkksParams, SecurityLevel};
 use cnn_he::lint::{plan_for_network, plan_for_packed};
 use cnn_he::packed::PackedNetwork;

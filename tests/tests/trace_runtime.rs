@@ -11,6 +11,8 @@
 //! this dedicated binary (a separate OS process under `cargo test`)
 //! precisely so no unrelated HE work can bleed into the deltas.
 
+#![forbid(unsafe_code)]
+
 use cnn_he::{CnnHePipeline, ExecMode, HeNetwork};
 use neural::models::{cnn1, ActKind};
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -127,6 +129,39 @@ fn traced_op_counts_identical_sequential_vs_parallel() {
         assert_eq!(a.scale.to_bits(), b.scale.to_bits());
     }
     assert_eq!(seq.total_ops, par.total_ops);
+}
+
+#[test]
+fn static_ir_op_counts_match_observed_layer_counters_exactly() {
+    // The circuit IR's per-region op counts are a *static* prediction of
+    // the runtime counters; under the file lock (no concurrent HE work)
+    // the observed per-layer deltas must match them exactly, op kind by
+    // op kind. This is the strong form of the `ir_cross_check` the
+    // pipeline itself runs (which only flags undercounts, because other
+    // threads can inflate the process-global counters).
+    let _g = serial();
+    let mut pipe = cnn1_pipeline(604);
+    let img = test_image();
+    pipe.set_exec_mode(ExecMode::sequential());
+    let (_, trace) = pipe.traced_infer(&[&img]);
+    assert!(
+        trace.divergence.is_empty(),
+        "{}",
+        trace.divergence.join("\n")
+    );
+
+    let circuit = pipe.lower_to_ir();
+    assert_eq!(circuit.regions.len(), trace.layers.len());
+    if trace.total_ops == he_trace::OpSnapshot::default() {
+        return; // trace feature compiled out: nothing observed
+    }
+    for (r, l) in circuit.regions.iter().zip(&trace.layers) {
+        let c = circuit.op_counts_in(r);
+        assert_eq!(c.ct_mults, l.ops.ct_mults, "{}: ct_mults", r.name);
+        assert_eq!(c.scalar_macs, l.ops.scalar_macs, "{}: scalar_macs", r.name);
+        assert_eq!(c.rescales, l.ops.rescales, "{}: rescales", r.name);
+        assert_eq!(c.rotations, l.ops.rotations, "{}: rotations", r.name);
+    }
 }
 
 #[test]

@@ -25,6 +25,14 @@
 //! within a few percent of a stealing scheduler, and it keeps the shim
 //! small enough to audit.
 
+// The only crate in the workspace allowed to use `unsafe`: the
+// uninitialized-collect path writes each produced item straight into
+// its output slot from the worker that computed it, which needs raw
+// pointer writes plus Send/Sync assertions on the shared base pointer.
+// Everything is bounded by the partition (disjoint index chunks), and
+// `set_len` runs only after every worker has joined.
+#![allow(unsafe_code)]
+
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::ops::Range;

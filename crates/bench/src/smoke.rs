@@ -1,15 +1,23 @@
 //! Deterministic CI smoke benchmark behind the `BENCH_*.json`
 //! perf-regression trajectory.
 //!
-//! Three fixed CNN1-derived components, each instrumented with the
+//! Five fixed CNN1-derived components, each instrumented with the
 //! process-global he-trace counters:
 //!
 //! * **ntt** — forward+inverse negacyclic NTT at `N = 2^12`, the
 //!   primitive under every homomorphic op;
+//! * **modmul** — pointwise limb products of a 4-limb `RnsPoly` at
+//!   `N = 2^12`, the dyadic-multiply micro-kernel;
+//! * **mac** — Shoup-premultiplied scalar MACs via
+//!   `Evaluator::mul_residues_acc`, the inner loop of every conv/dense
+//!   weighted sum;
 //! * **conv** — CNN1's first convolution layer (5×5, stride 2) run
 //!   end-to-end (encrypt → eval → decrypt) on the tiny test ring;
 //! * **serve** — one coalesced he-serve batch: four concurrently
 //!   submitted requests slot-packed into a single encrypted run.
+//!
+//! Reports also carry the active kernel backend name so a committed
+//! baseline states which machine code produced its wall numbers.
 //!
 //! Each component reports the **median wall** over a few runs plus the
 //! **exact HE op counts of one run**. Op counts are a function of the
@@ -68,6 +76,9 @@ pub struct ServeSmoke {
 pub struct SmokeReport {
     pub layers: Vec<ComponentResult>,
     pub serve: ServeSmoke,
+    /// Active modular-arithmetic kernel backend
+    /// (`scalar`/`avx2`/`avx512`/`neon`) the walls were measured under.
+    pub backend: String,
 }
 
 fn run_component<F: FnMut()>(name: &'static str, runs: usize, mut body: F) -> ComponentResult {
@@ -117,6 +128,61 @@ fn ntt_component(runs: usize) -> ComponentResult {
             table.inverse(&mut d);
             std::hint::black_box(&d);
         }
+    })
+}
+
+/// Pointwise-product component: `ITERS` dyadic multiplies of a 4-limb
+/// polynomial at `N = 2^12` through the production `RnsPoly::mul_assign`
+/// path (and therefore the dispatched modmul kernel).
+fn modmul_component(runs: usize) -> ComponentResult {
+    use ckks_math::poly::{Form, PolyContext, RnsPoly};
+    use ckks_math::prime::gen_moduli_chain;
+    use ckks_math::sampler::Sampler;
+    use std::sync::Arc;
+
+    const N: usize = 1 << 12;
+    const ITERS: usize = 32;
+    let chain = gen_moduli_chain(&[50, 50, 50, 50], N);
+    let ctx = PolyContext::new(N, chain, Vec::new());
+    let mut s = Sampler::from_seed(21);
+    let a = RnsPoly::uniform(Arc::clone(&ctx), vec![0, 1, 2, 3], Form::Ntt, &mut s);
+    let b = RnsPoly::uniform(Arc::clone(&ctx), vec![0, 1, 2, 3], Form::Ntt, &mut s);
+
+    run_component("modmul_limbs_2e12", runs, || {
+        for _ in 0..ITERS {
+            let mut x = a.clone();
+            x.mul_assign(&b);
+            std::hint::black_box(x.limbs_flat());
+        }
+    })
+}
+
+/// Fused-MAC component: `ITERS` Shoup-premultiplied scalar MACs on a
+/// depth-4 ciphertext at `N = 2^10` via `Evaluator::mul_residues_acc` —
+/// the replayed-weight accumulation under every conv tap.
+fn mac_component(runs: usize) -> ComponentResult {
+    use ckks::{CkksParams, Evaluator, KeyGenerator};
+    use std::sync::Arc;
+
+    const ITERS: usize = 256;
+    let ctx = CkksParams::tiny(4).build();
+    let mut kg = KeyGenerator::new(Arc::clone(&ctx), 31);
+    let sk = kg.gen_secret_key();
+    let pk = kg.gen_public_key(&sk);
+    let ev = Evaluator::new(Arc::clone(&ctx));
+    let slots = ctx.slots();
+    let vals: Vec<f64> = (0..slots).map(|i| (i % 13) as f64 / 13.0).collect();
+    let mut s = ckks_math::sampler::Sampler::from_seed(32);
+    let x = ev.encrypt_real(&vals, &pk, &mut s);
+    let q_m = ctx.chain_moduli()[x.level].value() as f64;
+    let w = ev.prepare_scalar(0.37, q_m, x.level);
+    let mut acc = ev.zero_ciphertext(x.scale * q_m, x.level, x.slots);
+
+    run_component("fused_mac_2e10", runs, || {
+        for _ in 0..ITERS {
+            ev.mul_residues_acc(&mut acc, &x, &w);
+        }
+        std::hint::black_box(&acc);
     })
 }
 
@@ -263,15 +329,22 @@ fn serve_component(runs: usize) -> ServeSmoke {
 /// Runs the full smoke suite (a couple of seconds).
 pub fn run_smoke() -> SmokeReport {
     let runs = smoke_runs();
+    let backend = ckks_math::kernel::active_backend().name().to_string();
+    eprintln!("[smoke] kernel backend: {backend}");
     eprintln!("[smoke] ntt component ({runs} runs) ...");
     let ntt = ntt_component(runs);
+    eprintln!("[smoke] modmul component ({runs} runs) ...");
+    let modmul = modmul_component(runs);
+    eprintln!("[smoke] fused-mac component ({runs} runs) ...");
+    let mac = mac_component(runs);
     eprintln!("[smoke] conv component ({runs} runs) ...");
     let conv = conv_component(runs);
     eprintln!("[smoke] serve component ({runs} runs) ...");
     let serve = serve_component(runs);
     SmokeReport {
-        layers: vec![ntt, conv],
+        layers: vec![ntt, modmul, mac, conv],
         serve,
+        backend,
     }
 }
 
@@ -314,7 +387,8 @@ impl SmokeReport {
             })
             .collect();
         format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"layers\",\n  \"components\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"layers\",\n  \"backend\": \"{}\",\n  \"components\": [\n{}\n  ]\n}}\n",
+            self.backend,
             comps.join(",\n")
         )
     }
@@ -323,7 +397,8 @@ impl SmokeReport {
     pub fn serve_json(&self) -> String {
         let s = &self.serve;
         format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"serve\",\n  \"runs\": {},\n  \"batch_size\": {},\n  \"wall_median_s\": {:.6},\n  \"amortized_median_s\": {:.6},\n  \"ops\": {},\n  \"serve\": {}\n}}\n",
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"serve\",\n  \"backend\": \"{}\",\n  \"runs\": {},\n  \"batch_size\": {},\n  \"wall_median_s\": {:.6},\n  \"amortized_median_s\": {:.6},\n  \"ops\": {},\n  \"serve\": {}\n}}\n",
+            self.backend,
             s.runs,
             s.batch_size,
             s.wall_median_s,
@@ -493,6 +568,7 @@ mod tests {
                 ops: serve_ops,
                 serve: srv,
             },
+            backend: "scalar".to_string(),
         }
     }
 

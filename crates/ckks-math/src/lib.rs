@@ -10,10 +10,15 @@
 //! Everything here is implemented from scratch; the only external
 //! dependencies are `rand` (randomness) and `rayon` (limb parallelism).
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied workspace-wide; the sole first-party carve-out
+// is `kernel`'s per-architecture SIMD submodules, which opt back in with
+// narrowly scoped `#[allow(unsafe_code)]` + per-function safety
+// comments (a `forbid` here would override that carve-out, so this
+// crate relies on the workspace-level `deny`).
 
 pub mod bigint;
 pub mod fft;
+pub mod kernel;
 pub mod modring;
 pub mod ntt;
 pub mod poly;
@@ -23,6 +28,7 @@ pub mod sampler;
 
 pub use bigint::BigInt;
 pub use fft::{Complex, EmbeddingTable};
+pub use kernel::KernelBackend;
 pub use modring::Modulus;
 pub use ntt::NttTable;
 pub use poly::{Form, PolyContext, RnsPoly};

@@ -55,6 +55,14 @@ impl Modulus {
         self.value
     }
 
+    /// The Barrett ratio `⌊2^128 / p⌋` as `(low, high)` words, for the
+    /// vector kernels that re-implement [`Self::reduce`] /
+    /// [`Self::reduce_u128`] lane-wise.
+    #[inline(always)]
+    pub(crate) fn const_ratio(&self) -> [u64; 2] {
+        self.const_ratio
+    }
+
     /// Bit length of the modulus.
     #[inline]
     pub fn bits(&self) -> u32 {

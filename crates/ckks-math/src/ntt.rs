@@ -11,8 +11,11 @@
 //! Gentleman–Sande consuming bit-reversed input. Pointwise products can
 //! therefore be formed directly between two forward transforms.
 
+use crate::kernel;
 use crate::modring::Modulus;
 use crate::prime::primitive_root_of_unity;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Precomputed tables for one `(N, p)` pair.
 #[derive(Debug, Clone)]
@@ -29,7 +32,24 @@ pub struct NttTable {
     /// N^{-1} mod p and its Shoup companion, folded into the last inverse stage.
     inv_n: u64,
     inv_n_shoup: u64,
+    /// 52-bit-scaled Shoup companions `⌊w·2^52/p⌋`, used by the AVX-512
+    /// IFMA butterfly. Only populated when `4p < 2^52` (the IFMA lazy
+    /// bound); empty for larger moduli.
+    root_powers_shoup52: Vec<u64>,
+    inv_root_powers_shoup52: Vec<u64>,
+    inv_n_shoup52: u64,
 }
+
+/// `⌊w·2^52/p⌋` — the Shoup constant rescaled to the 52-bit multiplier
+/// width of `vpmadd52{lo,hi}`. Fits in 52 bits whenever `w < p`.
+#[inline]
+fn shoup52(w: u64, p: u64) -> u64 {
+    (((w as u128) << 52) / p as u128) as u64
+}
+
+/// Largest modulus the 52-bit IFMA kernels accept: lazy butterfly
+/// values live in `[0, 4p)` and must fit a 52-bit multiplier operand.
+pub const IFMA_MAX_MODULUS: u64 = 1 << 50;
 
 #[inline]
 fn bit_reverse(x: usize, bits: u32) -> usize {
@@ -78,11 +98,44 @@ impl NttTable {
             *slot = inv_seq[bit_reverse(i - 1, log_n) + 1];
         }
 
-        let root_powers_shoup = root_powers.iter().map(|&w| modulus.shoup(w)).collect();
-        let inv_root_powers_shoup = inv_root_powers.iter().map(|&w| modulus.shoup(w)).collect();
+        let mut root_powers_shoup: Vec<u64> =
+            root_powers.iter().map(|&w| modulus.shoup(w)).collect();
+        let mut inv_root_powers_shoup: Vec<u64> =
+            inv_root_powers.iter().map(|&w| modulus.shoup(w)).collect();
+        let ifma_ok = p < IFMA_MAX_MODULUS;
+        let mut root_powers_shoup52: Vec<u64> = if ifma_ok {
+            root_powers.iter().map(|&w| shoup52(w, p)).collect()
+        } else {
+            Vec::new()
+        };
+        let mut inv_root_powers_shoup52: Vec<u64> = if ifma_ok {
+            inv_root_powers.iter().map(|&w| shoup52(w, p)).collect()
+        } else {
+            Vec::new()
+        };
+
+        // Pad every twiddle table with zeroed tail slots so vector
+        // kernels can issue full-width unaligned loads from any valid
+        // twiddle index without reading past the allocation. The padding
+        // is never consumed arithmetically (lanes beyond the stage width
+        // are masked or permuted away).
+        for v in [
+            &mut root_powers,
+            &mut root_powers_shoup,
+            &mut inv_root_powers,
+            &mut inv_root_powers_shoup,
+        ] {
+            v.extend(std::iter::repeat_n(0, kernel::TABLE_PAD));
+        }
+        for v in [&mut root_powers_shoup52, &mut inv_root_powers_shoup52] {
+            if !v.is_empty() {
+                v.extend(std::iter::repeat_n(0, kernel::TABLE_PAD));
+            }
+        }
 
         let inv_n = modulus.inv(n as u64);
         let inv_n_shoup = modulus.shoup(inv_n);
+        let inv_n_shoup52 = if ifma_ok { shoup52(inv_n, p) } else { 0 };
 
         Self {
             n,
@@ -94,13 +147,90 @@ impl NttTable {
             inv_root_powers_shoup,
             inv_n,
             inv_n_shoup,
+            root_powers_shoup52,
+            inv_root_powers_shoup52,
+            inv_n_shoup52,
         }
+    }
+
+    /// Returns the cached shared table for `(n, modulus)`, building it
+    /// on first request. Twiddle derivation costs `O(n)` modular
+    /// exponentiations per prime, which adds up when tests and he-diff
+    /// presets rebuild the same contexts repeatedly; the cache makes
+    /// repeat context builds table-free.
+    pub fn cached(n: usize, modulus: Modulus) -> Arc<Self> {
+        type TableCache = Mutex<HashMap<(usize, u64), Arc<NttTable>>>;
+        static CACHE: OnceLock<TableCache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (n, modulus.value());
+        if let Some(t) = cache.lock().unwrap().get(&key) {
+            return Arc::clone(t);
+        }
+        // Build outside the lock: table construction is slow and two
+        // racing builders produce identical tables anyway.
+        let t = Arc::new(Self::new(n, modulus));
+        Arc::clone(cache.lock().unwrap().entry(key).or_insert(t))
     }
 
     /// Ring degree.
     #[inline]
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Forward twiddles `psi^bitrev(i)` (padded by [`kernel::TABLE_PAD`]).
+    #[inline]
+    pub(crate) fn root_powers(&self) -> &[u64] {
+        &self.root_powers
+    }
+
+    /// Shoup companions of [`Self::root_powers`].
+    #[inline]
+    pub(crate) fn root_powers_shoup(&self) -> &[u64] {
+        &self.root_powers_shoup
+    }
+
+    /// Inverse twiddles in GS order (padded by [`kernel::TABLE_PAD`]).
+    #[inline]
+    pub(crate) fn inv_root_powers(&self) -> &[u64] {
+        &self.inv_root_powers
+    }
+
+    /// Shoup companions of [`Self::inv_root_powers`].
+    #[inline]
+    pub(crate) fn inv_root_powers_shoup(&self) -> &[u64] {
+        &self.inv_root_powers_shoup
+    }
+
+    /// `(N^{-1} mod p, shoup(N^{-1}))` for the inverse transform's final
+    /// scaling pass.
+    #[inline]
+    pub(crate) fn inv_n_pair(&self) -> (u64, u64) {
+        (self.inv_n, self.inv_n_shoup)
+    }
+
+    /// 52-bit-scaled Shoup companions of [`Self::root_powers`] for the
+    /// AVX-512 IFMA butterfly, or `None` when `4p >= 2^52`.
+    #[inline]
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    pub(crate) fn root_powers_shoup52(&self) -> Option<&[u64]> {
+        (!self.root_powers_shoup52.is_empty()).then_some(&self.root_powers_shoup52[..])
+    }
+
+    /// 52-bit-scaled Shoup companions of [`Self::inv_root_powers`], or
+    /// `None` when `4p >= 2^52`.
+    #[inline]
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    pub(crate) fn inv_root_powers_shoup52(&self) -> Option<&[u64]> {
+        (!self.inv_root_powers_shoup52.is_empty()).then_some(&self.inv_root_powers_shoup52[..])
+    }
+
+    /// `⌊N^{-1}·2^52/p⌋` for the IFMA inverse transform's final scaling
+    /// pass (0 when the modulus is outside the IFMA range).
+    #[inline]
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    pub(crate) fn inv_n_shoup52(&self) -> u64 {
+        self.inv_n_shoup52
     }
 
     /// The modulus these tables were built for.
@@ -111,105 +241,30 @@ impl NttTable {
 
     /// In-place forward negacyclic NTT. Input: coefficients `< p` in natural
     /// order. Output: evaluations `< p` in bit-reversed order.
+    ///
+    /// Dispatches to the active [`kernel`] backend; every backend is
+    /// bit-identical to [`kernel::scalar::ntt_forward`].
     pub fn forward(&self, a: &mut [u64]) {
-        debug_assert_eq!(a.len(), self.n);
         he_trace::record_ntt_fwd(1);
-        let p = self.modulus.value();
-        let two_p = p << 1;
-        let n = self.n;
-
-        let mut t = n;
-        let mut m = 1usize;
-        while m < n {
-            t >>= 1;
-            for i in 0..m {
-                let w = self.root_powers[m + i];
-                let ws = self.root_powers_shoup[m + i];
-                let j1 = 2 * i * t;
-                let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
-                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                    // Harvey butterfly: x, y < 4p on input of later stages;
-                    // normalize x into [0, 2p) first.
-                    let mut u = *x;
-                    if u >= two_p {
-                        u -= two_p;
-                    }
-                    let v = self.modulus.mul_shoup_lazy(*y, w, ws); // < 2p
-                    *x = u + v; // < 4p
-                    *y = u + two_p - v; // < 4p
-                }
-            }
-            m <<= 1;
-        }
-        for v in a.iter_mut() {
-            let mut x = *v;
-            if x >= two_p {
-                x -= two_p;
-            }
-            if x >= p {
-                x -= p;
-            }
-            *v = x;
-        }
+        kernel::ntt_forward_with(kernel::active_backend(), self, a);
     }
 
     /// In-place inverse negacyclic NTT. Input: evaluations `< p` in
     /// bit-reversed order. Output: coefficients `< p` in natural order.
     pub fn inverse(&self, a: &mut [u64]) {
-        debug_assert_eq!(a.len(), self.n);
         he_trace::record_ntt_inv(1);
-        let p = self.modulus.value();
-        let two_p = p << 1;
-        let n = self.n;
-
-        let mut t = 1usize;
-        let mut m = n;
-        let mut root_index = 1usize;
-        while m > 1 {
-            let h = m >> 1;
-            let mut j1 = 0usize;
-            for _ in 0..h {
-                let w = self.inv_root_powers[root_index];
-                let ws = self.inv_root_powers_shoup[root_index];
-                root_index += 1;
-                let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
-                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                    let u = *x;
-                    let v = *y;
-                    let mut s = u + v; // < 4p
-                    if s >= two_p {
-                        s -= two_p;
-                    }
-                    *x = s;
-                    // (u - v) * w
-                    let d = u + two_p - v;
-                    *y = self.modulus.mul_shoup_lazy(d, w, ws);
-                }
-                j1 += 2 * t;
-            }
-            t <<= 1;
-            m = h;
-        }
-        // Final scale by N^{-1} with full reduction.
-        for v in a.iter_mut() {
-            *v = self.modulus.mul_shoup(*v, self.inv_n, self.inv_n_shoup);
-        }
+        kernel::ntt_inverse_with(kernel::active_backend(), self, a);
     }
 
     /// Pointwise multiply-accumulate in the evaluation domain:
     /// `acc[i] = (acc[i] + a[i] * b[i]) mod p`.
     pub fn dyadic_mul_acc(&self, acc: &mut [u64], a: &[u64], b: &[u64]) {
-        for ((r, &x), &y) in acc.iter_mut().zip(a).zip(b) {
-            let prod = self.modulus.mul(x, y);
-            *r = self.modulus.add(*r, prod);
-        }
+        kernel::dyadic_mul_acc(&self.modulus, acc, a, b);
     }
 
     /// Pointwise product in the evaluation domain.
     pub fn dyadic_mul(&self, out: &mut [u64], a: &[u64], b: &[u64]) {
-        for ((r, &x), &y) in out.iter_mut().zip(a).zip(b) {
-            *r = self.modulus.mul(x, y);
-        }
+        kernel::dyadic_mul(&self.modulus, out, a, b);
     }
 
     /// log2 of the ring degree.

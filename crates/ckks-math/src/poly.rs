@@ -6,11 +6,19 @@
 //! ciphertext uses limbs `0..=ℓ`, and key-switching intermediates
 //! additionally carry the special modulus at index `L+1`.
 //!
+//! Residues live in one flat limb-major buffer (limb `i` occupies
+//! `data[i*n..(i+1)*n]`), so a whole-polynomial transform is a single
+//! contiguous sweep: the batched NTT entry ([`kernel::ntt_forward_batch`])
+//! resolves the SIMD backend once and tiles limbs across rayon workers,
+//! and pointwise kernels stream limb-sized chunks without pointer
+//! chasing through per-limb `Vec`s.
+//!
 //! All per-limb operations are embarrassingly parallel; when the context
 //! is created with limb parallelism enabled (or toggled at runtime) they
 //! run under rayon, which is the substrate for the paper's "RNS enables
 //! parallel processing" claim at the scheme level.
 
+use crate::kernel;
 use crate::modring::Modulus;
 use crate::ntt::NttTable;
 use crate::sampler::Sampler;
@@ -29,11 +37,16 @@ pub enum Form {
 
 /// Shared immutable tables for one ring: degree, full modulus list
 /// (ciphertext chain followed by special moduli), and NTT tables.
+///
+/// NTT tables come from the process-wide [`NttTable::cached`] pool keyed
+/// on `(n, p)`, so building several contexts over overlapping prime sets
+/// (common in tests, serving, and the differential oracle) re-derives no
+/// twiddle tables.
 #[derive(Debug)]
 pub struct PolyContext {
     n: usize,
     moduli: Vec<Modulus>,
-    ntt_tables: Vec<NttTable>,
+    ntt_tables: Vec<Arc<NttTable>>,
     /// Number of trailing special (key-switching) moduli in `moduli`.
     num_special: usize,
     parallel: AtomicBool,
@@ -53,7 +66,7 @@ impl PolyContext {
         for m in &moduli {
             assert!(seen.insert(m.value()), "duplicate modulus {}", m.value());
         }
-        let ntt_tables = moduli.iter().map(|&m| NttTable::new(n, m)).collect();
+        let ntt_tables = moduli.iter().map(|&m| NttTable::cached(n, m)).collect();
         Arc::new(Self {
             n,
             moduli,
@@ -92,7 +105,7 @@ impl PolyContext {
 
     #[inline]
     pub fn ntt_table(&self, idx: usize) -> &NttTable {
-        &self.ntt_tables[idx]
+        self.ntt_tables[idx].as_ref()
     }
 
     /// Enables/disables rayon parallelism over limbs (used by the
@@ -113,8 +126,8 @@ pub struct RnsPoly {
     ctx: Arc<PolyContext>,
     /// Context-modulus index of each limb.
     limb_indices: Vec<usize>,
-    /// One residue vector (length `n`) per limb.
-    limbs: Vec<Vec<u64>>,
+    /// Flat limb-major residues: limb `i` occupies `data[i*n..(i+1)*n]`.
+    data: Vec<u64>,
     form: Form,
 }
 
@@ -135,7 +148,7 @@ impl RnsPoly {
         assert!(!limb_indices.is_empty());
         assert!(limb_indices.iter().all(|&i| i < ctx.moduli().len()));
         Self {
-            limbs: vec![vec![0u64; n]; limb_indices.len()],
+            data: vec![0u64; n * limb_indices.len()],
             limb_indices,
             ctx,
             form,
@@ -157,19 +170,22 @@ impl RnsPoly {
     ) -> Self {
         assert_eq!(limb_indices.len(), limbs.len());
         assert!(!limb_indices.is_empty());
-        for (i, (&idx, data)) in limb_indices.iter().zip(&limbs).enumerate() {
+        let n = ctx.n();
+        let mut data = Vec::with_capacity(n * limbs.len());
+        for (i, (&idx, limb)) in limb_indices.iter().zip(&limbs).enumerate() {
             assert!(idx < ctx.moduli().len(), "limb {i}: bad modulus index");
-            assert_eq!(data.len(), ctx.n(), "limb {i}: wrong length");
+            assert_eq!(limb.len(), n, "limb {i}: wrong length");
             let p = ctx.moduli()[idx].value();
             assert!(
-                data.iter().all(|&v| v < p),
+                limb.iter().all(|&v| v < p),
                 "limb {i}: residue out of range"
             );
+            data.extend_from_slice(limb);
         }
         Self {
             ctx,
             limb_indices,
-            limbs,
+            data,
             form,
         }
     }
@@ -178,15 +194,13 @@ impl RnsPoly {
     /// reducing into every requested limb. Result is in `Coeff` form.
     pub fn from_signed(ctx: Arc<PolyContext>, limb_indices: Vec<usize>, coeffs: &[i64]) -> Self {
         assert_eq!(coeffs.len(), ctx.n());
-        let limbs = limb_indices
-            .iter()
-            .map(|&idx| {
-                let m = ctx.moduli()[idx];
-                coeffs.iter().map(|&c| m.from_i64(c)).collect()
-            })
-            .collect();
+        let mut data = Vec::with_capacity(ctx.n() * limb_indices.len());
+        for &idx in &limb_indices {
+            let m = ctx.moduli()[idx];
+            data.extend(coeffs.iter().map(|&c| m.from_i64(c)));
+        }
         Self {
-            limbs,
+            data,
             limb_indices,
             ctx,
             form: Form::Coeff,
@@ -202,12 +216,12 @@ impl RnsPoly {
         form: Form,
         sampler: &mut Sampler,
     ) -> Self {
-        let limbs = limb_indices
-            .iter()
-            .map(|&idx| sampler.uniform_limb(ctx.n(), &ctx.moduli()[idx]))
-            .collect();
+        let mut data = Vec::with_capacity(ctx.n() * limb_indices.len());
+        for &idx in &limb_indices {
+            data.extend(sampler.uniform_limb(ctx.n(), &ctx.moduli()[idx]));
+        }
         Self {
-            limbs,
+            data,
             limb_indices,
             ctx,
             form,
@@ -226,7 +240,7 @@ impl RnsPoly {
 
     #[inline]
     pub fn num_limbs(&self) -> usize {
-        self.limbs.len()
+        self.limb_indices.len()
     }
 
     #[inline]
@@ -236,12 +250,21 @@ impl RnsPoly {
 
     #[inline]
     pub fn limb(&self, i: usize) -> &[u64] {
-        &self.limbs[i]
+        let n = self.ctx.n;
+        &self.data[i * n..(i + 1) * n]
     }
 
     #[inline]
-    pub fn limb_mut(&mut self, i: usize) -> &mut Vec<u64> {
-        &mut self.limbs[i]
+    pub fn limb_mut(&mut self, i: usize) -> &mut [u64] {
+        let n = self.ctx.n;
+        &mut self.data[i * n..(i + 1) * n]
+    }
+
+    /// The whole limb-major residue buffer (limb `i` at `[i*n, (i+1)*n)`),
+    /// for batched kernels and layout-aware tests.
+    #[inline]
+    pub fn limbs_flat(&self) -> &[u64] {
+        &self.data
     }
 
     #[inline]
@@ -258,49 +281,48 @@ impl RnsPoly {
         assert_eq!(self.limb_indices, other.limb_indices, "limb set mismatch");
     }
 
-    /// Runs `f` on every limb, in parallel when the context allows.
-    fn for_each_limb_mut<F>(&mut self, f: F)
-    where
-        F: Fn(usize, &Modulus, &NttTable, &mut Vec<u64>) + Sync + Send,
-    {
-        let ctx = Arc::clone(&self.ctx);
-        let indices = self.limb_indices.clone();
-        if ctx.parallel() && self.limbs.len() > 1 {
-            self.limbs.par_iter_mut().enumerate().for_each(|(i, data)| {
-                let idx = indices[i];
-                f(i, &ctx.moduli()[idx], ctx.ntt_table(idx), data);
-            });
-        } else {
-            for (i, data) in self.limbs.iter_mut().enumerate() {
-                let idx = indices[i];
-                f(i, &ctx.moduli()[idx], ctx.ntt_table(idx), data);
-            }
-        }
-    }
-
-    /// In-place forward NTT of every limb.
+    /// In-place forward NTT of every limb — one batched call; the kernel
+    /// backend is resolved once for the whole polynomial.
     pub fn ntt_forward(&mut self) {
         assert_eq!(self.form, Form::Coeff, "already in NTT form");
-        self.for_each_limb_mut(|_, _, table, data| table.forward(data));
+        let ctx = Arc::clone(&self.ctx);
+        let tables: Vec<&NttTable> = self
+            .limb_indices
+            .iter()
+            .map(|&idx| ctx.ntt_table(idx))
+            .collect();
+        kernel::ntt_forward_batch(&tables, &mut self.data, ctx.parallel());
         self.form = Form::Ntt;
     }
 
-    /// In-place inverse NTT of every limb.
+    /// In-place inverse NTT of every limb (batched, like
+    /// [`Self::ntt_forward`]).
     pub fn ntt_inverse(&mut self) {
         assert_eq!(self.form, Form::Ntt, "already in coefficient form");
-        self.for_each_limb_mut(|_, _, table, data| table.inverse(data));
+        let ctx = Arc::clone(&self.ctx);
+        let tables: Vec<&NttTable> = self
+            .limb_indices
+            .iter()
+            .map(|&idx| ctx.ntt_table(idx))
+            .collect();
+        kernel::ntt_inverse_batch(&tables, &mut self.data, ctx.parallel());
         self.form = Form::Coeff;
     }
 
     /// `self += other`.
     pub fn add_assign(&mut self, other: &Self) {
         self.assert_compatible(other);
-        let other_limbs = &other.limbs;
         let ctx = Arc::clone(&self.ctx);
         let indices = self.limb_indices.clone();
-        for (i, data) in self.limbs.iter_mut().enumerate() {
+        let n = ctx.n();
+        for (i, (data, rhs)) in self
+            .data
+            .chunks_mut(n)
+            .zip(other.data.chunks(n))
+            .enumerate()
+        {
             let m = ctx.moduli()[indices[i]];
-            for (a, &b) in data.iter_mut().zip(&other_limbs[i]) {
+            for (a, &b) in data.iter_mut().zip(rhs) {
                 *a = m.add(*a, b);
             }
         }
@@ -311,9 +333,15 @@ impl RnsPoly {
         self.assert_compatible(other);
         let ctx = Arc::clone(&self.ctx);
         let indices = self.limb_indices.clone();
-        for (i, data) in self.limbs.iter_mut().enumerate() {
+        let n = ctx.n();
+        for (i, (data, rhs)) in self
+            .data
+            .chunks_mut(n)
+            .zip(other.data.chunks(n))
+            .enumerate()
+        {
             let m = ctx.moduli()[indices[i]];
-            for (a, &b) in data.iter_mut().zip(&other.limbs[i]) {
+            for (a, &b) in data.iter_mut().zip(rhs) {
                 *a = m.sub(*a, b);
             }
         }
@@ -323,7 +351,8 @@ impl RnsPoly {
     pub fn neg_assign(&mut self) {
         let ctx = Arc::clone(&self.ctx);
         let indices = self.limb_indices.clone();
-        for (i, data) in self.limbs.iter_mut().enumerate() {
+        let n = ctx.n();
+        for (i, data) in self.data.chunks_mut(n).enumerate() {
             let m = ctx.moduli()[indices[i]];
             for a in data.iter_mut() {
                 *a = m.neg(*a);
@@ -335,23 +364,29 @@ impl RnsPoly {
     pub fn mul_assign(&mut self, other: &Self) {
         self.assert_compatible(other);
         assert_eq!(self.form, Form::Ntt, "multiplication requires NTT form");
-        he_trace::record_modmul_limbs(self.limbs.len() as u64);
+        he_trace::record_modmul_limbs(self.num_limbs() as u64);
+        let backend = kernel::active_backend();
         let ctx = Arc::clone(&self.ctx);
         let indices = self.limb_indices.clone();
-        let other_limbs = &other.limbs;
-        if ctx.parallel() && self.limbs.len() > 1 {
-            self.limbs.par_iter_mut().enumerate().for_each(|(i, data)| {
-                let m = ctx.moduli()[indices[i]];
-                for (a, &b) in data.iter_mut().zip(&other_limbs[i]) {
-                    *a = m.mul(*a, b);
-                }
-            });
+        let n = ctx.n();
+        let other_data = &other.data;
+        if ctx.parallel() && indices.len() > 1 {
+            self.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, data)| {
+                    let m = ctx.moduli()[indices[i]];
+                    kernel::dyadic_mul_assign_with(
+                        backend,
+                        &m,
+                        data,
+                        &other_data[i * n..(i + 1) * n],
+                    );
+                });
         } else {
-            for (i, data) in self.limbs.iter_mut().enumerate() {
+            for (i, data) in self.data.chunks_mut(n).enumerate() {
                 let m = ctx.moduli()[indices[i]];
-                for (a, &b) in data.iter_mut().zip(&other_limbs[i]) {
-                    *a = m.mul(*a, b);
-                }
+                kernel::dyadic_mul_assign_with(backend, &m, data, &other_data[i * n..(i + 1) * n]);
             }
         }
     }
@@ -362,24 +397,27 @@ impl RnsPoly {
         self.assert_compatible(a);
         self.assert_compatible(b);
         assert_eq!(self.form, Form::Ntt);
-        he_trace::record_modmul_limbs(self.limbs.len() as u64);
+        he_trace::record_modmul_limbs(self.num_limbs() as u64);
+        let backend = kernel::active_backend();
         let ctx = Arc::clone(&self.ctx);
         let indices = self.limb_indices.clone();
-        let a_limbs = &a.limbs;
-        let b_limbs = &b.limbs;
-        if ctx.parallel() && self.limbs.len() > 1 {
-            self.limbs.par_iter_mut().enumerate().for_each(|(i, acc)| {
-                let m = ctx.moduli()[indices[i]];
-                for ((r, &x), &y) in acc.iter_mut().zip(&a_limbs[i]).zip(&b_limbs[i]) {
-                    *r = m.add(*r, m.mul(x, y));
-                }
-            });
+        let n = ctx.n();
+        let a_data = &a.data;
+        let b_data = &b.data;
+        if ctx.parallel() && indices.len() > 1 {
+            self.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, acc)| {
+                    let m = ctx.moduli()[indices[i]];
+                    let r = i * n..(i + 1) * n;
+                    kernel::dyadic_mul_acc_with(backend, &m, acc, &a_data[r.clone()], &b_data[r]);
+                });
         } else {
-            for (i, acc) in self.limbs.iter_mut().enumerate() {
+            for (i, acc) in self.data.chunks_mut(n).enumerate() {
                 let m = ctx.moduli()[indices[i]];
-                for ((r, &x), &y) in acc.iter_mut().zip(&a_limbs[i]).zip(&b_limbs[i]) {
-                    *r = m.add(*r, m.mul(x, y));
-                }
+                let r = i * n..(i + 1) * n;
+                kernel::dyadic_mul_acc_with(backend, &m, acc, &a_data[r.clone()], &b_data[r]);
             }
         }
     }
@@ -388,16 +426,16 @@ impl RnsPoly {
     /// already reduced).
     pub fn mul_scalar_per_limb(&mut self, scalars: &[u64]) {
         assert_eq!(scalars.len(), self.num_limbs());
-        he_trace::record_modmul_limbs(self.limbs.len() as u64);
+        he_trace::record_modmul_limbs(self.num_limbs() as u64);
+        let backend = kernel::active_backend();
         let ctx = Arc::clone(&self.ctx);
         let indices = self.limb_indices.clone();
-        for (i, data) in self.limbs.iter_mut().enumerate() {
+        let n = ctx.n();
+        for (i, data) in self.data.chunks_mut(n).enumerate() {
             let m = ctx.moduli()[indices[i]];
             let s = m.reduce(scalars[i]);
             let ss = m.shoup(s);
-            for a in data.iter_mut() {
-                *a = m.mul_shoup(*a, s, ss);
-            }
+            kernel::mul_scalar_shoup_with(backend, &m, data, s, ss);
         }
     }
 
@@ -421,10 +459,11 @@ impl RnsPoly {
             self.limb_indices.clone(),
             Form::Coeff,
         );
-        for (li, data) in self.limbs.iter().enumerate() {
+        for li in 0..self.num_limbs() {
             let m = self.ctx.moduli()[self.limb_indices[li]];
-            let dst = &mut out.limbs[li];
-            for (i, &c) in data.iter().enumerate() {
+            let src = &self.data[li * n..(li + 1) * n];
+            let dst = &mut out.data[li * n..(li + 1) * n];
+            for (i, &c) in src.iter().enumerate() {
                 let j = (i * k) % (2 * n);
                 if j < n {
                     dst[j] = m.add(dst[j], c);
@@ -440,15 +479,15 @@ impl RnsPoly {
     /// contribution has been folded into the others).
     pub fn drop_last_limb(&mut self) {
         assert!(self.num_limbs() > 1, "cannot drop the only limb");
-        self.limbs.pop();
         self.limb_indices.pop();
+        self.data.truncate(self.limb_indices.len() * self.ctx.n());
     }
 
     /// Keeps only the first `k` limbs.
     pub fn truncate_limbs(&mut self, k: usize) {
         assert!(k >= 1 && k <= self.num_limbs());
-        self.limbs.truncate(k);
         self.limb_indices.truncate(k);
+        self.data.truncate(k * self.ctx.n());
     }
 
     /// Appends a limb with the given context index and data.
@@ -460,35 +499,37 @@ impl RnsPoly {
             "limb already present"
         );
         self.limb_indices.push(ctx_index);
-        self.limbs.push(data);
+        self.data.extend_from_slice(&data);
     }
 
     /// Returns a copy restricted to the given context-modulus indices
     /// (each must be present in this polynomial). Works in either form
     /// since limbs are independent.
     pub fn restrict(&self, indices: &[usize]) -> Self {
-        let limbs = indices
-            .iter()
-            .map(|idx| {
-                let pos = self
-                    .limb_indices
-                    .iter()
-                    .position(|i| i == idx)
-                    .unwrap_or_else(|| panic!("limb {idx} not present"));
-                self.limbs[pos].clone()
-            })
-            .collect();
+        let n = self.ctx.n();
+        let mut data = Vec::with_capacity(n * indices.len());
+        for idx in indices {
+            let pos = self
+                .limb_indices
+                .iter()
+                .position(|i| i == idx)
+                .unwrap_or_else(|| panic!("limb {idx} not present"));
+            data.extend_from_slice(&self.data[pos * n..(pos + 1) * n]);
+        }
         Self {
             ctx: Arc::clone(&self.ctx),
             limb_indices: indices.to_vec(),
-            limbs,
+            data,
             form: self.form,
         }
     }
 
     /// Extracts the residues of coefficient `i` across limbs.
     pub fn coeff_residues(&self, i: usize) -> Vec<u64> {
-        self.limbs.iter().map(|l| l[i]).collect()
+        let n = self.ctx.n();
+        (0..self.num_limbs())
+            .map(|li| self.data[li * n + i])
+            .collect()
     }
 }
 
@@ -560,7 +601,7 @@ mod tests {
         let mut neg = a.clone();
         neg.neg_assign();
         neg.add_assign(&a);
-        assert!(neg.limbs.iter().all(|l| l.iter().all(|&x| x == 0)));
+        assert!(neg.limbs_flat().iter().all(|&x| x == 0));
     }
 
     #[test]
@@ -649,6 +690,18 @@ mod tests {
         assert_eq!(p.limb(2)[0], 7);
         p.truncate_limbs(1);
         assert_eq!(p.limb_indices(), &[0]);
+    }
+
+    #[test]
+    fn flat_layout_is_limb_major() {
+        let c = ctx(32);
+        let mut s = Sampler::from_seed(10);
+        let p = RnsPoly::uniform(Arc::clone(&c), vec![0, 1, 2], Form::Coeff, &mut s);
+        let flat = p.limbs_flat();
+        assert_eq!(flat.len(), 3 * 32);
+        for i in 0..p.num_limbs() {
+            assert_eq!(&flat[i * 32..(i + 1) * 32], p.limb(i));
+        }
     }
 
     #[test]

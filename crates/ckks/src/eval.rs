@@ -9,6 +9,7 @@ use crate::error::HeError;
 use crate::keys::{GaloisKeys, KeySwitchKey, KsVariant, PublicKey, RelinKey, SecretKey};
 use crate::params::CkksContext;
 use ckks_math::fft::Complex;
+use ckks_math::kernel;
 use ckks_math::poly::{Form, RnsPoly};
 use ckks_math::sampler::Sampler;
 use std::sync::Arc;
@@ -316,6 +317,7 @@ impl Evaluator {
             "accumulator scale mismatch"
         );
         let moduli = self.ctx.chain_moduli();
+        let backend = kernel::active_backend();
         for li in 0..=x.level {
             let m = moduli[li];
             let r = w.r[li];
@@ -324,10 +326,7 @@ impl Evaluator {
                 (acc.c0.limb_mut(li), x.c0.limb(li)),
                 (acc.c1.limb_mut(li), x.c1.limb(li)),
             ] {
-                for (a, &b) in poly_acc.iter_mut().zip(poly_x) {
-                    let t = m.mul_shoup(b, r, rs);
-                    *a = m.add(*a, t);
-                }
+                kernel::fused_mac_shoup_with(backend, &m, poly_acc, poly_x, r, rs);
             }
         }
     }
@@ -486,9 +485,7 @@ impl Evaluator {
                 if idx == j {
                     dst.copy_from_slice(r);
                 } else {
-                    for (dv, &rv) in dst.iter_mut().zip(r) {
-                        *dv = m.reduce(rv);
-                    }
+                    kernel::barrett_reduce_slice(&m, dst, r);
                 }
             }
             t.ntt_forward();
@@ -516,23 +513,16 @@ impl Evaluator {
         );
         let sp_mod = *acc.limb_modulus(sp_li);
         let p_val = sp_mod.value();
-        let half_p = p_val / 2;
         let sp_data = acc.limb(sp_li).to_vec();
+        let backend = kernel::active_backend();
         for li in 0..sp_li {
             let m = *acc.limb_modulus(li);
             let p_inv = self.ctx.p_inv_mod_qi()[li];
             let p_inv_shoup = m.shoup(p_inv);
             let dst = acc.limb_mut(li);
-            for (dv, &r) in dst.iter_mut().zip(&sp_data) {
-                // centered lift of the P-residue into q_i
-                let lifted = if r > half_p {
-                    m.neg(m.reduce(p_val - r))
-                } else {
-                    m.reduce(r)
-                };
-                let diff = m.sub(*dv, lifted);
-                *dv = m.mul_shoup(diff, p_inv, p_inv_shoup);
-            }
+            // centered lift of the P-residue into q_i, fused with the
+            // subtract-and-multiply by P⁻¹
+            kernel::lift_sub_mul_shoup_with(backend, &m, dst, &sp_data, p_val, p_inv, p_inv_shoup);
         }
         acc.drop_last_limb();
         acc.ntt_forward();
@@ -564,8 +554,8 @@ impl Evaluator {
         let k = ct.level;
         let qk = self.ctx.chain_moduli()[k];
         let qk_val = qk.value();
-        let half = qk_val / 2;
         let inv = self.ctx.rescale_inv(k);
+        let backend = kernel::active_backend();
 
         let rescale_poly = |poly: &RnsPoly| -> RnsPoly {
             let mut p = poly.clone();
@@ -576,15 +566,9 @@ impl Evaluator {
                 let qinv = inv[li];
                 let qinv_shoup = m.shoup(qinv);
                 let dst = p.limb_mut(li);
-                for (dv, &r) in dst.iter_mut().zip(&last) {
-                    let lifted = if r > half {
-                        m.neg(m.reduce(qk_val - r))
-                    } else {
-                        m.reduce(r)
-                    };
-                    let diff = m.sub(*dv, lifted);
-                    *dv = m.mul_shoup(diff, qinv, qinv_shoup);
-                }
+                // centered lift of the q_k residue, fused with the
+                // subtract-and-multiply by q_k⁻¹
+                kernel::lift_sub_mul_shoup_with(backend, &m, dst, &last, qk_val, qinv, qinv_shoup);
             }
             p.drop_last_limb();
             p.ntt_forward();

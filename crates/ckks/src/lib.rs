@@ -28,6 +28,9 @@ pub mod security;
 pub mod serialize;
 
 pub use ciphertext::Ciphertext;
+// re-exported so evaluator callers can pin or inspect the SIMD kernel
+// backend without a direct ckks-math dependency
+pub use ckks_math::kernel;
 pub use encoding::{decode, decode_real, encode, encode_constant, encode_real, Plaintext};
 pub use error::HeError;
 pub use eval::{Evaluator, PreparedScalar, SCALE_RTOL};

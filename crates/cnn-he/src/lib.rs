@@ -37,6 +37,9 @@ pub mod throughput;
 pub mod trace;
 pub mod weights;
 
+// downstream crates (he-serve, bench) report the active kernel backend
+// without depending on ckks-math directly
+pub use ckks_math::kernel;
 pub use cost::modeled_timing;
 pub use exec::{ExecMode, ExecPlan, InferenceTiming, SimulationCheck, WallEwma};
 pub use graph::{lower_network, EncodeSharing};

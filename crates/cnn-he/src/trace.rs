@@ -135,7 +135,10 @@ impl InferenceTrace {
             });
             prev_headroom = l.headroom_bits;
         }
-        TraceReport { rows }
+        TraceReport {
+            rows,
+            backend: ckks_math::kernel::active_backend().name().to_string(),
+        }
     }
 
     /// chrome://tracing JSON of the recorded spans.

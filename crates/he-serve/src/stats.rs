@@ -70,6 +70,7 @@ impl StatsCore {
             effective_max_batch,
             request_latency: LatencyStats::from_secs(&latencies),
             amortized_per_image: LatencyStats::from_secs(&amortized),
+            backend: cnn_he::kernel::active_backend().name().to_string(),
         }
     }
 }
@@ -100,6 +101,9 @@ pub struct ServeReport {
     pub request_latency: Option<LatencyStats>,
     /// Per-batch `wall / batch_size` — amortized per-image latency.
     pub amortized_per_image: Option<LatencyStats>,
+    /// Modular-arithmetic kernel backend the engine ran on
+    /// (`scalar`/`avx2`/`avx512`/`neon`).
+    pub backend: String,
 }
 
 impl ServeReport {
@@ -115,6 +119,7 @@ impl ServeReport {
     pub fn render(&self) -> String {
         use he_trace::{Align, Table};
         let mut t = Table::new(&[("metric", Align::Left), ("value", Align::Right)]);
+        t.row(vec!["kernel backend".into(), self.backend.clone()]);
         t.row(vec![
             "requests submitted".into(),
             self.submitted.to_string(),

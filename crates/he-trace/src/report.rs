@@ -45,6 +45,11 @@ pub struct TraceRow {
 #[derive(Debug, Clone, Default)]
 pub struct TraceReport {
     pub rows: Vec<TraceRow>,
+    /// Name of the modular-arithmetic kernel backend that produced the
+    /// run (`scalar`/`avx2`/`avx512`/`neon`), so a saved report states
+    /// what machine code generated its timings. Empty when the producer
+    /// predates backend tracking.
+    pub backend: String,
 }
 
 impl TraceReport {
@@ -74,6 +79,11 @@ impl TraceReport {
     /// consumed, and per-unit p50/p95 where available.
     #[must_use]
     pub fn breakdown(&self) -> String {
+        let header = if self.backend.is_empty() {
+            String::new()
+        } else {
+            format!("kernel backend: {}\n", self.backend)
+        };
         let mut t = Table::new(&[
             ("layer", Align::Left),
             ("units", Align::Right),
@@ -134,7 +144,7 @@ impl TraceReport {
             ),
             String::new(),
         ]);
-        t.render()
+        header + &t.render()
     }
 }
 
@@ -173,12 +183,15 @@ mod tests {
                 row("conv1-with-a-long-name", 1.0, 100),
                 row("act1", 0.5, 40),
             ],
+            backend: "avx2".to_string(),
         };
         let s = report.breakdown();
+        assert!(s.contains("kernel backend: avx2"));
         assert!(s.contains("conv1-with-a-long-name"));
         assert!(s.contains("total"));
         assert!(s.contains("210"), "ntt total = 100+50 + 40+20: {s}");
-        let widths: Vec<usize> = s.lines().map(str::len).collect();
+        // skip the backend line; the table proper starts at line 1
+        let widths: Vec<usize> = s.lines().skip(1).map(str::len).collect();
         assert_eq!(
             widths[0],
             *widths.iter().max().unwrap(),

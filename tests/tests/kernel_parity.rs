@@ -1,0 +1,232 @@
+//! Cross-backend bit-parity for the SIMD kernel layer.
+//!
+//! Every vectorized kernel backend must produce **bit-identical**
+//! outputs to the scalar reference for every workspace modulus size
+//! (26..61-bit NTT primes, including primes near the 2^61 modulus cap
+//! that fall outside the AVX-512 IFMA fast path) and every ring degree
+//! the paper's parameter sets use. The suite drives the pure `*_with`
+//! dispatch variants, so it never touches the process-global backend —
+//! except the he-diff smoke tests at the bottom, which pin the global
+//! backend and are serialized through a mutex.
+
+use ckks_math::kernel::{self, KernelBackend};
+use ckks_math::modring::Modulus;
+use ckks_math::ntt::NttTable;
+use ckks_math::prime::gen_ntt_primes_excluding;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Bit widths covering every modulus class the workspace generates:
+/// small chain primes, the 40/45/50-bit mid-range, and primes near the
+/// 2^61 `MAX_MODULUS_BITS` cap (generic vector path only).
+const BITS: [u32; 6] = [26, 30, 40, 45, 50, 61];
+
+fn vector_backends() -> Vec<KernelBackend> {
+    kernel::available_backends()
+        .into_iter()
+        .filter(|&b| b != KernelBackend::Scalar)
+        .collect()
+}
+
+fn prime_for(bits: u32, n: usize) -> u64 {
+    gen_ntt_primes_excluding(bits, n.max(16), 1, &[])[0]
+}
+
+fn rand_residues(rng: &mut impl Rng, len: usize, bound: u64) -> Vec<u64> {
+    (0..len).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+fn assert_ntt_parity(bits: u32, log_n: u32, seed: u64) {
+    let n = 1usize << log_n;
+    let p = prime_for(bits, n);
+    let table = NttTable::new(n, Modulus::new(p));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let coeffs = rand_residues(&mut rng, n, p);
+
+    let mut reference = coeffs.clone();
+    kernel::ntt_forward_with(KernelBackend::Scalar, &table, &mut reference);
+    for be in vector_backends() {
+        let mut got = coeffs.clone();
+        kernel::ntt_forward_with(be, &table, &mut got);
+        assert_eq!(
+            got, reference,
+            "forward {be:?} vs scalar, {bits}-bit n=2^{log_n}"
+        );
+    }
+
+    // Inverse parity from the (bit-reversed) forward output, plus the
+    // roundtrip identity as an absolute anchor.
+    let mut inv_ref = reference.clone();
+    kernel::ntt_inverse_with(KernelBackend::Scalar, &table, &mut inv_ref);
+    assert_eq!(inv_ref, coeffs, "scalar roundtrip, {bits}-bit n=2^{log_n}");
+    for be in vector_backends() {
+        let mut got = reference.clone();
+        kernel::ntt_inverse_with(be, &table, &mut got);
+        assert_eq!(
+            got, inv_ref,
+            "inverse {be:?} vs scalar, {bits}-bit n=2^{log_n}"
+        );
+    }
+}
+
+#[test]
+fn ntt_parity_across_moduli_and_degrees() {
+    for &bits in &BITS {
+        for log_n in [4u32, 6, 8, 12] {
+            assert_ntt_parity(bits, log_n, u64::from(bits * 100 + log_n));
+        }
+    }
+}
+
+#[test]
+fn ntt_parity_large_ring() {
+    // The paper's production degree tier; one pass per modulus class.
+    for &bits in &[26u32, 50, 61] {
+        assert_ntt_parity(bits, 14, u64::from(bits));
+    }
+}
+
+/// Pointwise kernels: dyadic (Barrett) products, fused Shoup MAC,
+/// scalar Shoup multiply, Barrett slice reduce, and the rescale lift
+/// fusion. Odd lengths exercise the vector tail handling.
+#[test]
+fn pointwise_parity_across_moduli() {
+    for &bits in &BITS {
+        for len in [8usize, 37, 256, 1000, 4096] {
+            let p = prime_for(bits, 16);
+            let m = Modulus::new(p);
+            let q = prime_for(bits, 32); // lift source modulus
+            let mut rng = rand::rngs::StdRng::seed_from_u64(u64::from(bits) * 7 + len as u64);
+            let a = rand_residues(&mut rng, len, p);
+            let b = rand_residues(&mut rng, len, p);
+            let acc = rand_residues(&mut rng, len, p);
+            let wide = rand_residues(&mut rng, len, u64::MAX); // reduce input
+            let lift_src = rand_residues(&mut rng, len, q);
+            let r = rng.gen_range(1..p);
+            let rs = m.shoup(r);
+            let inv = rng.gen_range(1..p);
+            let inv_s = m.shoup(inv);
+
+            let scalar = KernelBackend::Scalar;
+            let mut d_assign = a.clone();
+            kernel::dyadic_mul_assign_with(scalar, &m, &mut d_assign, &b);
+            let mut d_out = vec![0u64; len];
+            kernel::dyadic_mul_with(scalar, &m, &mut d_out, &a, &b);
+            let mut d_acc = acc.clone();
+            kernel::dyadic_mul_acc_with(scalar, &m, &mut d_acc, &a, &b);
+            let mut mac = acc.clone();
+            kernel::fused_mac_shoup_with(scalar, &m, &mut mac, &a, r, rs);
+            let mut scl = a.clone();
+            kernel::mul_scalar_shoup_with(scalar, &m, &mut scl, r, rs);
+            let mut red = vec![0u64; len];
+            kernel::barrett_reduce_slice_with(scalar, &m, &mut red, &wide);
+            let mut lift = acc.clone();
+            kernel::lift_sub_mul_shoup_with(scalar, &m, &mut lift, &lift_src, q, inv, inv_s);
+
+            for be in vector_backends() {
+                let ctx = format!("{be:?}, {bits}-bit, len {len}");
+                let mut got = a.clone();
+                kernel::dyadic_mul_assign_with(be, &m, &mut got, &b);
+                assert_eq!(got, d_assign, "dyadic_mul_assign {ctx}");
+                let mut got = vec![0u64; len];
+                kernel::dyadic_mul_with(be, &m, &mut got, &a, &b);
+                assert_eq!(got, d_out, "dyadic_mul {ctx}");
+                let mut got = acc.clone();
+                kernel::dyadic_mul_acc_with(be, &m, &mut got, &a, &b);
+                assert_eq!(got, d_acc, "dyadic_mul_acc {ctx}");
+                let mut got = acc.clone();
+                kernel::fused_mac_shoup_with(be, &m, &mut got, &a, r, rs);
+                assert_eq!(got, mac, "fused_mac_shoup {ctx}");
+                let mut got = a.clone();
+                kernel::mul_scalar_shoup_with(be, &m, &mut got, r, rs);
+                assert_eq!(got, scl, "mul_scalar_shoup {ctx}");
+                let mut got = vec![0u64; len];
+                kernel::barrett_reduce_slice_with(be, &m, &mut got, &wide);
+                assert_eq!(got, red, "barrett_reduce_slice {ctx}");
+                let mut got = acc.clone();
+                kernel::lift_sub_mul_shoup_with(be, &m, &mut got, &lift_src, q, inv, inv_s);
+                assert_eq!(got, lift, "lift_sub_mul_shoup {ctx}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Randomized NTT parity over the full degree range 2^4..2^14 and
+    // every modulus class, seeds chosen by proptest.
+    #[test]
+    fn prop_ntt_parity(seed in any::<u64>(), bits_ix in 0usize..BITS.len(), log_n in 4u32..15) {
+        assert_ntt_parity(BITS[bits_ix], log_n, seed);
+    }
+
+    // Randomized fused-MAC / dyadic parity with arbitrary lengths
+    // (covering every tail-length class mod the widest lane count).
+    #[test]
+    fn prop_pointwise_parity(
+        seed in any::<u64>(),
+        bits_ix in 0usize..BITS.len(),
+        len in 1usize..600,
+    ) {
+        let p = prime_for(BITS[bits_ix], 16);
+        let m = Modulus::new(p);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = rand_residues(&mut rng, len, p);
+        let b = rand_residues(&mut rng, len, p);
+        let acc = rand_residues(&mut rng, len, p);
+        let r = rng.gen_range(1..p);
+        let rs = m.shoup(r);
+
+        let mut d_ref = a.clone();
+        kernel::dyadic_mul_assign_with(KernelBackend::Scalar, &m, &mut d_ref, &b);
+        let mut mac_ref = acc.clone();
+        kernel::fused_mac_shoup_with(KernelBackend::Scalar, &m, &mut mac_ref, &a, r, rs);
+        for be in vector_backends() {
+            let mut got = a.clone();
+            kernel::dyadic_mul_assign_with(be, &m, &mut got, &b);
+            prop_assert_eq!(&got, &d_ref, "dyadic {:?} len {}", be, len);
+            let mut got = acc.clone();
+            kernel::fused_mac_shoup_with(be, &m, &mut got, &a, r, rs);
+            prop_assert_eq!(&got, &mac_ref, "mac {:?} len {}", be, len);
+        }
+    }
+}
+
+// --- he-diff smoke under pinned global backends -----------------------
+//
+// The differential oracle re-executes full ciphertext op sequences
+// against the bignum reference world; running it under a forced-scalar
+// and an auto-detected backend proves the dispatch layer cannot change
+// observable ciphertext semantics. Pinning the backend is
+// process-global, so these tests share a mutex (same pattern as
+// trace_runtime.rs).
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn diff_smoke() {
+    let ctx = he_diff::preset("micro2").expect("preset").params.build();
+    let report = he_diff::run_sequence(&ctx, 42, 30, &he_diff::DiffConfig::default())
+        .unwrap_or_else(|d| panic!("divergence under {:?}: {d}", kernel::active_backend()));
+    assert_eq!(report.ops, 30);
+}
+
+#[test]
+fn he_diff_smoke_forced_scalar() {
+    let _guard = serial();
+    kernel::set_backend(KernelBackend::Scalar);
+    diff_smoke();
+    kernel::set_backend_auto();
+}
+
+#[test]
+fn he_diff_smoke_auto_backend() {
+    let _guard = serial();
+    kernel::set_backend_auto();
+    diff_smoke();
+}

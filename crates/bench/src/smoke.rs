@@ -68,6 +68,16 @@ pub struct ServeSmoke {
     pub wall_median_s: f64,
     /// Median `batch_wall / batch_size` reported by the engine.
     pub amortized_median_s: f64,
+    /// Queue-residency quantiles over every batched request of the
+    /// whole component (from the engine's bounded histograms; 0 when
+    /// nothing was recorded). Informational — not gated, walls here
+    /// are scheduling noise, not circuit cost.
+    pub queue_wait_p50_s: f64,
+    pub queue_wait_p95_s: f64,
+    /// Deadline-slack quantiles over completed deadline-carrying
+    /// requests (the smoke requests run under a generous budget).
+    pub deadline_slack_p50_s: f64,
+    pub deadline_slack_p95_s: f64,
     pub ops: OpSnapshot,
     pub serve: ServeSnapshot,
 }
@@ -260,10 +270,17 @@ fn serve_component(runs: usize) -> ServeSmoke {
     let engine =
         ServeEngine::start(cfg, || CnnHePipeline::new(mini_cnn1(12), 1 << 10, 12)).expect("start");
     let img: Vec<f32> = (0..64).map(|i| ((i * 5) % 17) as f32 / 17.0).collect();
+    // generous budget: never sheds on a loaded CI box, but populates
+    // the deadline-slack histogram the JSON reports
+    let budget = Some(std::time::Duration::from_secs(60));
 
     // warm-up batch: lets keys/tables settle and seeds the engine EWMA
     let handles: Vec<_> = (0..SERVE_BATCH)
-        .map(|_| engine.submit(img.clone()).expect("queued"))
+        .map(|_| {
+            engine
+                .submit_with_deadline(img.clone(), budget)
+                .expect("queued")
+        })
         .collect();
     for h in handles {
         h.wait().expect("served");
@@ -281,7 +298,11 @@ fn serve_component(runs: usize) -> ServeSmoke {
             let srv0 = ServeSnapshot::now();
             let t0 = Instant::now();
             let handles: Vec<_> = (0..SERVE_BATCH)
-                .map(|_| engine.submit(img.clone()).expect("queued"))
+                .map(|_| {
+                    engine
+                        .submit_with_deadline(img.clone(), budget)
+                        .expect("queued")
+                })
                 .collect();
             let results: Vec<_> = handles
                 .into_iter()
@@ -315,12 +336,19 @@ fn serve_component(runs: usize) -> ServeSmoke {
             break;
         }
     }
-    engine.shutdown();
+    let report = engine.shutdown();
+    let q = |ls: &Option<cnn_he::LatencyStats>, pick: fn(&cnn_he::LatencyStats) -> f64| {
+        ls.as_ref().map_or(0.0, pick)
+    };
     ServeSmoke {
         runs,
         batch_size: SERVE_BATCH,
         wall_median_s: median(&mut walls),
         amortized_median_s: median(&mut amortized),
+        queue_wait_p50_s: q(&report.queue_wait, |l| l.p50),
+        queue_wait_p95_s: q(&report.queue_wait, |l| l.p95),
+        deadline_slack_p50_s: q(&report.deadline_slack, |l| l.p50),
+        deadline_slack_p95_s: q(&report.deadline_slack, |l| l.p95),
         ops: per_run_ops.unwrap_or_default(),
         serve: per_run_serve.unwrap_or_default(),
     }
@@ -397,12 +425,16 @@ impl SmokeReport {
     pub fn serve_json(&self) -> String {
         let s = &self.serve;
         format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"serve\",\n  \"backend\": \"{}\",\n  \"runs\": {},\n  \"batch_size\": {},\n  \"wall_median_s\": {:.6},\n  \"amortized_median_s\": {:.6},\n  \"ops\": {},\n  \"serve\": {}\n}}\n",
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"serve\",\n  \"backend\": \"{}\",\n  \"runs\": {},\n  \"batch_size\": {},\n  \"wall_median_s\": {:.6},\n  \"amortized_median_s\": {:.6},\n  \"queue_wait_p50_s\": {:.6},\n  \"queue_wait_p95_s\": {:.6},\n  \"deadline_slack_p50_s\": {:.6},\n  \"deadline_slack_p95_s\": {:.6},\n  \"ops\": {},\n  \"serve\": {}\n}}\n",
             self.backend,
             s.runs,
             s.batch_size,
             s.wall_median_s,
             s.amortized_median_s,
+            s.queue_wait_p50_s,
+            s.queue_wait_p95_s,
+            s.deadline_slack_p50_s,
+            s.deadline_slack_p95_s,
             json_ops(&s.ops, "  "),
             json_serve_counters(&s.serve, "  ")
         )
@@ -431,7 +463,10 @@ fn check_schema(v: &Value, kind: &str) -> Result<(), String> {
 }
 
 /// Compares an op-count object exactly (host-independent circuit
-/// structure: any drift is a real change, not noise).
+/// structure: any drift is a real change, not noise). Keys the
+/// baseline does not know — a fresh counter added after the baseline
+/// was committed, or vice versa — are noted but never fail the gate,
+/// so baselines and binaries can evolve independently by one PR.
 fn diff_counter_object(
     label: &str,
     baseline: &Value,
@@ -444,7 +479,9 @@ fn diff_counter_object(
             Some(base) => problems.push(format!(
                 "{label}.{key}: op count changed {base} -> {fresh_val} (exact match required)"
             )),
-            None => problems.push(format!("{label}.{key}: missing from baseline")),
+            None => {
+                eprintln!("[bench] note: {label}.{key} not in baseline (new counter?); skipping");
+            }
         }
     }
 }
@@ -565,6 +602,10 @@ mod tests {
                 batch_size: 4,
                 wall_median_s: 0.200,
                 amortized_median_s: 0.050,
+                queue_wait_p50_s: 0.001,
+                queue_wait_p95_s: 0.002,
+                deadline_slack_p50_s: 59.0,
+                deadline_slack_p95_s: 59.5,
                 ops: serve_ops,
                 serve: srv,
             },
@@ -613,6 +654,26 @@ mod tests {
         ok.layers[0].wall_median_s = 0.002; // faster is always fine
         ok.serve.wall_median_s = 0.200 * 1.4; // within x1.5
         assert!(check_against_baseline(&ok, &layers, &serve).is_empty());
+    }
+
+    #[test]
+    fn gate_ignores_unknown_fields_in_either_direction() {
+        let r = fake_report();
+        // baseline with extra top-level and nested fields the current
+        // binary doesn't know about: must be ignored, not fatal
+        let serve = r
+            .serve_json()
+            .replace("\"runs\": 3,", "\"runs\": 3,\n  \"future_field\": 1.25,");
+        let layers = r
+            .layers_json()
+            .replace("\"runs\": 3,", "\"runs\": 3,\n      \"future_field\": 7,");
+        let problems = check_against_baseline(&r, &layers, &serve);
+        assert!(problems.is_empty(), "{problems:?}");
+        // fresh counters missing from an older baseline: noted on
+        // stderr, never a gate failure
+        let old_serve = r.serve_json().replace("\"ct_mults\": 7,\n", "");
+        let problems = check_against_baseline(&r, &r.layers_json(), &old_serve);
+        assert!(problems.is_empty(), "{problems:?}");
     }
 
     #[test]

@@ -225,6 +225,9 @@ impl CnnHePipeline {
             &trace.layers,
             &self.lower_to_ir(),
         ));
+        // publish the measured level/headroom trajectory as live gauges
+        // (no-op unless the `metrics` feature is on)
+        trace.export_gauges();
         let logits = decrypt_tensor(&self.ev, &self.sk, &logits_ct, images.len());
         let predictions = logits
             .iter()
@@ -470,7 +473,7 @@ mod tests {
             assert!(l.ops.rescales >= 1, "{} recorded no rescale", l.name);
         }
         // … and the chrome export round-trips the validator
-        let json = trace.chrome_json();
+        let json = trace.chrome_json().expect("span timestamps must be finite");
         let n = he_trace::validate_chrome_json(&json).expect("invalid chrome trace");
         assert_eq!(n, trace.events.len());
         assert!(!trace.folded_stacks().is_empty());

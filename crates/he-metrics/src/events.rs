@@ -1,0 +1,381 @@
+//! Bounded per-request event log with JSONL serialization.
+//!
+//! One [`Event`] per lifecycle step (`enqueue` → `batch` → `exec` →
+//! `complete`/`shed`), each carrying the request/batch ids that stitch
+//! a request's story together and a flat list of numeric fields
+//! (deadline slack, queue wait, HE op deltas, …). The log is a fixed-
+//! capacity ring: when full, the oldest event is dropped and a counter
+//! bumped, so a long-running server holds memory constant and the
+//! tail of recent traffic stays explainable.
+//!
+//! Serialization is line-oriented JSON (`to_jsonl`); [`parse_line`]
+//! is the strict inverse used by round-trip tests and CI validation.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Lifecycle step an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Request admitted into the queue.
+    Enqueue,
+    /// Batch coalesced and dispatched to the worker pool.
+    Batch,
+    /// Batch executed (wall time + HE op deltas).
+    Exec,
+    /// Request answered successfully.
+    Complete,
+    /// Request shed (deadline passed before or during execution).
+    Shed,
+}
+
+impl EventKind {
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Enqueue => "enqueue",
+            EventKind::Batch => "batch",
+            EventKind::Exec => "exec",
+            EventKind::Complete => "complete",
+            EventKind::Shed => "shed",
+        }
+    }
+
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "enqueue" => Some(EventKind::Enqueue),
+            "batch" => Some(EventKind::Batch),
+            "exec" => Some(EventKind::Exec),
+            "complete" => Some(EventKind::Complete),
+            "shed" => Some(EventKind::Shed),
+            _ => None,
+        }
+    }
+}
+
+/// One structured event. Field names are static (the writer owns the
+/// vocabulary); values are numeric — integers survive the `f64`
+/// round-trip exactly below 2^53.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Microseconds since the log's owner started.
+    pub ts_us: u64,
+    pub kind: EventKind,
+    pub request: Option<u64>,
+    pub batch: Option<u64>,
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+impl Event {
+    /// Canonical single-line JSON: `ts_us`, `kind`, then `request` /
+    /// `batch` when present, then fields in insertion order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"ts_us\":");
+        out.push_str(&self.ts_us.to_string());
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push('"');
+        if let Some(r) = self.request {
+            out.push_str(",\"request\":");
+            out.push_str(&r.to_string());
+        }
+        if let Some(b) = self.batch {
+            out.push_str(",\"batch\":");
+            out.push_str(&b.to_string());
+        }
+        for (k, v) in &self.fields {
+            out.push_str(",\"");
+            out.push_str(k);
+            out.push_str("\":");
+            out.push_str(&fmt_num(*v));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Shortest-round-trip numeric formatting; integral values print
+/// without a fractional part, matching the parser's expectations.
+fn fmt_num(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Fixed-capacity ring of events.
+pub struct EventLog {
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl EventLog {
+    /// `capacity` must be at least 1.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "event log capacity must be >= 1");
+        Self {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Append, evicting the oldest event when full.
+    pub fn push(&self, event: Event) {
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Events evicted so far (ring overflow).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owned copy of the current ring contents, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The whole ring as JSON Lines (one event per line, oldest first).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.snapshot() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An event read back from JSONL. Mirrors [`Event`] with owned keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvent {
+    pub ts_us: u64,
+    pub kind: String,
+    pub request: Option<u64>,
+    pub batch: Option<u64>,
+    pub fields: Vec<(String, f64)>,
+}
+
+impl ParsedEvent {
+    /// Re-serialize in the writer's canonical form; equal to the
+    /// original line for any line [`Event::to_json`] produced.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"ts_us\":");
+        out.push_str(&self.ts_us.to_string());
+        out.push_str(",\"kind\":\"");
+        out.push_str(&self.kind);
+        out.push('"');
+        if let Some(r) = self.request {
+            out.push_str(",\"request\":");
+            out.push_str(&r.to_string());
+        }
+        if let Some(b) = self.batch {
+            out.push_str(",\"batch\":");
+            out.push_str(&b.to_string());
+        }
+        for (k, v) in &self.fields {
+            out.push_str(",\"");
+            out.push_str(k);
+            out.push_str("\":");
+            out.push_str(&fmt_num(*v));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Strictly parse one JSONL event line (flat object, string or
+/// numeric values, no nesting).
+pub fn parse_line(line: &str) -> Result<ParsedEvent, String> {
+    let body = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {line:?}"))?;
+    let mut ts_us = None;
+    let mut kind = None;
+    let mut request = None;
+    let mut batch = None;
+    let mut fields = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+        let after_quote = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected quoted key at {rest:?}"))?;
+        let key_end = after_quote
+            .find('"')
+            .ok_or_else(|| format!("unterminated key at {rest:?}"))?;
+        let key = &after_quote[..key_end];
+        let after_key = after_quote[key_end + 1..]
+            .strip_prefix(':')
+            .ok_or_else(|| format!("missing ':' after key {key:?}"))?;
+        let (value_str, remainder) = if let Some(s) = after_key.strip_prefix('"') {
+            let end = s
+                .find('"')
+                .ok_or_else(|| format!("unterminated string value for {key:?}"))?;
+            (ValueToken::Str(&s[..end]), &s[end + 1..])
+        } else {
+            let end = after_key.find(',').unwrap_or(after_key.len());
+            (ValueToken::Num(&after_key[..end]), &after_key[end..])
+        };
+        match (key, value_str) {
+            ("ts_us", ValueToken::Num(n)) => ts_us = Some(parse_u64(n, "ts_us")?),
+            ("kind", ValueToken::Str(s)) => {
+                EventKind::parse(s).ok_or_else(|| format!("unknown kind {s:?}"))?;
+                kind = Some(s.to_string());
+            }
+            ("request", ValueToken::Num(n)) => request = Some(parse_u64(n, "request")?),
+            ("batch", ValueToken::Num(n)) => batch = Some(parse_u64(n, "batch")?),
+            (_, ValueToken::Num(n)) => {
+                let v: f64 = n
+                    .parse()
+                    .map_err(|e| format!("bad number for {key:?}: {e}"))?;
+                if !v.is_finite() {
+                    return Err(format!("non-finite value for {key:?}"));
+                }
+                fields.push((key.to_string(), v));
+            }
+            (_, ValueToken::Str(s)) => {
+                return Err(format!("unexpected string value {s:?} for key {key:?}"))
+            }
+        }
+        rest = remainder;
+    }
+    Ok(ParsedEvent {
+        ts_us: ts_us.ok_or("missing ts_us")?,
+        kind: kind.ok_or("missing kind")?,
+        request,
+        batch,
+        fields,
+    })
+}
+
+enum ValueToken<'a> {
+    Str(&'a str),
+    Num(&'a str),
+}
+
+fn parse_u64(s: &str, key: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|e| format!("bad integer for {key:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                ts_us: 12,
+                kind: EventKind::Enqueue,
+                request: Some(1),
+                batch: None,
+                fields: vec![("budget_us", 250_000.0)],
+            },
+            Event {
+                ts_us: 900,
+                kind: EventKind::Batch,
+                request: None,
+                batch: Some(1),
+                fields: vec![("size", 3.0), ("linger_us", 888.0)],
+            },
+            Event {
+                ts_us: 5_000,
+                kind: EventKind::Complete,
+                request: Some(1),
+                batch: Some(1),
+                fields: vec![("latency_us", 4_988.0), ("slack_us", 245_012.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let log = EventLog::new(16);
+        for e in sample_events() {
+            log.push(e);
+        }
+        let jsonl = log.to_jsonl();
+        for line in jsonl.lines() {
+            let parsed = parse_line(line).expect("line must parse");
+            assert_eq!(parsed.to_json(), line, "round-trip mismatch");
+        }
+        assert_eq!(jsonl.lines().count(), 3);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let log = EventLog::new(2);
+        for i in 0..5 {
+            log.push(Event {
+                ts_us: i,
+                kind: EventKind::Enqueue,
+                request: Some(i),
+                batch: None,
+                fields: vec![],
+            });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let snap = log.snapshot();
+        // Oldest evicted first: the survivors are the newest two.
+        assert_eq!(snap[0].ts_us, 3);
+        assert_eq!(snap[1].ts_us, 4);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{\"kind\":\"enqueue\"}").is_err()); // missing ts_us
+        assert!(parse_line("{\"ts_us\":1}").is_err()); // missing kind
+        assert!(parse_line("{\"ts_us\":1,\"kind\":\"warp\"}").is_err()); // unknown kind
+        assert!(parse_line("{\"ts_us\":1,\"kind\":\"exec\",\"x\":\"y\"}").is_err());
+    }
+
+    #[test]
+    fn integral_fields_survive_f64_round_trip() {
+        let e = Event {
+            ts_us: 1,
+            kind: EventKind::Exec,
+            request: None,
+            batch: Some(9),
+            fields: vec![("ntt", 123_456_789.0), ("wall_us", 0.5)],
+        };
+        let parsed = parse_line(&e.to_json()).unwrap();
+        assert_eq!(parsed.to_json(), e.to_json());
+        assert_eq!(parsed.fields[0], ("ntt".to_string(), 123_456_789.0));
+        assert_eq!(parsed.fields[1], ("wall_us".to_string(), 0.5));
+    }
+}

@@ -1,0 +1,84 @@
+//! # he-metrics — live metrics for the encrypted-CNN serving stack
+//!
+//! Zero-dependency pull-based telemetry: where he-trace answers "what
+//! happened" after a run (counters, chrome traces), this crate answers
+//! "what is happening" while the server is up — queue pressure,
+//! deadline slack, per-layer noise headroom — scrapeable the way
+//! production fleets expect (Prometheus text exposition over HTTP).
+//!
+//! Pieces:
+//! - [`Registry`]: named families of typed instruments — monotonic
+//!   [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s
+//!   ([`hist`]) with lock-free `record()` — rendered to the
+//!   Prometheus text format.
+//! - [`expo`]: a strict parser for that format, so round-trip tests
+//!   and CI can validate live scrapes with no external tooling.
+//! - [`MetricsServer`] ([`http`]): a minimal `/metrics` + `/health`
+//!   endpoint on `std::net::TcpListener`.
+//! - [`events`]: a bounded JSONL per-request event log ring.
+//!
+//! ## Zero-cost gating
+//!
+//! The core types are always available for explicit use (an engine
+//! owns its registry). The **process-global** facade — [`global()`]
+//! and the [`gauge_set`] / [`counter_add`] helpers used by call sites
+//! that have no registry to hand (e.g. per-layer noise gauges in
+//! traced inference) — is gated behind the `enabled` feature,
+//! following the he-trace pattern: with the feature off every helper
+//! is an empty `#[inline]` function and instrumented call sites
+//! compile to nothing.
+
+#![forbid(unsafe_code)]
+
+pub mod events;
+pub mod expo;
+pub mod hist;
+pub mod http;
+pub mod registry;
+
+pub use http::MetricsServer;
+pub use registry::{Counter, Gauge, Histogram, Kind, Registry};
+
+#[cfg(feature = "enabled")]
+use std::sync::{Arc, OnceLock};
+
+/// The process-global registry (for metrics exported outside any
+/// engine). Only exists with the `enabled` feature.
+#[cfg(feature = "enabled")]
+#[must_use]
+pub fn global() -> Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(Registry::new())))
+}
+
+/// Set a gauge on the global registry. No-op (and no global registry
+/// is ever created) unless the `enabled` feature is on.
+#[inline]
+pub fn gauge_set(name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+    #[cfg(feature = "enabled")]
+    global().gauge_with(name, help, labels).set(value);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, help, labels, value);
+}
+
+/// Add to a counter on the global registry. No-op unless the
+/// `enabled` feature is on.
+#[inline]
+pub fn counter_add(name: &str, help: &str, labels: &[(&str, &str)], by: u64) {
+    #[cfg(feature = "enabled")]
+    global().counter_with(name, help, labels).inc(by);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, help, labels, by);
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod global_tests {
+    #[test]
+    fn global_facade_registers_and_renders() {
+        super::gauge_set("lib_test_gauge", "Test gauge.", &[("k", "v")], 2.5);
+        super::counter_add("lib_test_total", "Test counter.", &[], 3);
+        let text = super::global().render();
+        assert!(text.contains("lib_test_gauge{k=\"v\"} 2.5"));
+        assert!(text.contains("lib_test_total 3"));
+    }
+}

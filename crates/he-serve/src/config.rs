@@ -1,6 +1,7 @@
 //! Engine tuning knobs.
 
 use cnn_he::ExecMode;
+use std::net::SocketAddr;
 use std::time::Duration;
 
 /// Configuration of a [`crate::ServeEngine`].
@@ -34,6 +35,17 @@ pub struct ServeConfig {
     /// deadline, retry batching at half the coalescing ceiling (floor
     /// 1), recovering multiplicatively on clean batches.
     pub degrade_on_overrun: bool,
+    /// Bind address for the live `/metrics` + `/health` HTTP endpoint
+    /// (`127.0.0.1:0` picks a free port; read it back via
+    /// [`crate::ServeEngine::metrics_addr`]). `None` = no endpoint.
+    /// Requires the `metrics` feature; with the feature compiled out,
+    /// `start` fails with [`crate::ServeError::MetricsUnavailable`]
+    /// rather than silently serving nothing.
+    pub metrics_addr: Option<SocketAddr>,
+    /// Capacity of the per-request JSONL event log ring (`0` = no
+    /// event log). Oldest events are evicted when full, so memory
+    /// stays constant however long the engine runs.
+    pub event_log_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +59,8 @@ impl Default for ServeConfig {
             default_deadline: None,
             ewma_alpha: 0.3,
             degrade_on_overrun: true,
+            metrics_addr: None,
+            event_log_capacity: 0,
         }
     }
 }

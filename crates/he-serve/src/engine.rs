@@ -32,11 +32,12 @@
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
+use crate::metrics::EngineMetrics;
 use crate::queue::{BoundedQueue, Pop, TryPush};
 use crate::response::{response_pair, ResponseHandle, ServeResult};
 use crate::stats::{ServeReport, StatsCore};
 use cnn_he::{CnnHePipeline, WallEwma};
-use he_trace::cats;
+use he_trace::{cats, OpSnapshot};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -46,6 +47,9 @@ use std::time::{Duration, Instant};
 const TICK: Duration = Duration::from_millis(10);
 
 struct Request {
+    /// Engine-assigned id threading this request through the metrics
+    /// event log (0 with metrics compiled out).
+    id: u64,
     image: Vec<f32>,
     submitted: Instant,
     deadline: Option<Instant>,
@@ -53,10 +57,19 @@ struct Request {
     responder: crate::response::Responder,
 }
 
+/// A coalesced unit of work handed from the batcher to a worker.
+struct Batch {
+    /// Engine-assigned id tying exec/complete/shed events to their
+    /// batch event (0 with metrics compiled out).
+    id: u64,
+    requests: Vec<Request>,
+}
+
 struct Shared {
     queue: BoundedQueue<Request>,
-    batches: BoundedQueue<Vec<Request>>,
+    batches: BoundedQueue<Batch>,
     stats: StatsCore,
+    metrics: EngineMetrics,
     /// Current coalescing ceiling (degradation ladder state).
     effective_max_batch: AtomicUsize,
     /// Configured ceiling the ladder recovers toward.
@@ -90,6 +103,8 @@ pub struct ServeEngine {
     default_deadline: Option<Duration>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    #[cfg(feature = "metrics")]
+    metrics_server: Option<he_metrics::MetricsServer>,
 }
 
 impl ServeEngine {
@@ -121,12 +136,32 @@ impl ServeEngine {
             // request queue instead of piling up unexecuted batches
             batches: BoundedQueue::new(cfg.workers * 2),
             stats: StatsCore::default(),
+            metrics: EngineMetrics::new(&cfg, max_batch_cap),
             effective_max_batch: AtomicUsize::new(max_batch_cap),
             max_batch_cap,
             ewma: Mutex::new(WallEwma::new(cfg.ewma_alpha)),
             max_linger: cfg.max_linger,
             degrade_on_overrun: cfg.degrade_on_overrun,
         });
+
+        // bind the /metrics endpoint before any thread spawns, so a
+        // failed bind aborts start-up cleanly instead of leaking
+        // workers behind an error return
+        #[cfg(feature = "metrics")]
+        let metrics_server = match cfg.metrics_addr {
+            Some(addr) => Some(shared.metrics.start_server(addr).map_err(|e| {
+                ServeError::MetricsUnavailable {
+                    reason: format!("bind {addr}: {e}"),
+                }
+            })?),
+            None => None,
+        };
+        #[cfg(not(feature = "metrics"))]
+        if cfg.metrics_addr.is_some() {
+            return Err(ServeError::MetricsUnavailable {
+                reason: "engine built without the `metrics` feature".into(),
+            });
+        }
 
         let batcher = {
             let sh = Arc::clone(&shared);
@@ -164,6 +199,8 @@ impl ServeEngine {
             default_deadline: cfg.default_deadline,
             batcher: Some(batcher),
             workers,
+            #[cfg(feature = "metrics")]
+            metrics_server,
         })
     }
 
@@ -187,6 +224,7 @@ impl ServeEngine {
         if image.len() != self.input_len {
             he_trace::record_serve_rejected(1);
             StatsCore::bump(&self.shared.stats.rejected, 1);
+            self.shared.metrics.on_rejected();
             return Err(ServeError::Rejected {
                 reason: format!(
                     "image has {} pixels, network expects {}",
@@ -197,7 +235,9 @@ impl ServeEngine {
         }
         let now = Instant::now();
         let (handle, responder) = response_pair();
+        let id = self.shared.metrics.next_request_id();
         let request = Request {
+            id,
             image,
             submitted: now,
             deadline: budget.map(|b| now + b),
@@ -207,11 +247,15 @@ impl ServeEngine {
         match self.shared.queue.try_push(request) {
             TryPush::Ok => {
                 he_trace::record_serve_enqueue(1);
+                self.shared
+                    .metrics
+                    .on_enqueue(id, budget, self.shared.queue.len());
                 Ok(handle)
             }
             TryPush::Full(_refused) => {
                 he_trace::record_serve_overloaded(1);
                 StatsCore::bump(&self.shared.stats.overloaded, 1);
+                self.shared.metrics.on_overloaded();
                 Err(ServeError::Overloaded {
                     capacity: self.shared.queue.capacity(),
                 })
@@ -233,6 +277,38 @@ impl ServeEngine {
     /// Current coalescing ceiling (the degradation ladder's state).
     pub fn effective_max_batch(&self) -> usize {
         self.shared.effective_max_batch.load(Ordering::Relaxed)
+    }
+
+    /// Socket address the live `/metrics` endpoint is bound to, when
+    /// [`ServeConfig::metrics_addr`] asked for one (lets callers
+    /// recover the port after binding `127.0.0.1:0`). Always `None`
+    /// with the `metrics` feature compiled out.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        #[cfg(feature = "metrics")]
+        {
+            self.metrics_server
+                .as_ref()
+                .map(he_metrics::MetricsServer::local_addr)
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            None
+        }
+    }
+
+    /// The per-request event log as JSONL, one event per line in
+    /// arrival order (empty without the `metrics` feature or with
+    /// [`ServeConfig::event_log_capacity`] = 0).
+    #[must_use]
+    pub fn events_jsonl(&self) -> String {
+        self.shared.metrics.events_jsonl()
+    }
+
+    /// Events evicted from the bounded event-log ring so far.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.shared.metrics.events_dropped()
     }
 
     /// Point-in-time serving metrics.
@@ -276,8 +352,9 @@ fn batcher_loop(shared: &Shared) {
             // closed AND drained — every queued request has been batched
             Pop::Closed => return,
             Pop::Item(first) => {
+                let opened = Instant::now();
                 let batch = coalesce(shared, first);
-                dispatch(shared, batch);
+                dispatch(shared, batch, opened.elapsed());
             }
         }
     }
@@ -314,14 +391,25 @@ fn coalesce(shared: &Shared, first: Request) -> Vec<Request> {
     batch
 }
 
-fn dispatch(shared: &Shared, batch: Vec<Request>) {
+fn dispatch(shared: &Shared, requests: Vec<Request>, linger: Duration) {
     he_trace::record_serve_batch(1);
-    he_trace::record_serve_batched_images(batch.len() as u64);
+    he_trace::record_serve_batched_images(requests.len() as u64);
     StatsCore::bump(&shared.stats.batches, 1);
-    StatsCore::bump(&shared.stats.batched_images, batch.len() as u64);
+    StatsCore::bump(&shared.stats.batched_images, requests.len() as u64);
+    let now = Instant::now();
+    let waits: Vec<Duration> = requests
+        .iter()
+        .map(|r| now.duration_since(r.submitted))
+        .collect();
+    for w in &waits {
+        shared.stats.record_queue_wait(*w);
+    }
+    let id = shared
+        .metrics
+        .on_batch(requests.len(), linger, &waits, shared.queue.len());
     // a refused push (engine tearing down without drain) drops the
     // batch; each responder resolves its client with ShuttingDown
-    let _ = shared.batches.push_wait(batch);
+    let _ = shared.batches.push_wait(Batch { id, requests });
 }
 
 fn worker_loop(shared: &Shared, pipe: &mut CnnHePipeline) {
@@ -334,24 +422,27 @@ fn worker_loop(shared: &Shared, pipe: &mut CnnHePipeline) {
     }
 }
 
-fn respond_timeout(shared: &Shared, request: Request, at: Instant) {
+fn respond_timeout(shared: &Shared, request: Request, at: Instant, batch: Option<u64>) {
     he_trace::record_serve_timeout(1);
     StatsCore::bump(&shared.stats.timed_out, 1);
     let waited = at.duration_since(request.submitted);
+    let late_by = request.deadline.map(|d| at.saturating_duration_since(d));
+    shared.metrics.on_shed(request.id, batch, waited, late_by);
     request.responder.send(Err(ServeError::DeadlineExceeded {
         deadline: request.budget.unwrap_or_default(),
         waited,
     }));
 }
 
-fn execute_batch(shared: &Shared, pipe: &mut CnnHePipeline, batch: Vec<Request>) {
+fn execute_batch(shared: &Shared, pipe: &mut CnnHePipeline, batch: Batch) {
     let _span = he_trace::span("batch_execute", cats::SERVE);
+    let Batch { id, requests } = batch;
     // 1. shed already-expired requests without spending HE work
     let now = Instant::now();
-    let mut live = Vec::with_capacity(batch.len());
-    for r in batch {
+    let mut live = Vec::with_capacity(requests.len());
+    for r in requests {
         match r.deadline {
-            Some(d) if d <= now => respond_timeout(shared, r, now),
+            Some(d) if d <= now => respond_timeout(shared, r, now, Some(id)),
             _ => live.push(r),
         }
     }
@@ -361,11 +452,15 @@ fn execute_batch(shared: &Shared, pipe: &mut CnnHePipeline, batch: Vec<Request>)
 
     // 2. one slot-packed encrypted run for the whole batch
     let images: Vec<&[f32]> = live.iter().map(|r| r.image.as_slice()).collect();
+    let ops_before = OpSnapshot::now();
     let t0 = Instant::now();
     let cls = pipe.classify(&images);
     let wall = t0.elapsed();
     shared.observe_wall(wall);
     let n = live.len();
+    shared
+        .metrics
+        .on_exec(id, n, wall, &OpSnapshot::now().delta(&ops_before));
     let amortized = wall / u32::try_from(n).unwrap_or(u32::MAX);
     shared.stats.record_amortized(amortized);
 
@@ -377,13 +472,18 @@ fn execute_batch(shared: &Shared, pipe: &mut CnnHePipeline, batch: Vec<Request>)
             if d < end {
                 // completed too late: typed timeout, never a stale answer
                 overran = true;
-                respond_timeout(shared, r, end);
+                respond_timeout(shared, r, end, Some(id));
                 continue;
             }
         }
         let latency = end.duration_since(r.submitted);
+        let slack = r.deadline.map(|d| d.duration_since(end));
+        if let Some(s) = slack {
+            shared.stats.record_deadline_slack(s);
+        }
         shared.stats.record_latency(latency);
         StatsCore::bump(&shared.stats.completed, 1);
+        shared.metrics.on_complete(r.id, id, slack, latency);
         r.responder.send(Ok(ServeResult {
             logits: cls.logits[i].clone(),
             prediction: cls.predictions[i],
@@ -408,18 +508,18 @@ fn adjust_ceiling(shared: &Shared, overran: bool) {
         }
         let cur = shared.effective_max_batch.load(Ordering::Relaxed);
         if cur > 1 {
-            shared
-                .effective_max_batch
-                .store((cur / 2).max(1), Ordering::Relaxed);
+            let next = (cur / 2).max(1);
+            shared.effective_max_batch.store(next, Ordering::Relaxed);
             he_trace::record_serve_degraded(1);
             StatsCore::bump(&shared.stats.degradations, 1);
+            shared.metrics.on_ladder(next, true);
         }
     } else {
         let cur = shared.effective_max_batch.load(Ordering::Relaxed);
         if cur < shared.max_batch_cap {
-            shared
-                .effective_max_batch
-                .store((cur * 2).min(shared.max_batch_cap), Ordering::Relaxed);
+            let next = (cur * 2).min(shared.max_batch_cap);
+            shared.effective_max_batch.store(next, Ordering::Relaxed);
+            shared.metrics.on_ladder(next, false);
         }
     }
 }
@@ -483,9 +583,14 @@ mod tests {
         assert_eq!(res.logits.len(), 4);
         assert!(res.batch_size >= 1);
         assert!(res.amortized <= res.batch_wall);
+        // bounded summaries keep exact counts: one latency sample per
+        // completed request, no sampling or truncation
+        assert_eq!(eng.shared.stats.latency_samples(), 1);
         let report = eng.shutdown();
         assert_eq!(report.completed, 1);
         assert_eq!(report.batches, 1);
+        let qw = report.queue_wait.expect("queue wait recorded");
+        assert!(qw.p95 >= 0.0 && qw.p95 < 60.0, "{qw:?}");
     }
 
     #[test]
@@ -547,6 +652,7 @@ mod tests {
             queue: BoundedQueue::new(1),
             batches: BoundedQueue::new(1),
             stats: StatsCore::default(),
+            metrics: EngineMetrics::new(&ServeConfig::default(), 8),
             effective_max_batch: AtomicUsize::new(8),
             max_batch_cap: 8,
             ewma: Mutex::new(WallEwma::new(0.5)),

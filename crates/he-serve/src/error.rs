@@ -23,6 +23,10 @@ pub enum ServeError {
     /// The engine is shutting down (or the request's batch was dropped
     /// mid-shutdown) and no result will be produced.
     ShuttingDown,
+    /// [`crate::ServeConfig::metrics_addr`] was set but the live
+    /// `/metrics` endpoint could not be provided: the bind failed, or
+    /// the engine was built without the `metrics` feature.
+    MetricsUnavailable { reason: String },
 }
 
 impl std::fmt::Display for ServeError {
@@ -39,6 +43,9 @@ impl std::fmt::Display for ServeError {
                 waited.as_secs_f64()
             ),
             ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
+            ServeError::MetricsUnavailable { reason } => {
+                write!(f, "metrics endpoint unavailable: {reason}")
+            }
         }
     }
 }

@@ -41,6 +41,7 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub(crate) mod metrics;
 pub mod queue;
 pub mod response;
 pub mod stats;

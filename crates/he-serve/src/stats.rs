@@ -4,11 +4,56 @@
 //! neighbouring engine's traffic); the process-global
 //! [`he_trace::ServeSnapshot`] counters are bumped alongside for trace
 //! attribution.
+//!
+//! Latency-style samples go into bounded log-bucketed histograms
+//! ([`he_metrics::hist`]) rather than the unbounded `Vec<f64>` earlier
+//! versions accumulated: a server that runs for weeks holds the same
+//! few KiB per summary, at the cost of ≤ 12.5% quantile error (count,
+//! min, max and mean stay exact).
 
 use cnn_he::LatencyStats;
+use he_metrics::hist::HistogramCore;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
+
+/// Bounded latency summary: a microsecond-tick histogram standing in
+/// for the exact sample list.
+#[derive(Default)]
+pub(crate) struct DurationSummary {
+    hist: HistogramCore,
+}
+
+impl DurationSummary {
+    pub fn record(&self, d: Duration) {
+        self.hist
+            .record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far (exact).
+    #[cfg(test)]
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Reconstruct [`LatencyStats`] (seconds) from the histogram:
+    /// min/max/avg are exact, p50/p95 carry the bucket's ≤ 12.5%
+    /// relative error, std-dev comes from the exact sum of squares.
+    pub fn stats(&self) -> Option<LatencyStats> {
+        let s = self.hist.snapshot();
+        if s.count == 0 {
+            return None;
+        }
+        const TO_S: f64 = 1e-6;
+        Some(LatencyStats {
+            min: s.min as f64 * TO_S,
+            max: s.max as f64 * TO_S,
+            avg: s.mean()? * TO_S,
+            p50: s.quantile_ticks(0.50)? as f64 * TO_S,
+            p95: s.quantile_ticks(0.95)? as f64 * TO_S,
+            std_dev: s.std_dev()? * TO_S,
+        })
+    }
+}
 
 /// Shared mutable metric sink (one per engine).
 #[derive(Default)]
@@ -21,10 +66,15 @@ pub(crate) struct StatsCore {
     pub batches: AtomicU64,
     pub batched_images: AtomicU64,
     pub degradations: AtomicU64,
-    /// Completed-request latencies, seconds.
-    latencies: Mutex<Vec<f64>>,
-    /// Per-batch amortized per-image wall, seconds.
-    amortized: Mutex<Vec<f64>>,
+    /// Completed-request submit → response latencies.
+    latencies: DurationSummary,
+    /// Per-batch amortized per-image wall.
+    amortized: DurationSummary,
+    /// Queue residency of every batched request (pop-to-dispatch).
+    queue_wait: DurationSummary,
+    /// Deadline slack of completed deadline-carrying requests
+    /// (deadline − completion; never negative — overruns time out).
+    deadline_slack: DurationSummary,
 }
 
 impl StatsCore {
@@ -33,30 +83,29 @@ impl StatsCore {
     }
 
     pub fn record_latency(&self, latency: Duration) {
-        self.latencies
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(latency.as_secs_f64());
+        self.latencies.record(latency);
     }
 
     pub fn record_amortized(&self, per_image: Duration) {
-        self.amortized
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(per_image.as_secs_f64());
+        self.amortized.record(per_image);
+    }
+
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record(wait);
+    }
+
+    pub fn record_deadline_slack(&self, slack: Duration) {
+        self.deadline_slack.record(slack);
+    }
+
+    /// Exact number of latency samples recorded (parity check against
+    /// the `completed` counter in tests).
+    #[cfg(test)]
+    pub fn latency_samples(&self) -> u64 {
+        self.latencies.count()
     }
 
     pub fn snapshot(&self, queue_depth: usize, effective_max_batch: usize) -> ServeReport {
-        let latencies = self
-            .latencies
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone();
-        let amortized = self
-            .amortized
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone();
         ServeReport {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -68,8 +117,10 @@ impl StatsCore {
             degradations: self.degradations.load(Ordering::Relaxed),
             queue_depth,
             effective_max_batch,
-            request_latency: LatencyStats::from_secs(&latencies),
-            amortized_per_image: LatencyStats::from_secs(&amortized),
+            request_latency: self.latencies.stats(),
+            amortized_per_image: self.amortized.stats(),
+            queue_wait: self.queue_wait.stats(),
+            deadline_slack: self.deadline_slack.stats(),
             backend: cnn_he::kernel::active_backend().name().to_string(),
         }
     }
@@ -101,6 +152,10 @@ pub struct ServeReport {
     pub request_latency: Option<LatencyStats>,
     /// Per-batch `wall / batch_size` — amortized per-image latency.
     pub amortized_per_image: Option<LatencyStats>,
+    /// Queue residency (submit → batch dispatch) of batched requests.
+    pub queue_wait: Option<LatencyStats>,
+    /// Slack left at completion for deadline-carrying requests.
+    pub deadline_slack: Option<LatencyStats>,
     /// Modular-arithmetic kernel backend the engine ran on
     /// (`scalar`/`avx2`/`avx512`/`neon`).
     pub backend: String,
@@ -163,6 +218,18 @@ impl ServeReport {
                 format!("{:.4} / {:.4}", a.p50, a.p95),
             ]);
         }
+        if let Some(w) = &self.queue_wait {
+            t.row(vec![
+                "queue wait p50/p95 (s)".into(),
+                format!("{:.4} / {:.4}", w.p50, w.p95),
+            ]);
+        }
+        if let Some(s) = &self.deadline_slack {
+            t.row(vec![
+                "deadline slack p50/p95 (s)".into(),
+                format!("{:.4} / {:.4}", s.p50, s.p95),
+            ]);
+        }
         t.render()
     }
 }
@@ -194,14 +261,60 @@ mod tests {
         assert_eq!(r.effective_max_batch, 8);
         assert!((r.mean_batch() - 2.0).abs() < 1e-12);
         let lat = r.request_latency.unwrap();
+        // count/min/max/avg are exact on the histogram summary
         assert!((lat.avg - 0.2).abs() < 1e-9);
+        assert!((lat.min - 0.1).abs() < 1e-9);
+        assert!((lat.max - 0.3).abs() < 1e-9);
         assert!(r.amortized_per_image.is_some());
+    }
+
+    #[test]
+    fn bounded_summary_count_parity_is_exact() {
+        // The histogram replacement for the old Vec<f64> must never
+        // miscount: record N samples, read back exactly N — and keep
+        // memory constant however many samples arrive.
+        let s = DurationSummary::default();
+        let n = 10_000u64;
+        for i in 0..n {
+            s.record(Duration::from_micros(17 * i % 3_000_000));
+        }
+        assert_eq!(s.count(), n);
+        let stats = s.stats().unwrap();
+        assert!(stats.min >= 0.0 && stats.max < 3.0);
+    }
+
+    #[test]
+    fn bounded_summary_quantiles_track_exact_values() {
+        let s = DurationSummary::default();
+        let mut exact: Vec<f64> = Vec::new();
+        let mut x = 88_172_645_463_325_252u64;
+        for _ in 0..2_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let us = 100 + (x % 500_000); // 100µs .. 0.5s
+            exact.push(us as f64 * 1e-6);
+            s.record(Duration::from_micros(us));
+        }
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got = s.stats().unwrap();
+        for (q, g) in [(0.50, got.p50), (0.95, got.p95)] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let truth = exact[rank - 1];
+            let rel = (g - truth).abs() / truth;
+            assert!(rel <= 0.13, "q{q}: histogram {g} vs exact {truth}");
+        }
+        // mean and std-dev reconstruct within float tolerance
+        let mean = exact.iter().sum::<f64>() / exact.len() as f64;
+        assert!((got.avg - mean).abs() / mean < 1e-9);
     }
 
     #[test]
     fn report_renders_every_headline_metric() {
         let core = StatsCore::default();
         core.record_latency(Duration::from_millis(10));
+        core.record_queue_wait(Duration::from_millis(2));
+        core.record_deadline_slack(Duration::from_millis(90));
         let r = core.snapshot(0, 4);
         let s = r.render();
         for needle in [
@@ -211,6 +324,8 @@ mod tests {
             "mean batch size",
             "effective max batch",
             "request latency p50/p95",
+            "queue wait p50/p95",
+            "deadline slack p50/p95",
         ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
@@ -222,6 +337,9 @@ mod tests {
         let r = core.snapshot(0, 1);
         assert_eq!(r.mean_batch(), 0.0);
         assert!(r.request_latency.is_none());
+        assert!(r.queue_wait.is_none());
+        assert!(r.deadline_slack.is_none());
         assert!(!r.render().contains("request latency"));
+        assert!(!r.render().contains("queue wait"));
     }
 }

@@ -19,3 +19,7 @@ pub const HE: &str = "he";
 /// Serving-engine events (he-serve): request enqueue, batch coalesce,
 /// batch execution, shutdown drain.
 pub const SERVE: &str = "serve";
+
+/// Live-metrics machinery (he-metrics): scrape handling, op-counter
+/// bridge refreshes.
+pub const METRICS: &str = "metrics";

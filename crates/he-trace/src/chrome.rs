@@ -7,11 +7,23 @@ use crate::span::SpanEvent;
 
 /// Serialize spans to a chrome trace JSON document:
 /// `{"traceEvents": [{"name":…,"cat":…,"ph":"X","ts":…,"dur":…,"pid":1,"tid":…}, …]}`.
-#[must_use]
-pub fn to_chrome_json(events: &[SpanEvent]) -> String {
+///
+/// Rejects events with non-finite or negative timestamps/durations —
+/// silently clamping them (as earlier versions did) hides clock bugs
+/// in the producer and a `NaN` would emit invalid JSON.
+pub fn to_chrome_json(events: &[SpanEvent]) -> Result<String, String> {
     let mut out = String::with_capacity(64 + events.len() * 96);
     out.push_str("{\"traceEvents\": [");
     for (i, ev) in events.iter().enumerate() {
+        for (key, v) in [("ts", ev.start_us), ("dur", ev.dur_us)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "span {:?} (event {i}): {key} = {v} is not a finite non-negative \
+                     microsecond count",
+                    ev.name
+                ));
+            }
+        }
         if i > 0 {
             out.push_str(",\n");
         }
@@ -28,7 +40,7 @@ pub fn to_chrome_json(events: &[SpanEvent]) -> String {
         out.push('}');
     }
     out.push_str("], \"displayTimeUnit\": \"ms\"}");
-    out
+    Ok(out)
 }
 
 /// Validate a chrome-trace document: parses as JSON, has a
@@ -85,9 +97,9 @@ fn escape_into(s: &str, out: &mut String) {
 }
 
 /// Format a non-negative microsecond quantity with fixed sub-µs
-/// precision (chrome accepts fractional `ts`).
+/// precision (chrome accepts fractional `ts`). Finiteness is checked
+/// by [`to_chrome_json`] before this runs.
 fn push_f64(v: f64, out: &mut String) {
-    let v = if v.is_finite() && v >= 0.0 { v } else { 0.0 };
     out.push_str(&format!("{v:.3}"));
 }
 
@@ -112,7 +124,7 @@ mod tests {
             ev("unit \"7\"\\x", 12.5, 3.0, 1),
             ev("slaf·act", 20.0, 7.125, 2),
         ];
-        let text = to_chrome_json(&events);
+        let text = to_chrome_json(&events).unwrap();
         assert_eq!(validate_chrome_json(&text), Ok(3));
         // and the escaped name survives a parse
         let doc = json::parse(&text).unwrap();
@@ -122,8 +134,41 @@ mod tests {
 
     #[test]
     fn empty_trace_is_valid() {
-        let text = to_chrome_json(&[]);
+        let text = to_chrome_json(&[]).unwrap();
         assert_eq!(validate_chrome_json(&text), Ok(0));
+    }
+
+    #[test]
+    fn hostile_span_name_with_control_characters_round_trips() {
+        // Regression: raw control characters (BEL, ESC, NUL, VT) in a
+        // span name must be \u-escaped, not emitted verbatim — a
+        // terminal-escape payload in a layer name would otherwise
+        // produce invalid JSON and a shell-injection-flavored trace.
+        let hostile = "evil\u{0007}\u{001b}[31m\u{0000}name\u{000b}";
+        let text = to_chrome_json(&[ev(hostile, 1.0, 2.0, 0)]).unwrap();
+        assert!(!text.chars().any(|c| (c as u32) < 0x20 && c != '\n'));
+        assert!(text.contains("\\u0007"));
+        assert!(text.contains("\\u001b"));
+        assert!(text.contains("\\u0000"));
+        assert_eq!(validate_chrome_json(&text), Ok(1));
+        let doc = json::parse(&text).unwrap();
+        let arr = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].get("name").unwrap().as_str(), Some(hostile));
+    }
+
+    #[test]
+    fn non_finite_and_negative_timestamps_are_rejected() {
+        for (start, dur) in [
+            (f64::NAN, 1.0),
+            (1.0, f64::NAN),
+            (f64::INFINITY, 1.0),
+            (1.0, f64::NEG_INFINITY),
+            (-5.0, 1.0),
+            (1.0, -0.5),
+        ] {
+            let err = to_chrome_json(&[ev("bad", start, dur, 0)]).unwrap_err();
+            assert!(err.contains("finite non-negative"), "got: {err}");
+        }
     }
 
     #[test]

@@ -60,7 +60,7 @@ fn main() {
     let dir = Path::new("target").join("trace-demo");
     std::fs::create_dir_all(&dir).expect("create target/trace-demo");
 
-    let json = trace.chrome_json();
+    let json = trace.chrome_json().expect("span timestamps must be finite");
     let n = he_trace::validate_chrome_json(&json)
         .unwrap_or_else(|e| panic!("emitted chrome trace is invalid: {e}"));
     assert_eq!(

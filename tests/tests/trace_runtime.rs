@@ -63,7 +63,7 @@ fn cnn1_trace_matches_static_plan_and_round_trips_chrome_json() {
     }
 
     // ---- chrome export round-trips the validator
-    let json = trace.chrome_json();
+    let json = trace.chrome_json().expect("span timestamps must be finite");
     let n = he_trace::validate_chrome_json(&json).expect("emitted chrome trace is invalid");
     assert_eq!(n, trace.events.len());
 

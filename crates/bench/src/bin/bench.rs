@@ -92,6 +92,26 @@ fn print_tables(report: &SmokeReport) {
         "serve: {} requests -> {} batch(es), amortized {:.4}s/image",
         s.serve.enqueued, s.serve.batches, s.amortized_median_s
     );
+    if !report.packed.is_empty() {
+        let mut t = Table::new(&[
+            ("packed batch", Align::Right),
+            ("shards", Align::Right),
+            ("wall (s)", Align::Right),
+            ("amortized (s/img)", Align::Right),
+            ("ops/img", Align::Right),
+        ]);
+        for p in &report.packed {
+            t.row(vec![
+                p.batch.to_string(),
+                p.shards.to_string(),
+                format!("{:.4}", p.wall_median_s),
+                format!("{:.5}", p.amortized_per_image_s),
+                format!("{:.0}", p.total_ops() as f64 / p.batch as f64),
+            ]);
+        }
+        println!("packed-batch sweep (slot-packed BSGS engine):");
+        println!("{}", t.render());
+    }
 }
 
 fn write_json(report: &SmokeReport, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {

@@ -42,6 +42,16 @@ pub const SCHEMA: &str = "bench-smoke-v1";
 /// How many requests the serve component coalesces into one batch.
 pub const SERVE_BATCH: usize = 4;
 
+/// Batch sizes the packed-batch sweep measures (1 = the per-image
+/// reference the amortization gate divides against).
+pub const PACKED_SWEEP: [usize; 4] = [1, 8, 64, 512];
+
+/// `--check` fails unless amortized per-image HE ops at batch 64 are at
+/// least this factor below batch 1. On the smoke network (8 lanes per
+/// ciphertext) the sharded circuit gives exactly 8×, so the gate sits
+/// on the theoretical line — any packing regression trips it.
+pub const AMORTIZATION_FLOOR: f64 = 8.0;
+
 fn smoke_runs() -> usize {
     crate::harness::env_usize("RNS_CNN_SMOKE_RUNS", 3).max(1)
 }
@@ -82,10 +92,35 @@ pub struct ServeSmoke {
     pub serve: ServeSnapshot,
 }
 
+/// One point of the packed-batch sweep: `batch` images classified in a
+/// single slot-packed call (spilling into `shards` ciphertexts).
+pub struct PackedBatchPoint {
+    pub batch: usize,
+    /// Ciphertext shards the batch occupied (`ceil(batch / lanes)`).
+    pub shards: usize,
+    pub runs: usize,
+    pub wall_median_s: f64,
+    /// Median `wall / batch` — the amortized per-image cost.
+    pub amortized_per_image_s: f64,
+    /// HE ops of a single whole-batch run (asserted identical across
+    /// runs). Per-image op counts are `ops / batch`.
+    pub ops: OpSnapshot,
+}
+
+impl PackedBatchPoint {
+    /// Total HE ops of one run — the host-independent cost metric the
+    /// amortization gate divides.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.named().iter().map(|(_, v)| v).sum()
+    }
+}
+
 /// Everything the smoke benchmark measures.
 pub struct SmokeReport {
     pub layers: Vec<ComponentResult>,
     pub serve: ServeSmoke,
+    /// The packed-batch sweep ([`PACKED_SWEEP`]), batch ascending.
+    pub packed: Vec<PackedBatchPoint>,
     /// Active modular-arithmetic kernel backend
     /// (`scalar`/`avx2`/`avx512`/`neon`) the walls were measured under.
     pub backend: String,
@@ -354,6 +389,64 @@ fn serve_component(runs: usize) -> ServeSmoke {
     }
 }
 
+/// Packed-batch sweep: the mini network through the slot-packed BSGS
+/// engine at each [`PACKED_SWEEP`] batch size, one `classify` call per
+/// run (encrypt → per-shard inference → decrypt). The pipeline caches
+/// diagonal precomputes per stride, so runs measure steady-state cost.
+fn packed_batch_component(runs: usize) -> Vec<PackedBatchPoint> {
+    let mut pipe = CnnHePipeline::new(mini_cnn1(12), 1 << 10, 12);
+    pipe.enable_packed_batching()
+        .expect("mini network fits the smoke ring");
+    let lanes_cap = pipe.max_batch();
+    let mut points = Vec::with_capacity(PACKED_SWEEP.len());
+    for batch in PACKED_SWEEP {
+        eprintln!("[smoke] packed batch x{batch} ({runs} runs) ...");
+        let images: Vec<Vec<f32>> = (0..batch)
+            .map(|b| {
+                (0..64)
+                    .map(|i| (((i * 5 + b * 7) % 17) as f32) / 17.0)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = images.iter().map(Vec::as_slice).collect();
+        // warm-up at this batch's stride (one shard's worth of lanes):
+        // builds and caches the stride's diagonal precompute so the
+        // measured runs have identical op counts
+        let lanes = batch.next_power_of_two().min(lanes_cap).max(1);
+        std::hint::black_box(pipe.classify(&refs[..lanes.min(batch)]));
+        let shards = batch.div_ceil(lanes);
+        let mut walls = Vec::with_capacity(runs);
+        let mut per_run: Option<OpSnapshot> = None;
+        for _ in 0..runs {
+            let before = OpSnapshot::now();
+            let t0 = Instant::now();
+            let cls = pipe.classify(&refs);
+            walls.push(t0.elapsed().as_secs_f64());
+            std::hint::black_box(&cls.logits);
+            assert_eq!(cls.predictions.len(), batch);
+            let delta = OpSnapshot::now().delta(&before);
+            if let Some(first) = &per_run {
+                assert_eq!(
+                    *first, delta,
+                    "packed batch x{batch}: op counts varied between runs"
+                );
+            } else {
+                per_run = Some(delta);
+            }
+        }
+        let wall = median(&mut walls);
+        points.push(PackedBatchPoint {
+            batch,
+            shards,
+            runs,
+            wall_median_s: wall,
+            amortized_per_image_s: wall / batch as f64,
+            ops: per_run.unwrap_or_default(),
+        });
+    }
+    points
+}
+
 /// Runs the full smoke suite (a couple of seconds).
 pub fn run_smoke() -> SmokeReport {
     let runs = smoke_runs();
@@ -369,9 +462,12 @@ pub fn run_smoke() -> SmokeReport {
     let conv = conv_component(runs);
     eprintln!("[smoke] serve component ({runs} runs) ...");
     let serve = serve_component(runs);
+    eprintln!("[smoke] packed-batch sweep ({runs} runs each) ...");
+    let packed = packed_batch_component(runs);
     SmokeReport {
         layers: vec![ntt, modmul, mac, conv],
         serve,
+        packed,
         backend,
     }
 }
@@ -421,11 +517,27 @@ impl SmokeReport {
         )
     }
 
-    /// `BENCH_serve.json`: the coalesced-batch serving component.
+    /// `BENCH_serve.json`: the coalesced-batch serving component plus
+    /// the packed-batch sweep.
     pub fn serve_json(&self) -> String {
         let s = &self.serve;
+        let packed: Vec<String> = self
+            .packed
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\n      \"batch\": {},\n      \"shards\": {},\n      \"runs\": {},\n      \"wall_median_s\": {:.6},\n      \"amortized_per_image_s\": {:.6},\n      \"ops\": {}\n    }}",
+                    p.batch,
+                    p.shards,
+                    p.runs,
+                    p.wall_median_s,
+                    p.amortized_per_image_s,
+                    json_ops(&p.ops, "      ")
+                )
+            })
+            .collect();
         format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"serve\",\n  \"backend\": \"{}\",\n  \"runs\": {},\n  \"batch_size\": {},\n  \"wall_median_s\": {:.6},\n  \"amortized_median_s\": {:.6},\n  \"queue_wait_p50_s\": {:.6},\n  \"queue_wait_p95_s\": {:.6},\n  \"deadline_slack_p50_s\": {:.6},\n  \"deadline_slack_p95_s\": {:.6},\n  \"ops\": {},\n  \"serve\": {}\n}}\n",
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"serve\",\n  \"backend\": \"{}\",\n  \"runs\": {},\n  \"batch_size\": {},\n  \"wall_median_s\": {:.6},\n  \"amortized_median_s\": {:.6},\n  \"queue_wait_p50_s\": {:.6},\n  \"queue_wait_p95_s\": {:.6},\n  \"deadline_slack_p50_s\": {:.6},\n  \"deadline_slack_p95_s\": {:.6},\n  \"ops\": {},\n  \"serve\": {},\n  \"packed_batch\": [\n{}\n  ]\n}}\n",
             self.backend,
             s.runs,
             s.batch_size,
@@ -436,7 +548,12 @@ impl SmokeReport {
             s.deadline_slack_p50_s,
             s.deadline_slack_p95_s,
             json_ops(&s.ops, "  "),
-            json_serve_counters(&s.serve, "  ")
+            json_serve_counters(&s.serve, "  "),
+            if packed.is_empty() {
+                "  ".to_string()
+            } else {
+                packed.join(",\n")
+            }
         )
     }
 }
@@ -564,10 +681,72 @@ pub fn check_against_baseline(
                 ),
                 Err(e) => problems.push(format!("serve: {e}")),
             }
+            let empty = vec![];
+            let bpoints = base
+                .get("packed_batch")
+                .and_then(Value::as_arr)
+                .unwrap_or(&empty);
+            for p in &report.packed {
+                let label = format!("packed_batch[{}]", p.batch);
+                let Some(bp) = bpoints
+                    .iter()
+                    .find(|v| num(v, "batch").is_ok_and(|b| (b - p.batch as f64).abs() < 0.5))
+                else {
+                    problems.push(format!("{label}: point missing from baseline"));
+                    continue;
+                };
+                if let Ok(b) = num(bp, "shards") {
+                    if (b - p.shards as f64).abs() > 0.5 {
+                        problems.push(format!(
+                            "{label}.shards: changed {b} -> {} (exact match required)",
+                            p.shards
+                        ));
+                    }
+                }
+                let bops = bp.get("ops").cloned().unwrap_or(Value::Null);
+                diff_counter_object(&label, &bops, &p.ops.named(), &mut problems);
+                match num(bp, "amortized_per_image_s") {
+                    Ok(w) => diff_wall(
+                        &format!("{label}.amortized_per_image_s"),
+                        w,
+                        p.amortized_per_image_s,
+                        &mut problems,
+                    ),
+                    Err(e) => problems.push(format!("{label}: {e}")),
+                }
+            }
         }
     }
 
+    if let Some(p) = amortization_gate(report) {
+        problems.push(p);
+    }
+
     problems
+}
+
+/// The packing payoff gate: amortized per-image HE ops at batch 64 must
+/// sit at least [`AMORTIZATION_FLOOR`]× below batch 1. Op counts (not
+/// walls) so the gate is exact on every host. `None` when the sweep
+/// lacks the two anchor points (unit-test reports) — `run_smoke`
+/// always produces them.
+pub fn amortization_gate(report: &SmokeReport) -> Option<String> {
+    let point = |b: usize| report.packed.iter().find(|p| p.batch == b);
+    let (one, big) = (point(1)?, point(64)?);
+    let per_image_1 = one.total_ops() as f64 / one.batch as f64;
+    let per_image_64 = big.total_ops() as f64 / big.batch as f64;
+    if per_image_64 <= 0.0 {
+        return Some("packed_batch[64]: zero HE ops recorded (tracing off?)".into());
+    }
+    let ratio = per_image_1 / per_image_64;
+    // 1e-9 slack: the ratio is a quotient of exact integers
+    if ratio + 1e-9 < AMORTIZATION_FLOOR {
+        return Some(format!(
+            "packed amortization: per-image ops dropped only {ratio:.2}x from batch 1 \
+             to batch 64 ({per_image_1:.0} -> {per_image_64:.0}), need >= {AMORTIZATION_FLOOR}x"
+        ));
+    }
+    None
 }
 
 #[cfg(test)]
@@ -590,6 +769,25 @@ mod tests {
             batched_images: 4,
             ..Default::default()
         };
+        // per-shard circuit: identical ops per shard, so batch 64
+        // (8 shards) costs 8x batch 1 in total = 8x less per image
+        let shard_ops = |shards: u64| OpSnapshot {
+            rotations: 48 * shards,
+            ct_mults: 2 * shards,
+            rescales: 5 * shards,
+            ..Default::default()
+        };
+        let packed = [(1usize, 1u64), (8, 1), (64, 8), (512, 64)]
+            .into_iter()
+            .map(|(batch, shards)| PackedBatchPoint {
+                batch,
+                shards: shards as usize,
+                runs: 3,
+                wall_median_s: 0.020 * shards as f64,
+                amortized_per_image_s: 0.020 * shards as f64 / batch as f64,
+                ops: shard_ops(shards),
+            })
+            .collect();
         SmokeReport {
             layers: vec![ComponentResult {
                 name: "ntt_fwd_inv_2e12",
@@ -609,6 +807,7 @@ mod tests {
                 ops: serve_ops,
                 serve: srv,
             },
+            packed,
             backend: "scalar".to_string(),
         }
     }
@@ -674,6 +873,44 @@ mod tests {
         let old_serve = r.serve_json().replace("\"ct_mults\": 7,\n", "");
         let problems = check_against_baseline(&r, &r.layers_json(), &old_serve);
         assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn amortization_gate_enforces_the_packing_payoff() {
+        // the healthy fake report sits exactly on the 8x line
+        let r = fake_report();
+        assert!(amortization_gate(&r).is_none());
+        // inflate batch-64 per-shard cost: payoff collapses below 8x
+        let mut bad = fake_report();
+        let p64 = bad.packed.iter_mut().find(|p| p.batch == 64).unwrap();
+        p64.ops.rotations *= 3;
+        let msg = amortization_gate(&bad).expect("gate must fire");
+        assert!(msg.contains("need >= 8"), "{msg}");
+        // ... and the full baseline check carries the violation
+        let r = fake_report();
+        let problems = check_against_baseline(&bad, &r.layers_json(), &r.serve_json());
+        assert!(
+            problems.iter().any(|p| p.contains("amortization")),
+            "{problems:?}"
+        );
+        // sweeps without the anchor points (unit fixtures) are skipped
+        let mut partial = fake_report();
+        partial.packed.retain(|p| p.batch != 64);
+        assert!(amortization_gate(&partial).is_none());
+    }
+
+    #[test]
+    fn gate_flags_packed_point_missing_from_baseline() {
+        let r = fake_report();
+        let mut old = fake_report();
+        old.packed.retain(|p| p.batch != 512);
+        let problems = check_against_baseline(&r, &old.layers_json(), &old.serve_json());
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("packed_batch[512]") && p.contains("missing")),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -52,6 +52,16 @@ pub enum HeError {
         /// The out-of-range recomposed value.
         value: i128,
     },
+    /// A batched packing request asked for more lanes than the layout
+    /// (or the ring) can hold — `batch` vectors were offered where at
+    /// most `capacity` fit.
+    BatchExceedsSlots {
+        /// Lanes requested.
+        batch: usize,
+        /// Lanes the layout/ring can carry (`0` when even a single
+        /// vector does not fit the slot count).
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for HeError {
@@ -84,6 +94,10 @@ impl std::fmt::Display for HeError {
             HeError::CodecRecomposeOverflow { index, value } => write!(
                 f,
                 "recomposed digit value exceeds i64 at index {index} (value {value})"
+            ),
+            HeError::BatchExceedsSlots { batch, capacity } => write!(
+                f,
+                "batch exceeds slot capacity: {batch} lanes requested, {capacity} fit"
             ),
         }
     }
@@ -132,6 +146,14 @@ mod tests {
             e.to_string().contains("recomposed digit value exceeds i64"),
             "{e}"
         );
+
+        let e = HeError::BatchExceedsSlots {
+            batch: 12,
+            capacity: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("batch exceeds slot capacity"), "{msg}");
+        assert!(msg.contains("12") && msg.contains('8'), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,636 @@
+//! Packing layouts: how batches of vectors map onto CKKS slots.
+//!
+//! The packed (BSGS) execution path tiles one `dim`-long activation
+//! vector cyclically across the slots. A [`PackLayout`] generalizes
+//! that to a *batch-strided* layout holding `batch` independent lanes
+//! in one ciphertext: element `j` of lane `b` lives in slot
+//! `j·batch + b (mod period)`, the pattern repeating every
+//! `period = dim·batch` slots. Rotating by `d·batch` shifts every
+//! lane's element index by `d` while leaving the lane assignment
+//! fixed, so the rotate-and-sum / diagonal-matvec algebra of
+//! `ckks::linalg` carries over with every rotation step scaled by the
+//! stride. `batch = 1` reduces to the classic tiled layout
+//! bit-identically.
+//!
+//! When a batch exceeds one ciphertext's lane capacity
+//! (`slots / dim`), a [`ShardPlan`] splits it across several
+//! ciphertexts that share one layout. [`shard_combine`] /
+//! [`shard_split`] move between the two representations
+//! homomorphically — each costs one multiplicative level (a mask
+//! multiplication) and a set of `±s·period` rotations that must be
+//! provisioned in the Galois key set ([`combine_rotation_steps`],
+//! [`split_rotation_steps`]).
+
+use crate::ciphertext::Ciphertext;
+use crate::encoding::{self, Plaintext};
+use crate::error::HeError;
+use crate::eval::Evaluator;
+use crate::keys::GaloisKeys;
+use crate::params::CkksContext;
+use std::sync::Arc;
+
+/// A batch-strided slot layout: `batch` lanes of `dim`-long vectors
+/// interleaved at stride `batch`, tiled cyclically over `slots`.
+///
+/// Invariants (checked at construction): `dim`, `batch` and `slots`
+/// are powers of two and `dim · batch ≤ slots`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackLayout {
+    dim: usize,
+    batch: usize,
+    slots: usize,
+}
+
+impl PackLayout {
+    /// Builds a layout; fails with [`HeError::BatchExceedsSlots`] when
+    /// `dim · batch > slots`. `dim` and `batch` must be powers of two
+    /// (the rotation algebra requires exact period divisibility).
+    pub fn new(dim: usize, batch: usize, slots: usize) -> Result<Self, HeError> {
+        assert!(dim.is_power_of_two(), "dim {dim} must be a power of two");
+        assert!(
+            batch.is_power_of_two(),
+            "batch {batch} must be a power of two"
+        );
+        assert!(
+            slots.is_power_of_two(),
+            "slot count {slots} must be a power of two"
+        );
+        if dim * batch > slots {
+            return Err(HeError::BatchExceedsSlots {
+                batch,
+                capacity: slots / dim,
+            });
+        }
+        Ok(Self { dim, batch, slots })
+    }
+
+    /// The classic single-vector tiled layout (stride 1).
+    pub fn tiled(dim: usize, slots: usize) -> Result<Self, HeError> {
+        Self::new(dim, 1, slots)
+    }
+
+    /// Padded vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Lanes per ciphertext (equals the slot stride between consecutive
+    /// elements of one lane).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Slot stride between element `j` and `j+1` of a lane.
+    pub fn stride(&self) -> usize {
+        self.batch
+    }
+
+    /// Slot count of the ring this layout targets.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Length of one full pattern repetition (`dim · batch`).
+    pub fn period(&self) -> usize {
+        self.dim * self.batch
+    }
+
+    /// Canonical slot of element `j` of lane `lane` (first repetition).
+    pub fn slot_of(&self, lane: usize, j: usize) -> usize {
+        debug_assert!(lane < self.batch && j < self.dim);
+        j * self.batch + lane
+    }
+
+    /// The rotation step realizing a uniform element shift by
+    /// `element_steps` in every lane.
+    pub fn rotation_step(&self, element_steps: i64) -> i64 {
+        element_steps * self.batch as i64
+    }
+
+    /// Expands an element-indexed vector (length `dim`) to a full slot
+    /// vector: every lane sees the same value per element. This is how
+    /// diagonal and bias plaintexts are broadcast across the batch.
+    pub fn expand(&self, per_element: &[f64]) -> Vec<f64> {
+        assert_eq!(per_element.len(), self.dim, "expand expects a dim vector");
+        let mut out = vec![0.0f64; self.slots];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = per_element[(i / self.batch) % self.dim];
+        }
+        out
+    }
+
+    /// Packs up to `batch` lanes (each of length ≤ `dim`; shorter lanes
+    /// are zero-padded, missing lanes are all-zero) into a full slot
+    /// vector, tiled cyclically.
+    pub fn pack(&self, lanes: &[&[f64]]) -> Result<Vec<f64>, HeError> {
+        if lanes.len() > self.batch {
+            return Err(HeError::BatchExceedsSlots {
+                batch: lanes.len(),
+                capacity: self.batch,
+            });
+        }
+        for lane in lanes {
+            assert!(
+                lane.len() <= self.dim,
+                "lane length {} exceeds layout dim {}",
+                lane.len(),
+                self.dim
+            );
+        }
+        let mut out = vec![0.0f64; self.slots];
+        for (i, o) in out.iter_mut().enumerate() {
+            let lane = i % self.batch;
+            let j = (i / self.batch) % self.dim;
+            if let Some(l) = lanes.get(lane) {
+                if j < l.len() {
+                    *o = l[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads `lanes` lanes of `take` elements each back out of a full
+    /// slot vector (inverse of [`Self::pack`] on the first repetition).
+    pub fn unpack(&self, slot_vals: &[f64], lanes: usize, take: usize) -> Vec<Vec<f64>> {
+        assert!(lanes <= self.batch && take <= self.dim);
+        assert!(slot_vals.len() >= self.period());
+        (0..lanes)
+            .map(|b| (0..take).map(|j| slot_vals[self.slot_of(b, j)]).collect())
+            .collect()
+    }
+}
+
+/// How a logical batch of `total` vectors is distributed over
+/// ciphertexts: `shards` ciphertexts, each in the same [`PackLayout`]
+/// with `layout.batch()` lanes; the last shard may be partially filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    layout: PackLayout,
+    total: usize,
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// Plans a batch of `batch` `dim`-long vectors onto a ring with
+    /// `slots` slots. The per-ciphertext lane count is
+    /// `min(next_pow2(batch), slots/dim)`; whatever does not fit one
+    /// ciphertext spills into additional shards. Fails with
+    /// [`HeError::BatchExceedsSlots`] only when even a single vector
+    /// does not fit (`dim > slots`).
+    pub fn plan(slots: usize, dim: usize, batch: usize) -> Result<Self, HeError> {
+        assert!(batch >= 1, "cannot plan an empty batch");
+        if dim > slots {
+            return Err(HeError::BatchExceedsSlots { batch, capacity: 0 });
+        }
+        let cap = slots / dim;
+        let lanes = batch.next_power_of_two().min(cap);
+        let layout = PackLayout::new(dim, lanes, slots)?;
+        Ok(Self {
+            layout,
+            total: batch,
+            shards: batch.div_ceil(lanes),
+        })
+    }
+
+    /// [`Self::plan`], but refuses (typed) any batch that needs more
+    /// than one ciphertext — for callers without sharding support.
+    pub fn plan_single(slots: usize, dim: usize, batch: usize) -> Result<Self, HeError> {
+        let plan = Self::plan(slots, dim, batch)?;
+        if plan.shards > 1 {
+            return Err(HeError::BatchExceedsSlots {
+                batch,
+                capacity: plan.capacity(),
+            });
+        }
+        Ok(plan)
+    }
+
+    /// The shared per-ciphertext layout.
+    pub fn layout(&self) -> PackLayout {
+        self.layout
+    }
+
+    /// Total vectors in the logical batch.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Ciphertexts the batch occupies.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Lanes one ciphertext can carry (`slots / dim`).
+    pub fn capacity(&self) -> usize {
+        self.layout.slots() / self.layout.dim()
+    }
+
+    /// Lanes actually occupied in shard `s` (the last shard may be
+    /// partial).
+    pub fn lanes_in_shard(&self, s: usize) -> usize {
+        assert!(s < self.shards);
+        let filled = s * self.layout.batch();
+        (self.total - filled).min(self.layout.batch())
+    }
+
+    /// `(shard, lane)` coordinates of global batch index `b`.
+    pub fn position(&self, b: usize) -> (usize, usize) {
+        assert!(b < self.total);
+        (b / self.layout.batch(), b % self.layout.batch())
+    }
+}
+
+/// Encodes up to `layout.batch()` lanes into one plaintext in the
+/// batch-strided layout. Typed failure instead of the encoder's panic
+/// when too many lanes are offered.
+pub fn encode_batched(
+    ctx: &Arc<CkksContext>,
+    lanes: &[&[f64]],
+    layout: &PackLayout,
+    scale: f64,
+    level: usize,
+) -> Result<Plaintext, HeError> {
+    if layout.slots() != ctx.slots() {
+        return Err(HeError::BatchExceedsSlots {
+            batch: lanes.len(),
+            capacity: 0,
+        });
+    }
+    let slot_vals = layout.pack(lanes)?;
+    Ok(encoding::encode_real(ctx, &slot_vals, scale, level))
+}
+
+/// Decodes `lanes` lanes of `take` elements each from a batch-strided
+/// plaintext.
+pub fn decode_batched(
+    ctx: &Arc<CkksContext>,
+    pt: &Plaintext,
+    layout: &PackLayout,
+    lanes: usize,
+    take: usize,
+) -> Vec<Vec<f64>> {
+    let slot_vals = encoding::decode_real(ctx, pt);
+    layout.unpack(&slot_vals, lanes, take)
+}
+
+/// Rotation steps [`shard_combine`] applies for a `shards`-shard plan:
+/// right rotations `-s·period` placing shard `s`'s first repetition at
+/// slot offset `s·period`.
+pub fn combine_rotation_steps(layout: &PackLayout, shards: usize) -> Vec<i64> {
+    (1..shards)
+        .map(|s| -((s * layout.period()) as i64))
+        .collect()
+}
+
+/// Rotation steps [`shard_split`] applies: left rotations `s·period`
+/// to bring each shard's repetition to the front, plus the
+/// log-doubling replication steps `-period·2^t` that re-tile the
+/// extracted repetition over all slots.
+pub fn split_rotation_steps(layout: &PackLayout, shards: usize) -> Vec<i64> {
+    let period = layout.period();
+    let mut steps: Vec<i64> = (1..shards).map(|s| (s * period) as i64).collect();
+    let mut span = period;
+    while span < layout.slots() {
+        steps.push(-(span as i64));
+        span <<= 1;
+    }
+    steps
+}
+
+/// Indicator plaintext of slot range `[0, period)` at scale `q_m` of
+/// `level` — the mask both shard ops multiply by.
+fn period_mask(ev: &Evaluator, layout: &PackLayout, level: usize) -> Plaintext {
+    let q_m = ev.ctx().chain_moduli()[level].value() as f64;
+    let mut mask = vec![0.0f64; layout.slots()];
+    for m in mask.iter_mut().take(layout.period()) {
+        *m = 1.0;
+    }
+    encoding::encode_real(ev.ctx(), &mask, q_m, level)
+}
+
+/// Combines `shards` ciphertexts sharing one layout into a single
+/// ciphertext whose slot range `[s·period, (s+1)·period)` holds shard
+/// `s`'s first repetition. Consumes one multiplicative level (the mask
+/// multiplication) and needs the [`combine_rotation_steps`] Galois
+/// keys. Fails typed when the shards' repetitions do not all fit the
+/// ring.
+pub fn shard_combine(
+    ev: &Evaluator,
+    shards: &[Ciphertext],
+    layout: &PackLayout,
+    gk: &GaloisKeys,
+) -> Result<Ciphertext, HeError> {
+    assert!(!shards.is_empty(), "cannot combine zero shards");
+    if shards.len() * layout.period() > layout.slots() {
+        return Err(HeError::BatchExceedsSlots {
+            batch: shards.len() * layout.batch(),
+            capacity: (layout.slots() / layout.period()) * layout.batch(),
+        });
+    }
+    let level = shards[0].level;
+    if level < 1 {
+        return Err(HeError::LevelExhausted {
+            op: "shard-combine mask",
+            level,
+            needed: 1,
+        });
+    }
+    let mask = period_mask(ev, layout, level);
+    let mut acc: Option<Ciphertext> = None;
+    for (s, ct) in shards.iter().enumerate() {
+        let masked = ev.mul_plain(ct, &mask);
+        let placed = if s == 0 {
+            masked
+        } else {
+            ev.try_rotate(&masked, -((s * layout.period()) as i64), gk)?
+        };
+        acc = Some(match acc {
+            None => placed,
+            Some(a) => ev.add(&a, &placed),
+        });
+    }
+    Ok(ev.rescale(&acc.expect("non-empty shards")))
+}
+
+/// Splits a combined ciphertext (inverse of [`shard_combine`]'s
+/// placement) back into `shards` ciphertexts, each re-tiled cyclically
+/// so it is a valid layout ciphertext again. Consumes one
+/// multiplicative level and needs the [`split_rotation_steps`] keys.
+pub fn shard_split(
+    ev: &Evaluator,
+    ct: &Ciphertext,
+    layout: &PackLayout,
+    shards: usize,
+    gk: &GaloisKeys,
+) -> Result<Vec<Ciphertext>, HeError> {
+    assert!(shards >= 1, "cannot split into zero shards");
+    if shards * layout.period() > layout.slots() {
+        return Err(HeError::BatchExceedsSlots {
+            batch: shards * layout.batch(),
+            capacity: (layout.slots() / layout.period()) * layout.batch(),
+        });
+    }
+    if ct.level < 1 {
+        return Err(HeError::LevelExhausted {
+            op: "shard-split mask",
+            level: ct.level,
+            needed: 1,
+        });
+    }
+    let mask = period_mask(ev, layout, ct.level);
+    let period = layout.period();
+    let mut out = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let fronted = if s == 0 {
+            ct.clone()
+        } else {
+            ev.try_rotate(ct, (s * period) as i64, gk)?
+        };
+        let masked = ev.mul_plain(&fronted, &mask);
+        let mut shard = ev.rescale(&masked);
+        // re-tile the isolated repetition over the whole ring by
+        // log-doubling: after step t the pattern spans period·2^(t+1)
+        let mut span = period;
+        while span < layout.slots() {
+            let shifted = ev.try_rotate(&shard, -(span as i64), gk)?;
+            shard = ev.add(&shard, &shifted);
+            span <<= 1;
+        }
+        out.push(shard);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use ckks_math::sampler::Sampler;
+
+    fn ctx() -> Arc<CkksContext> {
+        CkksParams::tiny(3).build()
+    }
+
+    #[test]
+    fn planner_picks_lanes_and_shards() {
+        // 512 slots, dim 64 → capacity 8 lanes per ciphertext
+        let p = ShardPlan::plan(512, 64, 1).unwrap();
+        assert_eq!((p.layout().batch(), p.shards()), (1, 1));
+        let p = ShardPlan::plan(512, 64, 5).unwrap();
+        assert_eq!((p.layout().batch(), p.shards()), (8, 1), "non-pow2 pads");
+        let p = ShardPlan::plan(512, 64, 8).unwrap();
+        assert_eq!((p.layout().batch(), p.shards()), (8, 1));
+        let p = ShardPlan::plan(512, 64, 9).unwrap();
+        assert_eq!((p.layout().batch(), p.shards()), (8, 2));
+        assert_eq!(p.lanes_in_shard(0), 8);
+        assert_eq!(p.lanes_in_shard(1), 1);
+        assert_eq!(p.position(8), (1, 0));
+        let p = ShardPlan::plan(512, 64, 64).unwrap();
+        assert_eq!((p.layout().batch(), p.shards()), (8, 8));
+    }
+
+    #[test]
+    fn planner_rejects_oversized_dim_and_single_ct_overflow() {
+        let err = ShardPlan::plan(512, 1024, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            HeError::BatchExceedsSlots {
+                batch: 1,
+                capacity: 0
+            }
+        ));
+        let err = ShardPlan::plan_single(512, 64, 9).unwrap_err();
+        assert!(matches!(
+            err,
+            HeError::BatchExceedsSlots {
+                batch: 9,
+                capacity: 8
+            }
+        ));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let layout = PackLayout::new(8, 4, 64).unwrap();
+        let lanes: Vec<Vec<f64>> = (0..3)
+            .map(|b| (0..8).map(|j| (b * 10 + j) as f64).collect())
+            .collect();
+        let refs: Vec<&[f64]> = lanes.iter().map(Vec::as_slice).collect();
+        let slots = layout.pack(&refs).unwrap();
+        // element j of lane b sits at j·4 + b, repeating every 32 slots
+        assert_eq!(slots[layout.slot_of(1, 3)], 13.0);
+        assert_eq!(slots[layout.slot_of(1, 3) + layout.period()], 13.0);
+        assert_eq!(slots[layout.slot_of(3, 0)], 0.0, "missing lane is zero");
+        let back = layout.unpack(&slots, 3, 8);
+        assert_eq!(back, lanes);
+    }
+
+    #[test]
+    fn stride_one_pack_equals_plain_tiling() {
+        let layout = PackLayout::tiled(8, 64).unwrap();
+        let lane: Vec<f64> = (0..6).map(|j| j as f64 + 0.5).collect();
+        let packed = layout.pack(&[&lane]).unwrap();
+        for (i, &v) in packed.iter().enumerate() {
+            let j = i % 8;
+            let want = if j < 6 { j as f64 + 0.5 } else { 0.0 };
+            assert_eq!(v, want, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn expand_broadcasts_per_element_values() {
+        let layout = PackLayout::new(4, 2, 16).unwrap();
+        let e = layout.expand(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e[..8], [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]);
+        assert_eq!(e[8..], e[..8]);
+    }
+
+    #[test]
+    fn encode_decode_batched_roundtrip() {
+        let ctx = ctx();
+        let layout = PackLayout::new(16, 8, ctx.slots()).unwrap();
+        let lanes: Vec<Vec<f64>> = (0..8)
+            .map(|b| (0..16).map(|j| ((b * 16 + j) as f64).sin() * 0.5).collect())
+            .collect();
+        let refs: Vec<&[f64]> = lanes.iter().map(Vec::as_slice).collect();
+        let pt = encode_batched(&ctx, &refs, &layout, ctx.params().scale(), 2).unwrap();
+        let back = decode_batched(&ctx, &pt, &layout, 8, 16);
+        for (a, b) in back.iter().flatten().zip(lanes.iter().flatten()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn encode_batched_rejects_excess_lanes_typed() {
+        let ctx = ctx();
+        let layout = PackLayout::new(16, 2, ctx.slots()).unwrap();
+        let lane = vec![0.5f64; 16];
+        let lanes: Vec<&[f64]> = vec![&lane; 3];
+        let err = encode_batched(&ctx, &lanes, &layout, ctx.params().scale(), 1).unwrap_err();
+        assert!(matches!(
+            err,
+            HeError::BatchExceedsSlots {
+                batch: 3,
+                capacity: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn rotation_by_stride_shifts_elements_within_lanes() {
+        let layout = PackLayout::new(8, 4, 32).unwrap();
+        assert_eq!(layout.rotation_step(1), 4);
+        assert_eq!(layout.rotation_step(-3), -12);
+        let lanes: Vec<Vec<f64>> = (0..4)
+            .map(|b| (0..8).map(|j| (b * 8 + j) as f64).collect())
+            .collect();
+        let refs: Vec<&[f64]> = lanes.iter().map(Vec::as_slice).collect();
+        let v = layout.pack(&refs).unwrap();
+        // emulate a left rotation by stride·d slots
+        let d = 3usize;
+        let r = layout.rotation_step(d as i64) as usize;
+        let rotated: Vec<f64> = (0..v.len()).map(|i| v[(i + r) % v.len()]).collect();
+        let back = layout.unpack(&rotated, 4, 8);
+        for (b, lane) in back.iter().enumerate() {
+            for (j, &val) in lane.iter().enumerate() {
+                assert_eq!(val, lanes[b][(j + d) % 8], "lane {b} elem {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_combine_then_split_roundtrips_encrypted() {
+        let ctx = ctx();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 7);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(8);
+
+        let layout = PackLayout::new(16, 4, ctx.slots()).unwrap();
+        let shards_n = 3usize;
+        let mut steps = combine_rotation_steps(&layout, shards_n);
+        steps.extend(split_rotation_steps(&layout, shards_n));
+        let gk = kg.gen_galois_keys(&sk, &steps, false);
+
+        let mut cts = Vec::new();
+        let mut lanes_all = Vec::new();
+        for sh in 0..shards_n {
+            let lanes: Vec<Vec<f64>> = (0..4)
+                .map(|b| {
+                    (0..16)
+                        .map(|j| (sh * 100 + b * 16 + j) as f64 * 1e-3)
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[f64]> = lanes.iter().map(Vec::as_slice).collect();
+            let pt = encode_batched(&ctx, &refs, &layout, ctx.params().scale(), 3).unwrap();
+            cts.push(ev.encrypt(&pt, &pk, &mut s));
+            lanes_all.push(lanes);
+        }
+
+        let combined = shard_combine(&ev, &cts, &layout, &gk).unwrap();
+        assert_eq!(combined.level, 2, "mask consumes one level");
+        // slot range [s·period, …) of the combined ct holds shard s
+        let dec = ev.decrypt_to_real(&combined, &sk);
+        for (sh, lanes) in lanes_all.iter().enumerate() {
+            for (b, lane) in lanes.iter().enumerate() {
+                for (j, want) in lane.iter().enumerate() {
+                    let got = dec[sh * layout.period() + layout.slot_of(b, j)];
+                    assert!((got - want).abs() < 1e-4, "shard {sh} lane {b} elem {j}");
+                }
+            }
+        }
+
+        let split = shard_split(&ev, &combined, &layout, shards_n, &gk).unwrap();
+        assert_eq!(split.len(), shards_n);
+        for (sh, ct) in split.iter().enumerate() {
+            assert_eq!(ct.level, 1, "second mask consumes another level");
+            let dec = ev.decrypt_to_real(ct, &sk);
+            // a split shard is a valid layout ciphertext again: the
+            // repetition must cover the whole ring
+            for rep in 0..(ctx.slots() / layout.period()) {
+                let back = layout.unpack(&dec[rep * layout.period()..], 4, 16);
+                for (b, lane) in back.iter().enumerate() {
+                    for (j, got) in lane.iter().enumerate() {
+                        let want = lanes_all[sh][b][j];
+                        assert!(
+                            (got - want).abs() < 1e-3,
+                            "rep {rep} shard {sh} lane {b} elem {j}: {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ops_report_their_rotation_needs() {
+        let layout = PackLayout::new(16, 4, 512).unwrap();
+        assert_eq!(combine_rotation_steps(&layout, 3), vec![-64, -128]);
+        let split = split_rotation_steps(&layout, 3);
+        assert_eq!(split, vec![64, 128, -64, -128, -256]);
+        // combine past the ring is a typed error
+        let ev_steps = combine_rotation_steps(&layout, 8);
+        assert_eq!(ev_steps.len(), 7);
+    }
+
+    #[test]
+    fn combine_rejects_overfull_ring() {
+        let ctx = ctx();
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        let layout = PackLayout::new(64, 4, ctx.slots()).unwrap(); // period 256, 2 reps
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 9);
+        let sk = kg.gen_secret_key();
+        let gk = kg.gen_galois_keys(&sk, &[], false);
+        let pk = kg.gen_public_key(&sk);
+        let mut s = Sampler::from_seed(10);
+        let pt = encode_batched(&ctx, &[], &layout, ctx.params().scale(), 2).unwrap();
+        let ct = ev.encrypt(&pt, &pk, &mut s);
+        let cts = vec![ct.clone(), ct.clone(), ct];
+        let err = shard_combine(&ev, &cts, &layout, &gk).unwrap_err();
+        assert!(matches!(err, HeError::BatchExceedsSlots { .. }), "{err}");
+    }
+}

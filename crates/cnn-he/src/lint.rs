@@ -70,7 +70,41 @@ pub fn plan_for_packed_with_elements(
     params: CkksParams,
     elements: impl IntoIterator<Item = usize>,
 ) -> CircuitPlan {
-    let rotation_steps = packed.required_rotation_steps();
+    plan_for_packed_batched_with_elements(packed, params, 1, elements)
+}
+
+/// Lowers a packed-engine network running over a batch-strided layout
+/// with `stride` lanes per ciphertext: the same circuit as
+/// [`plan_for_packed`] with every rotation step scaled by the stride
+/// (and `dim · stride` slots occupied). `stride = 1` is exactly the
+/// single-image plan.
+pub fn plan_for_packed_batched(
+    packed: &PackedNetwork,
+    params: CkksParams,
+    stride: usize,
+    galois_steps: &[i64],
+) -> CircuitPlan {
+    let elements: Vec<usize> = galois_steps
+        .iter()
+        .map(|&s| params.galois_element_for_rotation(s))
+        .collect();
+    plan_for_packed_batched_with_elements(packed, params, stride, elements)
+}
+
+/// [`plan_for_packed_batched`] with the key inventory given as group
+/// elements.
+pub fn plan_for_packed_batched_with_elements(
+    packed: &PackedNetwork,
+    params: CkksParams,
+    stride: usize,
+    elements: impl IntoIterator<Item = usize>,
+) -> CircuitPlan {
+    assert!(stride >= 1, "stride must be at least 1");
+    let rotation_steps: Vec<i64> = packed
+        .required_rotation_steps()
+        .iter()
+        .map(|&s| s * stride as i64)
+        .collect();
     let mut ops = Vec::new();
     for (i, layer) in packed.layers.iter().enumerate() {
         match layer {
@@ -92,10 +126,16 @@ pub fn plan_for_packed_with_elements(
             }
         }
     }
-    let slots_used = packed.dim;
+    let slots_used = packed.dim * stride;
+    let layout = if stride == 1 {
+        he_ir::Layout::Tiled
+    } else {
+        he_ir::Layout::BatchStrided { stride }
+    };
     CircuitPlan::new(params, ops)
         .with_keys(KeyInventory::with_galois(true, elements))
         .with_slots_used(slots_used)
+        .with_layout(layout)
 }
 
 /// Appends the RNS input-codec soundness op for a stream decomposition
@@ -175,6 +215,45 @@ mod tests {
             "{}",
             he_lint::analyze(&plan).render()
         );
+    }
+
+    #[test]
+    fn batched_plan_scales_rotation_steps_by_the_stride() {
+        let net = toy_net();
+        let packed = PackedNetwork::from_network(&net);
+        let params = CkksParams::tiny(packed.required_levels());
+        let stride = 4usize;
+        let steps: Vec<i64> = packed
+            .required_rotation_steps()
+            .iter()
+            .map(|&s| s * stride as i64)
+            .collect();
+        let plan = plan_for_packed_batched(&packed, params, stride, &steps);
+        assert_eq!(plan.required_levels(), packed.required_levels());
+        assert_eq!(plan.slots_used, packed.dim * stride);
+        assert_eq!(plan.layout, he_ir::Layout::BatchStrided { stride });
+        let plan_steps: Vec<i64> = plan
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                CircuitOp::Rotation { steps } => Some(*steps),
+                _ => None,
+            })
+            .collect();
+        assert!(plan_steps.iter().all(|s| s % stride as i64 == 0));
+        assert!(
+            he_lint::is_clean(&plan),
+            "{}",
+            he_lint::analyze(&plan).render()
+        );
+        // under-provisioned stride-1 keys must fail the strided plan
+        let plan = plan_for_packed_batched(
+            &packed,
+            CkksParams::tiny(packed.required_levels()),
+            stride,
+            &packed.required_rotation_steps(),
+        );
+        assert!(he_lint::analyze(&plan).has_code("missing-galois-key"));
     }
 
     #[test]

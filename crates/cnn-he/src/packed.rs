@@ -15,7 +15,10 @@
 
 use crate::he_layers::ConvSpec;
 use crate::network::{HeLayerSpec, HeNetwork};
-use ckks::{encode_real, Ciphertext, Evaluator, GaloisKeys, PublicKey, RelinKey};
+use ckks::{
+    encode_batched, encode_real, Ciphertext, Evaluator, GaloisKeys, HeError, PackLayout, PublicKey,
+    RelinKey, SecretKey, ShardPlan,
+};
 use ckks_math::sampler::Sampler;
 use std::time::{Duration, Instant};
 
@@ -180,7 +183,7 @@ impl PackedNetwork {
     }
 
     /// Galois rotation steps the encrypted path needs (baby steps
-    /// `1..B` and giant steps `B, 2B, …`).
+    /// `1..B` and giant steps `B, 2B, …`) in the stride-1 tiled layout.
     pub fn required_rotation_steps(&self) -> Vec<i64> {
         let b = self.baby();
         let mut steps: Vec<i64> = (1..b as i64).collect();
@@ -190,6 +193,30 @@ impl PackedNetwork {
             g += b;
         }
         steps
+    }
+
+    /// [`Self::required_rotation_steps`] for a batch-strided layout:
+    /// every BSGS step scales by the lane stride (rotating by `d·stride`
+    /// shifts every lane's elements by `d`).
+    pub fn required_rotation_steps_for(&self, layout: &PackLayout) -> Vec<i64> {
+        assert_eq!(layout.dim(), self.dim, "layout dim mismatch");
+        self.required_rotation_steps()
+            .iter()
+            .map(|&s| layout.rotation_step(s))
+            .collect()
+    }
+
+    /// The batch-strided layout packing `lanes` images per ciphertext
+    /// on a ring with `slots` slots.
+    pub fn layout_for(&self, slots: usize, lanes: usize) -> Result<PackLayout, HeError> {
+        PackLayout::new(self.dim, lanes, slots)
+    }
+
+    /// Plans a logical batch of `batch` images onto ciphertext shards
+    /// (lane count capped by `slots / dim`, remainder spilling into
+    /// further shards).
+    pub fn plan_batch(&self, slots: usize, batch: usize) -> Result<ShardPlan, HeError> {
+        ShardPlan::plan(slots, self.dim, batch)
     }
 
     /// Plaintext reference of the packed function (must equal the
@@ -239,7 +266,8 @@ impl PackedNetwork {
     }
 
     /// Encrypts an input vector tiled cyclically across all slots (the
-    /// layout the diagonal method requires).
+    /// layout the diagonal method requires). Stride-1 special case of
+    /// [`Self::encrypt_batch`] — bit-identical to the historical path.
     pub fn encrypt_input(
         &self,
         ev: &Evaluator,
@@ -247,7 +275,6 @@ impl PackedNetwork {
         sampler: &mut Sampler,
         input: &[f32],
     ) -> Ciphertext {
-        assert_eq!(input.len(), self.input_dim);
         let slots = ev.ctx().slots();
         assert!(
             self.dim <= slots && slots.is_multiple_of(self.dim),
@@ -255,22 +282,64 @@ impl PackedNetwork {
             self.dim,
             slots
         );
-        let mut tiled = vec![0.0f64; slots];
-        for (i, t) in tiled.iter_mut().enumerate() {
-            let j = i % self.dim;
-            *t = if j < self.input_dim {
-                input[j] as f64
-            } else {
-                0.0
-            };
+        let plan = ShardPlan::plan_single(slots, self.dim, 1).expect("dim fits the ring");
+        self.encrypt_batch(ev, pk, sampler, &[input], &plan)
+            .expect("single lane cannot overflow the layout")
+            .remove(0)
+    }
+
+    /// Encrypts a batch of images into the plan's shard ciphertexts:
+    /// `plan.shards()` ciphertexts, each packing up to
+    /// `plan.layout().batch()` images in the batch-strided layout.
+    /// Typed failure when the images cannot be packed as planned.
+    pub fn encrypt_batch(
+        &self,
+        ev: &Evaluator,
+        pk: &PublicKey,
+        sampler: &mut Sampler,
+        images: &[&[f32]],
+        plan: &ShardPlan,
+    ) -> Result<Vec<Ciphertext>, HeError> {
+        assert_eq!(images.len(), plan.total(), "plan/batch size mismatch");
+        for img in images {
+            assert_eq!(img.len(), self.input_dim, "image length mismatch");
         }
-        let pt = encode_real(
-            ev.ctx(),
-            &tiled,
-            ev.ctx().params().scale(),
-            self.required_levels(),
-        );
-        ev.encrypt(&pt, pk, sampler)
+        let layout = plan.layout();
+        let level = self.required_levels();
+        let scale = ev.ctx().params().scale();
+        let mut out = Vec::with_capacity(plan.shards());
+        for s in 0..plan.shards() {
+            let lo = s * layout.batch();
+            let hi = (lo + layout.batch()).min(images.len());
+            let lanes: Vec<Vec<f64>> = images[lo..hi]
+                .iter()
+                .map(|img| img.iter().map(|&v| v as f64).collect())
+                .collect();
+            let refs: Vec<&[f64]> = lanes.iter().map(Vec::as_slice).collect();
+            let pt = encode_batched(ev.ctx(), &refs, &layout, scale, level)?;
+            out.push(ev.encrypt(&pt, pk, sampler));
+        }
+        Ok(out)
+    }
+
+    /// Decrypts the shard ciphertexts of a batched inference back to
+    /// one logits row per image (only the `output_dim` true logits, in
+    /// the original batch order).
+    pub fn decrypt_batch(
+        &self,
+        ev: &Evaluator,
+        sk: &SecretKey,
+        shards: &[Ciphertext],
+        plan: &ShardPlan,
+    ) -> Vec<Vec<f64>> {
+        assert_eq!(shards.len(), plan.shards(), "plan/shard count mismatch");
+        let layout = plan.layout();
+        let mut out = Vec::with_capacity(plan.total());
+        for (s, ct) in shards.iter().enumerate() {
+            let dec = ev.decrypt_to_real(ct, sk);
+            out.extend(layout.unpack(&dec, plan.lanes_in_shard(s), self.output_dim));
+        }
+        out
     }
 
     /// Static (level, scale) schedule at the input of every layer: the
@@ -300,8 +369,19 @@ impl PackedNetwork {
 
     /// Pre-encodes every diagonal and bias plaintext at its scheduled
     /// level/scale — hoists the embedding+NTT cost out of inference.
+    /// Stride-1 special case of [`Self::precompute_layout`].
     pub fn precompute(&self, ev: &Evaluator) -> PackedPrecomputed {
-        let slots = ev.ctx().slots();
+        let layout = PackLayout::tiled(self.dim, ev.ctx().slots()).expect("dim fits the ring");
+        self.precompute_layout(ev, &layout)
+    }
+
+    /// [`Self::precompute`] for a batch-strided layout: each diagonal
+    /// and bias value is broadcast to every lane
+    /// ([`PackLayout::expand`]), so one plaintext operand serves the
+    /// whole batch.
+    pub fn precompute_layout(&self, ev: &Evaluator, layout: &PackLayout) -> PackedPrecomputed {
+        assert_eq!(layout.dim(), self.dim, "layout dim mismatch");
+        assert_eq!(layout.slots(), ev.ctx().slots(), "layout ring mismatch");
         let schedule = self.layer_schedule(ev);
         let b = self.baby();
         let layers = self
@@ -318,28 +398,27 @@ impl PackedNetwork {
                         .map(|(d, diag)| {
                             diag.as_ref().map(|diag| {
                                 let g = (d / b) * b;
-                                let mut tiled = vec![0.0f64; slots];
-                                for (i, t) in tiled.iter_mut().enumerate() {
-                                    let j = i % dim;
-                                    *t = diag[(j + dim - g % dim) % dim];
-                                }
-                                encode_real(ev.ctx(), &tiled, q_m, level)
+                                let rot: Vec<f64> =
+                                    (0..*dim).map(|j| diag[(j + dim - g % dim) % dim]).collect();
+                                encode_real(ev.ctx(), &layout.expand(&rot), q_m, level)
                             })
                         })
                         .collect();
-                    let mut tiled_bias = vec![0.0f64; slots];
-                    for (i, t) in tiled_bias.iter_mut().enumerate() {
-                        *t = bias[i % dim];
-                    }
-                    let bias_pt = encode_real(ev.ctx(), &tiled_bias, scale * q_m, level);
+                    let bias_pt = encode_real(ev.ctx(), &layout.expand(bias), scale * q_m, level);
                     Some((diag_pts, bias_pt))
                 }
             })
             .collect();
-        PackedPrecomputed { layers }
+        PackedPrecomputed {
+            layout: *layout,
+            layers,
+        }
     }
 
-    /// Encrypted inference with precomputed plaintexts.
+    /// Encrypted inference with precomputed plaintexts. The rotation
+    /// steps follow the precompute's layout stride, so the same code
+    /// path serves the single-image tiled layout (stride 1 — the
+    /// historical behavior, bit-identical) and slot-packed batches.
     pub fn infer_encrypted_precomputed(
         &self,
         ev: &Evaluator,
@@ -348,6 +427,7 @@ impl PackedNetwork {
         pre: &PackedPrecomputed,
         mut x: Ciphertext,
     ) -> (Ciphertext, Vec<(String, Duration)>) {
+        let stride = pre.layout.stride() as i64;
         let b = self.baby();
         let mut times = Vec::new();
         for (li, layer) in self.layers.iter().enumerate() {
@@ -359,7 +439,7 @@ impl PackedNetwork {
                     let mut babies = Vec::with_capacity(b);
                     babies.push(x.clone());
                     for s in 1..b {
-                        babies.push(ev.rotate(&x, s as i64, gk));
+                        babies.push(ev.rotate(&x, s as i64 * stride, gk));
                     }
                     let mut acc: Option<Ciphertext> = None;
                     let mut g = 0usize;
@@ -384,7 +464,7 @@ impl PackedNetwork {
                             let rotated = if g == 0 {
                                 inner
                             } else {
-                                ev.rotate(&inner, g as i64, gk)
+                                ev.rotate(&inner, g as i64 * stride, gk)
                             };
                             acc = Some(match acc {
                                 None => rotated,
@@ -410,21 +490,40 @@ impl PackedNetwork {
 
     /// Encrypted inference: BSGS diagonal matvec per linear layer, one
     /// SLAF per activation layer. Returns the output ciphertext and
-    /// per-layer wall times.
+    /// per-layer wall times. Stride-1 special case of
+    /// [`Self::infer_encrypted_layout`].
     pub fn infer_encrypted(
         &self,
         ev: &Evaluator,
         rk: &RelinKey,
         gk: &GaloisKeys,
+        x: Ciphertext,
+    ) -> (Ciphertext, Vec<(String, Duration)>) {
+        let layout = PackLayout::tiled(self.dim, ev.ctx().slots()).expect("dim fits the ring");
+        self.infer_encrypted_layout(ev, rk, gk, &layout, x)
+    }
+
+    /// [`Self::infer_encrypted`] over a batch-strided ciphertext: the
+    /// same BSGS circuit with every rotation step scaled by the lane
+    /// stride and every plaintext operand broadcast to all lanes —
+    /// per-ciphertext HE op count is independent of the lane count.
+    pub fn infer_encrypted_layout(
+        &self,
+        ev: &Evaluator,
+        rk: &RelinKey,
+        gk: &GaloisKeys,
+        layout: &PackLayout,
         mut x: Ciphertext,
     ) -> (Ciphertext, Vec<(String, Duration)>) {
+        assert_eq!(layout.dim(), self.dim, "layout dim mismatch");
         // debug builds lint the plan against the *actual* key inventory
         // before spending any rotations
         #[cfg(debug_assertions)]
         {
-            let plan = crate::lint::plan_for_packed_with_elements(
+            let plan = crate::lint::plan_for_packed_batched_with_elements(
                 self,
                 ev.ctx().params().clone(),
+                layout.stride(),
                 gk.elements(),
             )
             .with_start_level(x.level);
@@ -435,7 +534,7 @@ impl PackedNetwork {
                 report.render()
             );
         }
-        let slots = ev.ctx().slots();
+        let stride = layout.stride() as i64;
         let b = self.baby();
         let mut times = Vec::new();
         for (li, layer) in self.layers.iter().enumerate() {
@@ -443,11 +542,11 @@ impl PackedNetwork {
             match layer {
                 PackedLayer::Matrix { diags, bias, dim } => {
                     let q_m = ev.ctx().chain_moduli()[x.level].value() as f64;
-                    // baby steps: rot_b(x) for b = 0..B
+                    // baby steps: rot_{b·stride}(x) for b = 0..B
                     let mut babies = Vec::with_capacity(b);
                     babies.push(x.clone());
                     for s in 1..b {
-                        babies.push(ev.rotate(&x, s as i64, gk));
+                        babies.push(ev.rotate(&x, s as i64 * stride, gk));
                     }
                     // giant accumulation
                     let mut acc: Option<Ciphertext> = None;
@@ -463,13 +562,11 @@ impl PackedNetwork {
                             // BSGS identity with left rotations:
                             //   y = Σ_g rot_g( Σ_b rot_{-g}(diag_{g+b}) ⊙ rot_b(x) )
                             // so the plaintext is the diagonal rotated
-                            // right by g, tiled across the slots.
-                            let mut tiled = vec![0.0f64; slots];
-                            for (i, t) in tiled.iter_mut().enumerate() {
-                                let j = i % dim;
-                                *t = diag[(j + dim - g % dim) % dim];
-                            }
-                            let pt = encode_real(ev.ctx(), &tiled, q_m, babies[bb].level);
+                            // right by g, broadcast to every lane.
+                            let rot: Vec<f64> =
+                                (0..*dim).map(|j| diag[(j + dim - g % dim) % dim]).collect();
+                            let pt =
+                                encode_real(ev.ctx(), &layout.expand(&rot), q_m, babies[bb].level);
                             let term = ev.mul_plain(&babies[bb], &pt);
                             inner = Some(match inner {
                                 None => term,
@@ -480,7 +577,7 @@ impl PackedNetwork {
                             let rotated = if g == 0 {
                                 inner
                             } else {
-                                ev.rotate(&inner, g as i64, gk)
+                                ev.rotate(&inner, g as i64 * stride, gk)
                             };
                             acc = Some(match acc {
                                 None => rotated,
@@ -490,12 +587,8 @@ impl PackedNetwork {
                         g += b;
                     }
                     let mut acc = acc.expect("zero matrix layer");
-                    // bias at the accumulated scale, tiled
-                    let mut tiled_bias = vec![0.0f64; slots];
-                    for (i, t) in tiled_bias.iter_mut().enumerate() {
-                        *t = bias[i % dim];
-                    }
-                    let bias_pt = encode_real(ev.ctx(), &tiled_bias, acc.scale, acc.level);
+                    // bias at the accumulated scale, broadcast per lane
+                    let bias_pt = encode_real(ev.ctx(), &layout.expand(bias), acc.scale, acc.level);
                     acc = ev.add_plain(&acc, &bias_pt);
                     x = ev.rescale(&acc);
                 }
@@ -509,12 +602,45 @@ impl PackedNetwork {
         }
         (x, times)
     }
+
+    /// Runs [`Self::infer_encrypted_precomputed`] over every shard of a
+    /// batched request (shards are independent, identical circuits).
+    pub fn infer_batch(
+        &self,
+        ev: &Evaluator,
+        rk: &RelinKey,
+        gk: &GaloisKeys,
+        pre: &PackedPrecomputed,
+        shards: Vec<Ciphertext>,
+    ) -> (Vec<Ciphertext>, Vec<(String, Duration)>) {
+        let mut outs = Vec::with_capacity(shards.len());
+        let mut times = Vec::new();
+        for (s, ct) in shards.into_iter().enumerate() {
+            let (y, t) = self.infer_encrypted_precomputed(ev, rk, gk, pre, ct);
+            outs.push(y);
+            times.extend(
+                t.into_iter()
+                    .map(|(name, d)| (format!("shard {s}: {name}"), d)),
+            );
+        }
+        (outs, times)
+    }
 }
 
 /// Pre-encoded plaintext operands of a packed network (one entry per
-/// layer; `None` for activations).
+/// layer; `None` for activations), bound to the layout they were
+/// broadcast for.
 pub struct PackedPrecomputed {
+    layout: PackLayout,
     layers: Vec<Option<(Vec<Option<ckks::Plaintext>>, ckks::Plaintext)>>,
+}
+
+impl PackedPrecomputed {
+    /// The layout the operands were expanded for (its stride drives the
+    /// rotation steps of [`PackedNetwork::infer_encrypted_precomputed`]).
+    pub fn layout(&self) -> PackLayout {
+        self.layout
+    }
 }
 
 #[cfg(test)]
@@ -671,6 +797,71 @@ mod tests {
                 o2[i]
             );
         }
+    }
+
+    #[test]
+    fn batched_inference_matches_plain_per_lane() {
+        // 3 images (non-pow2 → padded to 4 lanes) in ONE ciphertext:
+        // the packed BSGS circuit runs once, every lane gets its logits
+        let net = mini_net(51);
+        let packed = PackedNetwork::from_network(&net);
+        let ctx = CkksParams::tiny(packed.required_levels()).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 52);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let rk = kg.gen_relin_key(&sk);
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(53);
+
+        let plan = packed.plan_batch(ctx.slots(), 3).unwrap();
+        assert_eq!(plan.shards(), 1);
+        assert_eq!(plan.layout().batch(), 4, "3 lanes pad to 4");
+        let gk = kg.gen_galois_keys(
+            &sk,
+            &packed.required_rotation_steps_for(&plan.layout()),
+            false,
+        );
+
+        let images: Vec<Vec<f32>> = (0..3)
+            .map(|k| {
+                (0..64)
+                    .map(|i| ((i * (k + 3)) % 11) as f32 / 11.0)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = images.iter().map(Vec::as_slice).collect();
+        let cts = packed
+            .encrypt_batch(&ev, &pk, &mut s, &refs, &plan)
+            .unwrap();
+        let pre = packed.precompute_layout(&ev, &plan.layout());
+        let (outs, _) = packed.infer_batch(&ev, &rk, &gk, &pre, cts);
+        let logits = packed.decrypt_batch(&ev, &sk, &outs, &plan);
+        assert_eq!(logits.len(), 3);
+        for (k, img) in images.iter().enumerate() {
+            let want = packed.infer_plain(img);
+            for i in 0..packed.output_dim {
+                assert!(
+                    (logits[k][i] - want[i]).abs() < 0.02,
+                    "image {k} logit {i}: {} vs {}",
+                    logits[k][i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_overflow_spills_into_shards() {
+        let net = mini_net(54);
+        let packed = PackedNetwork::from_network(&net);
+        // tiny ring: 512 slots / dim 64 = 8 lanes per ciphertext
+        let plan = packed.plan_batch(512, 9).unwrap();
+        assert_eq!(plan.shards(), 2, "9 images need a 2-shard split");
+        assert_eq!(plan.lanes_in_shard(0), 8);
+        assert_eq!(plan.lanes_in_shard(1), 1);
+        // typed refusal on the single-ciphertext planner
+        let err = ckks::ShardPlan::plan_single(512, packed.dim, 9).unwrap_err();
+        assert!(matches!(err, HeError::BatchExceedsSlots { .. }));
     }
 
     #[test]

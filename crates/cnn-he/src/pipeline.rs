@@ -2,12 +2,29 @@
 //! deployment): client encodes + encrypts, server evaluates the CNN over
 //! ciphertexts, client decrypts the logits.
 
-use crate::exec::{ExecMode, ExecPlan, InferenceTiming};
+use crate::exec::{ExecMode, ExecPlan, InferenceTiming, LayerTiming};
 use crate::he_tensor::{decrypt_tensor, encrypt_image_batch, CtTensor};
 use crate::network::HeNetwork;
-use ckks::{CkksContext, CkksParams, Evaluator, KeyGenerator, PublicKey, RelinKey, SecretKey};
+use crate::packed::{PackedNetwork, PackedPrecomputed};
+use ckks::{
+    CkksContext, CkksParams, Evaluator, GaloisKeys, HeError, KeyGenerator, PublicKey, RelinKey,
+    SecretKey,
+};
 use ckks_math::sampler::Sampler;
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// State of the slot-packed batch engine once
+/// [`CnnHePipeline::enable_packed_batching`] has run: the lowered
+/// network, a Galois key set covering the BSGS steps of *every*
+/// power-of-two lane stride up to the per-ciphertext capacity (so no
+/// keygen happens on the request path), and a per-stride cache of
+/// pre-encoded plaintext operands.
+struct PackedBatchEngine {
+    packed: PackedNetwork,
+    gk: GaloisKeys,
+    pre: HashMap<usize, PackedPrecomputed>,
+}
 
 /// A ready-to-serve encrypted-inference pipeline: context, keys and the
 /// extracted network.
@@ -19,9 +36,13 @@ pub struct CnnHePipeline {
     ev: Evaluator,
     pub network: HeNetwork,
     sampler: Sampler,
+    seed: u64,
     /// How encrypted layers execute (sequential by default); see
     /// [`Self::set_exec_mode`].
     exec_mode: ExecMode,
+    /// `Some` once slot-packed batching is enabled; [`Self::classify`]
+    /// then routes through the packed engine.
+    packed: Option<PackedBatchEngine>,
 }
 
 /// Result of one encrypted classification request.
@@ -79,8 +100,50 @@ impl CnnHePipeline {
             ev,
             network,
             sampler: Sampler::from_seed(seed ^ 0x00C0_FFEE),
+            seed,
             exec_mode: ExecMode::sequential(),
+            packed: None,
         }
+    }
+
+    /// Switches [`Self::classify`] to the slot-packed batch engine: the
+    /// network is lowered to packed (BSGS) form once, Galois keys are
+    /// generated for every power-of-two lane stride up to the
+    /// per-ciphertext capacity, and subsequent requests coalesce B
+    /// images into `ceil(B / capacity)` ciphertexts instead of one
+    /// ciphertext stream per activation. Fails typed
+    /// ([`HeError::BatchExceedsSlots`]) when even a single image's
+    /// packed vector does not fit the ring. Idempotent.
+    pub fn enable_packed_batching(&mut self) -> Result<(), HeError> {
+        if self.packed.is_some() {
+            return Ok(());
+        }
+        let packed = PackedNetwork::from_network(&self.network);
+        let slots = self.ctx.slots();
+        // typed capacity check before any keygen cost
+        packed.plan_batch(slots, 1)?;
+        let cap = (slots / packed.dim).max(1);
+        let mut steps = std::collections::BTreeSet::new();
+        let mut lanes = 1usize;
+        while lanes <= cap {
+            let layout = packed.layout_for(slots, lanes)?;
+            steps.extend(packed.required_rotation_steps_for(&layout));
+            lanes <<= 1;
+        }
+        let steps: Vec<i64> = steps.into_iter().collect();
+        let mut kg = KeyGenerator::new(Arc::clone(&self.ctx), self.seed ^ 0x9A70);
+        let gk = kg.gen_galois_keys(&self.sk, &steps, false);
+        self.packed = Some(PackedBatchEngine {
+            packed,
+            gk,
+            pre: HashMap::new(),
+        });
+        Ok(())
+    }
+
+    /// Whether [`Self::enable_packed_batching`] has run.
+    pub fn packed_batching_enabled(&self) -> bool {
+        self.packed.is_some()
     }
 
     /// Selects how [`Self::classify`] executes layer unit loops.
@@ -100,6 +163,21 @@ impl CnnHePipeline {
     /// ciphertext*. `batch` is the number of images of the intended
     /// request.
     pub fn validate_batch(&self, batch: usize) -> he_lint::LintReport {
+        if let Some(eng) = &self.packed {
+            // the packed engine shards any batch; lint the per-shard
+            // circuit at the stride the planner would actually pick
+            let plan = eng
+                .packed
+                .plan_batch(self.ctx.slots(), batch.max(1))
+                .expect("capacity was checked when packing was enabled");
+            let plan = crate::lint::plan_for_packed_batched_with_elements(
+                &eng.packed,
+                self.ctx.params().clone(),
+                plan.layout().stride(),
+                eng.gk.elements(),
+            );
+            return he_lint::analyze(&plan);
+        }
         let plan = crate::lint::plan_for_network(&self.network, self.ctx.params().clone(), batch);
         he_lint::analyze(&plan)
     }
@@ -127,10 +205,16 @@ impl CnnHePipeline {
         he_ir::PassManager::standard().run(&self.lower_to_ir())
     }
 
-    /// Largest image batch one slot-packed request can carry (the CKKS
-    /// slot count) — the ceiling a serving engine may coalesce up to.
+    /// Largest image batch one slot-packed request can carry — the
+    /// ceiling a serving engine may coalesce up to. Scalar engine: the
+    /// CKKS slot count (one slot per image). Packed engine: the lane
+    /// capacity of one ciphertext (`slots / dim`), so a coalesced batch
+    /// stays a single packed ciphertext.
     pub fn max_batch(&self) -> usize {
-        self.ctx.slots()
+        match &self.packed {
+            Some(eng) => (self.ctx.slots() / eng.packed.dim).max(1),
+            None => self.ctx.slots(),
+        }
     }
 
     /// Flat pixel count one request image must have.
@@ -161,13 +245,80 @@ impl CnnHePipeline {
     }
 
     /// Server-side: evaluates the network on encrypted inputs; then
-    /// (client-side) decrypts logits and takes argmax.
+    /// (client-side) decrypts logits and takes argmax. Routes through
+    /// the slot-packed batch engine when
+    /// [`Self::enable_packed_batching`] has run.
     pub fn classify(&mut self, images: &[&[f32]]) -> Classification {
+        if self.packed.is_some() {
+            return self.classify_packed(images);
+        }
         let x = self.encrypt(images);
         let (logits_ct, timing) =
             self.network
                 .infer_encrypted_with(&self.ev, &self.rk, x, self.exec_mode);
         let logits = decrypt_tensor(&self.ev, &self.sk, &logits_ct, images.len());
+        let predictions = logits
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        Classification {
+            logits,
+            predictions,
+            timing,
+        }
+    }
+
+    /// The packed-engine request path: plan shards, encrypt B images
+    /// into `ceil(B / capacity)` batch-strided ciphertexts, run the
+    /// BSGS circuit once per shard with cached pre-encoded operands,
+    /// decrypt one logits row per image.
+    fn classify_packed(&mut self, images: &[&[f32]]) -> Classification {
+        assert!(!images.is_empty(), "cannot classify an empty batch");
+        let report = self.validate_batch(images.len());
+        assert!(
+            !report.has_errors(),
+            "he-lint rejected the inference plan:\n{}",
+            report.render()
+        );
+        let eng = self.packed.as_mut().expect("packed engine enabled");
+        let plan = eng
+            .packed
+            .plan_batch(self.ctx.slots(), images.len())
+            .expect("capacity was checked when packing was enabled");
+        let stride = plan.layout().stride();
+        if !eng.pre.contains_key(&stride) {
+            let pre = eng.packed.precompute_layout(&self.ev, &plan.layout());
+            eng.pre.insert(stride, pre);
+        }
+        let pre = &eng.pre[&stride];
+        let cts = eng
+            .packed
+            .encrypt_batch(&self.ev, &self.pk, &mut self.sampler, images, &plan)
+            .expect("the shard plan fits by construction");
+        let (outs, times) = eng
+            .packed
+            .infer_batch(&self.ev, &self.rk, &eng.gk, pre, cts);
+        let logits = eng.packed.decrypt_batch(&self.ev, &self.sk, &outs, &plan);
+        let timing = InferenceTiming {
+            layers: times
+                .into_iter()
+                .map(|(name, wall)| LayerTiming {
+                    name,
+                    unit_times: vec![wall],
+                    // every packed layer works on whole ciphertexts; the
+                    // RNS stream decomposition still applies to them
+                    parallel: true,
+                    fixed: std::time::Duration::ZERO,
+                    wall,
+                })
+                .collect(),
+        };
         let predictions = logits
             .iter()
             .map(|row| {
@@ -382,6 +533,39 @@ mod tests {
         }
         for (g, w) in got.logits[1].iter().zip(&wb) {
             assert!((g - w).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn packed_batching_classifies_a_sharded_batch() {
+        let net = mini_network(107);
+        let mut pipe = CnnHePipeline::new(net, 1 << 10, 107);
+        pipe.enable_packed_batching().unwrap();
+        assert!(pipe.packed_batching_enabled());
+        // 512 slots / dim 64 → one packed ciphertext carries 8 lanes
+        assert_eq!(pipe.max_batch(), 8);
+        assert!(!pipe.validate_batch(10).has_errors());
+        let images: Vec<Vec<f32>> = (0..10)
+            .map(|k| {
+                (0..64)
+                    .map(|i| ((i * (k + 2)) % 13) as f32 / 13.0)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = images.iter().map(Vec::as_slice).collect();
+        // 10 images spill into 2 shards; every lane must match plain
+        let got = pipe.classify(&refs);
+        assert_eq!(got.logits.len(), 10);
+        for (k, img) in images.iter().enumerate() {
+            let want = pipe.network.infer_plain(img);
+            for (g, w) in got.logits[k].iter().zip(&want) {
+                assert!((g - w).abs() < 3e-2, "image {k}: {g} vs {w}");
+            }
+        }
+        // a singleton batch still runs (stride-1 degenerate layout)
+        let one = pipe.classify(&refs[..1]);
+        for (a, b) in one.logits[0].iter().zip(&got.logits[0]) {
+            assert!((a - b).abs() < 2e-2, "{a} vs {b}");
         }
     }
 

@@ -19,6 +19,23 @@ pub enum Layout {
     /// Packed BSGS layout: one activation vector tiled cyclically
     /// across the slots.
     Tiled,
+    /// Batch-strided packed layout (`ckks::PackLayout`): `stride` lanes
+    /// interleaved, element `j` of lane `b` in slot `j·stride + b`,
+    /// tiled cyclically. `stride = 1` is [`Layout::Tiled`].
+    BatchStrided {
+        /// Lanes per ciphertext = slot distance between consecutive
+        /// elements of one lane.
+        stride: usize,
+    },
+    /// One logical vector batch sharded across `shards` ciphertexts,
+    /// each in the batch-strided layout with the given stride. This is
+    /// the type of shard-combine results and shard-split inputs.
+    Sharded {
+        /// Per-ciphertext lane stride.
+        stride: usize,
+        /// Number of ciphertext shards the logical batch occupies.
+        shards: usize,
+    },
 }
 
 impl std::fmt::Display for Layout {
@@ -26,6 +43,8 @@ impl std::fmt::Display for Layout {
         match self {
             Layout::BatchSlots => write!(f, "batch"),
             Layout::Tiled => write!(f, "tiled"),
+            Layout::BatchStrided { stride } => write!(f, "strided×{stride}"),
+            Layout::Sharded { stride, shards } => write!(f, "sharded×{stride}/{shards}"),
         }
     }
 }
@@ -142,5 +161,18 @@ mod tests {
         });
         assert!(ct.as_ct().is_some() && ct.as_plain().is_none());
         assert!(pt.as_plain().is_some() && pt.as_ct().is_none());
+    }
+
+    #[test]
+    fn packed_layouts_render_their_shape() {
+        assert_eq!(Layout::BatchStrided { stride: 8 }.to_string(), "strided×8");
+        assert_eq!(
+            Layout::Sharded {
+                stride: 8,
+                shards: 4
+            }
+            .to_string(),
+            "sharded×8/4"
+        );
     }
 }

@@ -77,6 +77,10 @@ pub struct CircuitPlan {
     /// top of the chain; evaluators linting mid-circuit set it to the
     /// actual ciphertext level.
     pub start_level: Option<usize>,
+    /// Slot layout of the input ciphertext (scalar engine:
+    /// [`Layout::BatchSlots`]; packed engine: [`Layout::Tiled`] or
+    /// [`Layout::BatchStrided`] for slot-packed batches).
+    pub layout: Layout,
 }
 
 impl CircuitPlan {
@@ -87,6 +91,7 @@ impl CircuitPlan {
             keys: KeyInventory::unknown(),
             slots_used: 1,
             start_level: None,
+            layout: Layout::BatchSlots,
         }
     }
 
@@ -102,6 +107,11 @@ impl CircuitPlan {
 
     pub fn with_start_level(mut self, level: usize) -> Self {
         self.start_level = Some(level);
+        self
+    }
+
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -125,7 +135,7 @@ impl CircuitPlan {
         let depth = self.params.depth();
         let start = self.start_level.map_or(depth, |l| l.min(depth));
         let s = self.params.scale();
-        let mut x = b.input("x", start, Layout::BatchSlots);
+        let mut x = b.input("x", start, self.layout);
         for op in &self.ops {
             b.begin_region(op.name());
             match op {
@@ -216,6 +226,19 @@ mod tests {
         assert_eq!(counts.ct_mults, 2); // square + the deg-3 ct×ct mul
         assert_eq!(counts.scalar_macs, 1);
         assert_eq!(counts.rotations, 1);
+    }
+
+    #[test]
+    fn plan_layout_threads_to_the_input_node() {
+        let ops = vec![CircuitOp::Rotation { steps: 8 }];
+        let plan = CircuitPlan::new(CkksParams::tiny(1), ops)
+            .with_layout(Layout::BatchStrided { stride: 8 });
+        let c = plan.to_circuit();
+        let input_ct = c.nodes[0].ty.as_ct().expect("input is a ciphertext");
+        assert_eq!(input_ct.layout, Layout::BatchStrided { stride: 8 });
+        // default stays the scalar engine's batch-in-slots layout
+        let c = CircuitPlan::new(CkksParams::tiny(1), vec![]).to_circuit();
+        assert_eq!(c.nodes[0].ty.as_ct().unwrap().layout, Layout::BatchSlots);
     }
 
     #[test]

@@ -4,6 +4,21 @@ use cnn_he::ExecMode;
 use std::net::SocketAddr;
 use std::time::Duration;
 
+/// How worker pipelines pack coalesced requests into ciphertexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Packing {
+    /// Scalar CryptoNets engine: one ciphertext per activation scalar,
+    /// requests batched across the slot dimension.
+    #[default]
+    Scalar,
+    /// Slot-packed BSGS engine with the batch-strided layout
+    /// ([`ckks::PackLayout`]): coalesced requests share one ciphertext
+    /// (lane per request), spilling into shards past the lane capacity.
+    /// The coalescing ceiling clamps to one shard's lane capacity so a
+    /// batch is exactly one packed ciphertext.
+    PackedBatch,
+}
+
 /// Configuration of a [`crate::ServeEngine`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
@@ -46,6 +61,12 @@ pub struct ServeConfig {
     /// event log). Oldest events are evicted when full, so memory
     /// stays constant however long the engine runs.
     pub event_log_capacity: usize,
+    /// Ciphertext packing strategy of the worker pipelines. With
+    /// [`Packing::PackedBatch`], `start` calls
+    /// [`cnn_he::CnnHePipeline::enable_packed_batching`] on every
+    /// worker pipeline and fails with [`crate::ServeError::Rejected`]
+    /// when the network's packed dimension does not fit the ring.
+    pub packing: Packing,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +82,7 @@ impl Default for ServeConfig {
             degrade_on_overrun: true,
             metrics_addr: None,
             event_log_capacity: 0,
+            packing: Packing::default(),
         }
     }
 }

@@ -30,7 +30,7 @@
 //!   the floor mid-teardown resolves to [`ServeError::ShuttingDown`]
 //!   rather than hanging its client.
 
-use crate::config::ServeConfig;
+use crate::config::{Packing, ServeConfig};
 use crate::error::ServeError;
 use crate::metrics::EngineMetrics;
 use crate::queue::{BoundedQueue, Pop, TryPush};
@@ -121,6 +121,13 @@ impl ServeEngine {
         let factory = Arc::new(factory);
         let mut first = factory();
         first.set_exec_mode(cfg.exec_mode);
+        if cfg.packing == Packing::PackedBatch {
+            // typed refusal (BatchExceedsSlots → Rejected) when the
+            // packed dimension does not fit the ring; after this,
+            // max_batch() is one shard's lane capacity, so the
+            // coalescing ceiling is exactly one packed ciphertext
+            first.enable_packed_batching()?;
+        }
         let max_batch_cap = cfg.max_batch.min(first.max_batch()).max(1);
         let admission = first.validate_batch(max_batch_cap);
         if admission.has_errors() {
@@ -177,6 +184,7 @@ impl ServeEngine {
             let sh = Arc::clone(&shared);
             let factory = Arc::clone(&factory);
             let mode = cfg.exec_mode;
+            let packing = cfg.packing;
             let seeded = first.take();
             workers.push(
                 std::thread::Builder::new()
@@ -185,6 +193,12 @@ impl ServeEngine {
                         let mut pipe = seeded.unwrap_or_else(|| {
                             let mut p = factory();
                             p.set_exec_mode(mode);
+                            if packing == Packing::PackedBatch {
+                                // the identically-parameterized first
+                                // pipeline already passed this at start
+                                p.enable_packed_batching()
+                                    .expect("packed batching passed admission");
+                            }
                             p
                         });
                         worker_loop(&sh, &mut pipe);
@@ -591,6 +605,69 @@ mod tests {
         assert_eq!(report.batches, 1);
         let qw = report.queue_wait.expect("queue wait recorded");
         assert!(qw.p95 >= 0.0 && qw.p95 < 60.0, "{qw:?}");
+    }
+
+    #[test]
+    fn packed_batching_round_trip_matches_scalar_engine() {
+        let cfg = ServeConfig {
+            packing: Packing::PackedBatch,
+            max_linger: Duration::from_millis(120),
+            ..Default::default()
+        };
+        let eng = engine(cfg, 45);
+        // the mini net packs to dim 64 on a 2^10 ring (512 slots):
+        // the coalescing ceiling must clamp to the 8-lane capacity
+        assert_eq!(eng.effective_max_batch(), 8);
+        let handles: Vec<_> = (0..3)
+            .map(|i| eng.submit(image(i as f32 * 0.1)).expect("queued"))
+            .collect();
+        let packed: Vec<ServeResult> = handles
+            .into_iter()
+            .map(|h| h.wait().expect("served"))
+            .collect();
+        // the same requests through a scalar-engine reference
+        let reference = engine(ServeConfig::default(), 45);
+        for (i, r) in packed.iter().enumerate() {
+            assert_eq!(r.logits.len(), 4);
+            let scalar = reference
+                .classify_blocking(image(i as f32 * 0.1))
+                .expect("served");
+            assert_eq!(r.prediction, scalar.prediction);
+            for (a, b) in r.logits.iter().zip(&scalar.logits) {
+                assert!((a - b).abs() < 0.02, "lane {i}: {a} vs {b}");
+            }
+        }
+        let report = eng.shutdown();
+        assert_eq!(report.completed, 3);
+        reference.shutdown();
+    }
+
+    #[test]
+    fn packed_batching_rejected_when_dim_exceeds_slots() {
+        // a 2^6 ring has 32 slots; the mini net packs to dim 64, so
+        // enabling packed batching must refuse with the typed reason
+        let cfg = ServeConfig {
+            packing: Packing::PackedBatch,
+            ..Default::default()
+        };
+        let err = ServeEngine::start(cfg, || {
+            let params = ckks::CkksParams {
+                n: 1 << 6,
+                chain_bits: vec![40, 26, 26, 26],
+                special_bits: vec![40],
+                scale_bits: 26,
+                security: ckks::SecurityLevel::None,
+            };
+            CnnHePipeline::with_params(mini_network(46), params, 46)
+        })
+        .err()
+        .expect("start must fail admission");
+        match err {
+            ServeError::Rejected { reason } => {
+                assert!(reason.contains("slot capacity"), "{reason}");
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
     }
 
     #[test]

@@ -52,6 +52,18 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Admission mapping: an HE-layer failure surfaced while preparing a
+/// pipeline (e.g. [`ckks::HeError::BatchExceedsSlots`] when enabling
+/// packed batching) refuses the engine/request with its typed reason
+/// instead of panicking.
+impl From<ckks::HeError> for ServeError {
+    fn from(e: ckks::HeError) -> Self {
+        ServeError::Rejected {
+            reason: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,7 +46,7 @@ pub mod queue;
 pub mod response;
 pub mod stats;
 
-pub use config::ServeConfig;
+pub use config::{Packing, ServeConfig};
 pub use engine::ServeEngine;
 pub use error::ServeError;
 pub use response::{ResponseHandle, ServeResult};

@@ -112,6 +112,31 @@ fn print_tables(report: &SmokeReport) {
         println!("packed-batch sweep (slot-packed BSGS engine):");
         println!("{}", t.render());
     }
+    if !report.compiler.is_empty() {
+        use bench::smoke::CompilerPoint;
+        let mut t = Table::new(&[
+            ("network", Align::Left),
+            ("dim", Align::Right),
+            ("stride", Align::Right),
+            ("rot eager", Align::Right),
+            ("rot compiled", Align::Right),
+            ("ops eager", Align::Right),
+            ("ops compiled", Align::Right),
+        ]);
+        for p in &report.compiler {
+            t.row(vec![
+                p.name.to_string(),
+                p.dim.to_string(),
+                p.stride.to_string(),
+                p.eager.rotations.to_string(),
+                p.compiled.rotations.to_string(),
+                CompilerPoint::total(&p.eager).to_string(),
+                CompilerPoint::total(&p.compiled).to_string(),
+            ]);
+        }
+        println!("compiled-vs-eager lowering (static op counts):");
+        println!("{}", t.render());
+    }
 }
 
 fn write_json(report: &SmokeReport, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {

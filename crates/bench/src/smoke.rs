@@ -52,6 +52,15 @@ pub const PACKED_SWEEP: [usize; 4] = [1, 8, 64, 512];
 /// on the theoretical line — any packing regression trips it.
 pub const AMORTIZATION_FLOOR: f64 = 8.0;
 
+/// `--check` fails unless the compiled lowering of packed CNN1 spends
+/// at most this fraction of the eager engine's rotations (≥ 15% fewer).
+pub const COMPILED_ROTATION_CEILING: f64 = 0.85;
+
+/// `--check` fails unless the compiled lowering of packed CNN1 spends
+/// at most this fraction of the eager engine's total HE ops (≥ 10%
+/// fewer).
+pub const COMPILED_TOTAL_OPS_CEILING: f64 = 0.90;
+
 fn smoke_runs() -> usize {
     crate::harness::env_usize("RNS_CNN_SMOKE_RUNS", 3).max(1)
 }
@@ -115,12 +124,40 @@ impl PackedBatchPoint {
     }
 }
 
+/// One compiled-vs-eager static lowering comparison: the same packed
+/// network lowered to the he-ir circuit twice — the eager mirror of the
+/// runtime BSGS engine, and the compiled (squat-fold) form run through
+/// the optimizing pass pipeline — with both circuits' exact op counts.
+/// Pure circuit construction (no keys, no polynomial arithmetic), so
+/// every number is host-independent and the gate compares exactly.
+pub struct CompilerPoint {
+    pub name: &'static str,
+    /// Padded packed dimension of the network.
+    pub dim: usize,
+    /// Lane stride the circuits were lowered at (1 = tiled).
+    pub stride: usize,
+    pub nodes_eager: usize,
+    pub nodes_compiled: usize,
+    pub eager: he_ir::OpCounts,
+    pub compiled: he_ir::OpCounts,
+}
+
+impl CompilerPoint {
+    /// Total HE ops (ct mults + scalar MACs + rescales + rotations) of
+    /// one lowering — the metric the `≥ 10% fewer` gate divides.
+    pub fn total(c: &he_ir::OpCounts) -> u64 {
+        c.ct_mults + c.scalar_macs + c.rescales + c.rotations
+    }
+}
+
 /// Everything the smoke benchmark measures.
 pub struct SmokeReport {
     pub layers: Vec<ComponentResult>,
     pub serve: ServeSmoke,
     /// The packed-batch sweep ([`PACKED_SWEEP`]), batch ascending.
     pub packed: Vec<PackedBatchPoint>,
+    /// Compiled-vs-eager static op counts ([`compiler_component`]).
+    pub compiler: Vec<CompilerPoint>,
     /// Active modular-arithmetic kernel backend
     /// (`scalar`/`avx2`/`avx512`/`neon`) the walls were measured under.
     pub backend: String,
@@ -447,6 +484,55 @@ fn packed_batch_component(runs: usize) -> Vec<PackedBatchPoint> {
     points
 }
 
+/// Static compiled-vs-eager comparison: lowers each reference network
+/// with both [`cnn_he::PackedLowering`] modes at nominal parameters and
+/// runs the compiled circuit through the optimizing pass pipeline.
+/// `cnn1_full` is the paper's CNN1 (packed dim 1024, on a `N = 2^12`
+/// plan ring); the mini points cover the tiled and batch-strided
+/// layouts the serving engine actually executes.
+pub fn compiler_component() -> Vec<CompilerPoint> {
+    use cnn_he::packed::PackedNetwork;
+    use cnn_he::{lower_packed, PackedLowering};
+    use he_ir::{GraphBuilder, PassManager};
+
+    let point = |name: &'static str, net: &HeNetwork, n: usize, stride: usize| {
+        let packed = PackedNetwork::from_network(net);
+        let mut params = ckks::CkksParams::tiny(packed.required_levels());
+        params.n = n;
+        let eager = lower_packed(
+            &packed,
+            GraphBuilder::new(params.clone()),
+            stride,
+            PackedLowering::Eager,
+        );
+        let mut compiled = lower_packed(
+            &packed,
+            GraphBuilder::new(params),
+            stride,
+            PackedLowering::Compiled,
+        );
+        PassManager::optimizer()
+            .optimize(&mut compiled)
+            .expect("optimizer accepts its own lowering");
+        CompilerPoint {
+            name,
+            dim: packed.dim,
+            stride,
+            nodes_eager: eager.nodes.len(),
+            nodes_compiled: compiled.nodes.len(),
+            eager: eager.op_counts(),
+            compiled: compiled.op_counts(),
+        }
+    };
+
+    let cnn1_net = HeNetwork::from_trained(&cnn1(ActKind::slaf3(), 11), 28);
+    vec![
+        point("cnn1_full", &cnn1_net, 1 << 12, 1),
+        point("mini_cnn1", &mini_cnn1(12), 1 << 10, 1),
+        point("mini_cnn1_x8", &mini_cnn1(12), 1 << 10, 8),
+    ]
+}
+
 /// Runs the full smoke suite (a couple of seconds).
 pub fn run_smoke() -> SmokeReport {
     let runs = smoke_runs();
@@ -464,10 +550,13 @@ pub fn run_smoke() -> SmokeReport {
     let serve = serve_component(runs);
     eprintln!("[smoke] packed-batch sweep ({runs} runs each) ...");
     let packed = packed_batch_component(runs);
+    eprintln!("[smoke] compiled-vs-eager lowering ...");
+    let compiler = compiler_component();
     SmokeReport {
         layers: vec![ntt, modmul, mac, conv],
         serve,
         packed,
+        compiler,
         backend,
     }
 }
@@ -494,8 +583,16 @@ fn json_serve_counters(srv: &ServeSnapshot, indent: &str) -> String {
     format!("{{\n{}\n{indent}}}", rows.join(",\n"))
 }
 
+fn json_ir_counts(c: &he_ir::OpCounts, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"ct_mults\": {},\n{indent}  \"scalar_macs\": {},\n{indent}  \"rescales\": {},\n{indent}  \"rotations\": {}\n{indent}}}",
+        c.ct_mults, c.scalar_macs, c.rescales, c.rotations
+    )
+}
+
 impl SmokeReport {
-    /// `BENCH_layers.json`: the layer-level components.
+    /// `BENCH_layers.json`: the layer-level components plus the static
+    /// compiled-vs-eager lowering comparison.
     pub fn layers_json(&self) -> String {
         let comps: Vec<String> = self
             .layers
@@ -510,10 +607,31 @@ impl SmokeReport {
                 )
             })
             .collect();
+        let compiler: Vec<String> = self
+            .compiler
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\n      \"name\": \"{}\",\n      \"dim\": {},\n      \"stride\": {},\n      \"nodes_eager\": {},\n      \"nodes_compiled\": {},\n      \"eager\": {},\n      \"compiled\": {}\n    }}",
+                    p.name,
+                    p.dim,
+                    p.stride,
+                    p.nodes_eager,
+                    p.nodes_compiled,
+                    json_ir_counts(&p.eager, "      "),
+                    json_ir_counts(&p.compiled, "      ")
+                )
+            })
+            .collect();
         format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"layers\",\n  \"backend\": \"{}\",\n  \"components\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"layers\",\n  \"backend\": \"{}\",\n  \"components\": [\n{}\n  ],\n  \"compiler\": [\n{}\n  ]\n}}\n",
             self.backend,
-            comps.join(",\n")
+            comps.join(",\n"),
+            if compiler.is_empty() {
+                "  ".to_string()
+            } else {
+                compiler.join(",\n")
+            }
         )
     }
 
@@ -646,6 +764,52 @@ pub fn check_against_baseline(
                     Err(e) => problems.push(format!("{}: {e}", c.name)),
                 }
             }
+            let empty = vec![];
+            let bcompiler = base
+                .get("compiler")
+                .and_then(Value::as_arr)
+                .unwrap_or(&empty);
+            for p in &report.compiler {
+                let label = format!("compiler[{}]", p.name);
+                let Some(bp) = bcompiler
+                    .iter()
+                    .find(|v| v.get("name").and_then(Value::as_str) == Some(p.name))
+                else {
+                    problems.push(format!("{label}: point missing from baseline"));
+                    continue;
+                };
+                let ir_pairs = |c: &he_ir::OpCounts| {
+                    [
+                        ("ct_mults", c.ct_mults),
+                        ("scalar_macs", c.scalar_macs),
+                        ("rescales", c.rescales),
+                        ("rotations", c.rotations),
+                    ]
+                };
+                for (key, fresh) in [
+                    ("dim", p.dim as u64),
+                    ("stride", p.stride as u64),
+                    ("nodes_eager", p.nodes_eager as u64),
+                    ("nodes_compiled", p.nodes_compiled as u64),
+                ] {
+                    if let Some(base) = bp.get(key).and_then(Value::as_num) {
+                        if (base - fresh as f64).abs() > 0.5 {
+                            problems.push(format!(
+                                "{label}.{key}: changed {base} -> {fresh} (exact match required)"
+                            ));
+                        }
+                    }
+                }
+                for (side, counts) in [("eager", &p.eager), ("compiled", &p.compiled)] {
+                    let bcounts = bp.get(side).cloned().unwrap_or(Value::Null);
+                    diff_counter_object(
+                        &format!("{label}.{side}"),
+                        &bcounts,
+                        &ir_pairs(counts),
+                        &mut problems,
+                    );
+                }
+            }
         }
     }
 
@@ -721,7 +885,50 @@ pub fn check_against_baseline(
     if let Some(p) = amortization_gate(report) {
         problems.push(p);
     }
+    problems.extend(compiled_gate(report));
 
+    problems
+}
+
+/// The compiler payoff gate. Every lowering point must spend no more
+/// HE ops compiled than eager (the optimizer must never pessimize),
+/// and the `cnn1_full` point must clear the paper-level targets:
+/// rotations ≤ [`COMPILED_ROTATION_CEILING`] × eager and total HE ops
+/// ≤ [`COMPILED_TOTAL_OPS_CEILING`] × eager. Static op counts, so the
+/// gate is exact on every host.
+pub fn compiled_gate(report: &SmokeReport) -> Vec<String> {
+    let mut problems = Vec::new();
+    for p in &report.compiler {
+        let (te, tc) = (
+            CompilerPoint::total(&p.eager) as f64,
+            CompilerPoint::total(&p.compiled) as f64,
+        );
+        if p.compiled.rotations > p.eager.rotations || tc > te {
+            problems.push(format!(
+                "compiler[{}]: compiled lowering costs more than eager \
+                 (rotations {} vs {}, total {tc:.0} vs {te:.0})",
+                p.name, p.compiled.rotations, p.eager.rotations
+            ));
+        }
+        if p.name == "cnn1_full" {
+            let rot_ratio = p.compiled.rotations as f64 / p.eager.rotations.max(1) as f64;
+            if rot_ratio > COMPILED_ROTATION_CEILING {
+                problems.push(format!(
+                    "compiler[{}]: rotations only dropped to {rot_ratio:.3}x of eager \
+                     ({} -> {}), need <= {COMPILED_ROTATION_CEILING}x",
+                    p.name, p.eager.rotations, p.compiled.rotations
+                ));
+            }
+            let total_ratio = tc / te.max(1.0);
+            if total_ratio > COMPILED_TOTAL_OPS_CEILING {
+                problems.push(format!(
+                    "compiler[{}]: total HE ops only dropped to {total_ratio:.3}x of eager \
+                     ({te:.0} -> {tc:.0}), need <= {COMPILED_TOTAL_OPS_CEILING}x",
+                    p.name
+                ));
+            }
+        }
+    }
     problems
 }
 
@@ -808,6 +1015,25 @@ mod tests {
                 serve: srv,
             },
             packed,
+            compiler: vec![CompilerPoint {
+                name: "cnn1_full",
+                dim: 1024,
+                stride: 1,
+                nodes_eager: 4000,
+                nodes_compiled: 2500,
+                eager: he_ir::OpCounts {
+                    ct_mults: 4,
+                    scalar_macs: 0,
+                    rescales: 11,
+                    rotations: 200,
+                },
+                compiled: he_ir::OpCounts {
+                    ct_mults: 4,
+                    scalar_macs: 0,
+                    rescales: 11,
+                    rotations: 100,
+                },
+            }],
             backend: "scalar".to_string(),
         }
     }
@@ -897,6 +1123,61 @@ mod tests {
         let mut partial = fake_report();
         partial.packed.retain(|p| p.batch != 64);
         assert!(amortization_gate(&partial).is_none());
+    }
+
+    #[test]
+    fn compiled_gate_enforces_the_optimizer_payoff() {
+        // the healthy fake report halves rotations: well clear of both lines
+        let r = fake_report();
+        assert!(compiled_gate(&r).is_empty());
+        // compiled worse than eager on any point: always a violation
+        let mut worse = fake_report();
+        worse.compiler[0].compiled.rotations = 201;
+        let problems = compiled_gate(&worse);
+        assert!(
+            problems.iter().any(|p| p.contains("costs more than eager")),
+            "{problems:?}"
+        );
+        // compiled better than eager but short of the CNN1 targets
+        let mut shy = fake_report();
+        shy.compiler[0].compiled.rotations = 180; // 0.9x > 0.85x ceiling
+        let problems = compiled_gate(&shy);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("rotations only dropped")),
+            "{problems:?}"
+        );
+        // ... and the full baseline check carries the violation
+        let base = fake_report();
+        let problems = check_against_baseline(&shy, &base.layers_json(), &base.serve_json());
+        assert!(
+            problems.iter().any(|p| p.contains("only dropped")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn gate_flags_compiler_op_drift_and_missing_point() {
+        let r = fake_report();
+        let mut drifted = fake_report();
+        drifted.compiler[0].eager.rotations += 1;
+        let problems = check_against_baseline(&drifted, &r.layers_json(), &r.serve_json());
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("compiler[cnn1_full].eager.rotations")),
+            "{problems:?}"
+        );
+        let mut old = fake_report();
+        old.compiler.clear();
+        let problems = check_against_baseline(&r, &old.layers_json(), &old.serve_json());
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("compiler[cnn1_full]") && p.contains("missing")),
+            "{problems:?}"
+        );
     }
 
     #[test]

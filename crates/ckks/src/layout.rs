@@ -102,9 +102,18 @@ impl PackLayout {
     }
 
     /// The rotation step realizing a uniform element shift by
-    /// `element_steps` in every lane.
+    /// `element_steps` in every lane, normalized into `[0, slots)`.
+    ///
+    /// The element shift is cyclic modulo `dim`, so it is reduced first
+    /// — this keeps the multiplication by the stride overflow-free for
+    /// any `i64` input (the old `element_steps * batch` form wrapped
+    /// for `|element_steps| > i64::MAX / batch` and produced negative
+    /// steps that every consumer then cast or reduced differently).
+    /// The result is a canonical left-rotation count usable directly as
+    /// a Galois rotation step.
     pub fn rotation_step(&self, element_steps: i64) -> i64 {
-        element_steps * self.batch as i64
+        let e = element_steps.rem_euclid(self.dim as i64);
+        (e * self.batch as i64).rem_euclid(self.slots as i64)
     }
 
     /// Expands an element-indexed vector (length `dim`) to a full slot
@@ -321,7 +330,11 @@ pub fn shard_combine(
     layout: &PackLayout,
     gk: &GaloisKeys,
 ) -> Result<Ciphertext, HeError> {
-    assert!(!shards.is_empty(), "cannot combine zero shards");
+    if shards.is_empty() {
+        return Err(HeError::EmptyShardList {
+            op: "shard-combine",
+        });
+    }
     if shards.len() * layout.period() > layout.slots() {
         return Err(HeError::BatchExceedsSlots {
             batch: shards.len() * layout.batch(),
@@ -350,7 +363,11 @@ pub fn shard_combine(
             Some(a) => ev.add(&a, &placed),
         });
     }
-    Ok(ev.rescale(&acc.expect("non-empty shards")))
+    // the emptiness guard above makes the accumulator infallible here
+    let acc = acc.ok_or(HeError::EmptyShardList {
+        op: "shard-combine",
+    })?;
+    Ok(ev.rescale(&acc))
 }
 
 /// Splits a combined ciphertext (inverse of [`shard_combine`]'s
@@ -364,7 +381,9 @@ pub fn shard_split(
     shards: usize,
     gk: &GaloisKeys,
 ) -> Result<Vec<Ciphertext>, HeError> {
-    assert!(shards >= 1, "cannot split into zero shards");
+    if shards == 0 {
+        return Err(HeError::EmptyShardList { op: "shard-split" });
+    }
     if shards * layout.period() > layout.slots() {
         return Err(HeError::BatchExceedsSlots {
             batch: shards * layout.batch(),
@@ -522,7 +541,9 @@ mod tests {
     fn rotation_by_stride_shifts_elements_within_lanes() {
         let layout = PackLayout::new(8, 4, 32).unwrap();
         assert_eq!(layout.rotation_step(1), 4);
-        assert_eq!(layout.rotation_step(-3), -12);
+        // a left shift by −3 elements is the same cyclic shift as by
+        // dim−3 = 5: the step comes back normalized into [0, slots)
+        assert_eq!(layout.rotation_step(-3), 20);
         let lanes: Vec<Vec<f64>> = (0..4)
             .map(|b| (0..8).map(|j| (b * 8 + j) as f64).collect())
             .collect();
@@ -538,6 +559,63 @@ mod tests {
                 assert_eq!(val, lanes[b][(j + d) % 8], "lane {b} elem {j}");
             }
         }
+    }
+
+    #[test]
+    fn rotation_step_normalizes_boundary_shifts() {
+        let layout = PackLayout::new(8, 4, 64).unwrap();
+        // negative shifts map to their positive complement
+        assert_eq!(layout.rotation_step(-1), layout.rotation_step(7));
+        assert_eq!(layout.rotation_step(-3), 5 * 4);
+        // shifts are cyclic modulo dim: a full cycle is the identity …
+        assert_eq!(layout.rotation_step(8), 0);
+        assert_eq!(layout.rotation_step(-8), 0);
+        // … and over-long shifts reduce before scaling by the stride
+        assert_eq!(layout.rotation_step(11), layout.rotation_step(3));
+        assert_eq!(layout.rotation_step(8 + 5), 5 * 4);
+        // extreme inputs no longer overflow the stride multiplication
+        assert_eq!(layout.rotation_step(i64::MAX), layout.rotation_step(7));
+        assert_eq!(layout.rotation_step(i64::MIN), layout.rotation_step(0));
+        // every result is a canonical in-ring left rotation
+        for e in [-17i64, -8, -1, 0, 1, 7, 8, 9, 1_000_003] {
+            let s = layout.rotation_step(e);
+            assert!((0..64).contains(&s), "step {s} for shift {e}");
+        }
+        // the stride-1 layout reduces to plain element rotation
+        let tiled = PackLayout::tiled(8, 64).unwrap();
+        assert_eq!(tiled.rotation_step(3), 3);
+        assert_eq!(tiled.rotation_step(-3), 5);
+    }
+
+    #[test]
+    fn empty_shard_lists_are_typed_errors_not_panics() {
+        let ctx = ctx();
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        let layout = PackLayout::new(16, 4, ctx.slots()).unwrap();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 11);
+        let sk = kg.gen_secret_key();
+        let gk = kg.gen_galois_keys(&sk, &[], false);
+
+        let err = shard_combine(&ev, &[], &layout, &gk).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                HeError::EmptyShardList {
+                    op: "shard-combine"
+                }
+            ),
+            "{err}"
+        );
+
+        let pk = kg.gen_public_key(&sk);
+        let mut s = Sampler::from_seed(12);
+        let pt = encode_batched(&ctx, &[], &layout, ctx.params().scale(), 2).unwrap();
+        let ct = ev.encrypt(&pt, &pk, &mut s);
+        let err = shard_split(&ev, &ct, &layout, 0, &gk).unwrap_err();
+        assert!(
+            matches!(err, HeError::EmptyShardList { op: "shard-split" }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -600,6 +678,113 @@ mod tests {
                             (got - want).abs() < 1e-3,
                             "rep {rep} shard {sh} lane {b} elem {j}: {got} vs {want}"
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_capacity_pack_unpack_roundtrip() {
+        // boundary: dim · batch == slots (one repetition fills the ring)
+        let layout = PackLayout::new(16, 8, 128).unwrap();
+        assert_eq!(layout.period(), layout.slots());
+        let lanes: Vec<Vec<f64>> = (0..8)
+            .map(|b| (0..16).map(|j| (b * 16 + j) as f64 + 0.25).collect())
+            .collect();
+        let refs: Vec<&[f64]> = lanes.iter().map(Vec::as_slice).collect();
+        let packed = layout.pack(&refs).unwrap();
+        assert_eq!(layout.unpack(&packed, 8, 16), lanes);
+        // one lane more than capacity is a typed error
+        let over: Vec<&[f64]> = (0..9).map(|_| refs[0]).collect();
+        assert!(matches!(
+            layout.pack(&over).unwrap_err(),
+            HeError::BatchExceedsSlots {
+                batch: 9,
+                capacity: 8
+            }
+        ));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::{Rng, SeedableRng};
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // pack → unpack is the identity on any lane set the layout
+            // admits: non-power-of-two lane counts and lengths
+            // (zero-padded), stride 1 through 8, up to the full
+            // slot-capacity boundary (extra = 0 ⇒ period == slots)
+            #[test]
+            fn pack_unpack_roundtrip(
+                dim_log in 0u32..6,
+                batch_log in 0u32..4,
+                extra_log in 0u32..3,
+                seed in 0u64..1_000,
+            ) {
+                let dim = 1usize << dim_log;
+                let batch = 1usize << batch_log;
+                let slots = 1usize << (dim_log + batch_log + extra_log);
+                let layout = PackLayout::new(dim, batch, slots).unwrap();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let lanes_n = rng.gen_range(0..=batch);
+                let lanes: Vec<Vec<f64>> = (0..lanes_n)
+                    .map(|_| {
+                        let len = rng.gen_range(0..=dim);
+                        (0..len).map(|_| rng.gen_range(-1.0f64..1.0)).collect()
+                    })
+                    .collect();
+                let refs: Vec<&[f64]> = lanes.iter().map(Vec::as_slice).collect();
+                let packed = layout.pack(&refs).unwrap();
+                prop_assert_eq!(packed.len(), slots);
+                let back = layout.unpack(&packed, lanes_n, dim);
+                for (lane, got) in lanes.iter().zip(&back) {
+                    for (j, g) in got.iter().enumerate() {
+                        let want = lane.get(j).copied().unwrap_or(0.0);
+                        prop_assert_eq!(*g, want);
+                    }
+                }
+            }
+
+            // rotation_step is the slot rotation realizing a uniform
+            // per-lane element shift, for any signed shift (negative,
+            // ≥ dim, extreme) — checked against a literal slot-vector
+            // rotation
+            #[test]
+            fn rotation_step_realizes_element_shift(
+                dim_log in 0u32..5,
+                batch_log in 0u32..4,
+                shift_idx in 0usize..12,
+                seed in 0u64..1_000,
+            ) {
+                const SHIFTS: [i64; 12] = [
+                    i64::MIN, -1_000_003, -17, -8, -1, 0, 1, 7, 8, 31, 1_000_003, i64::MAX,
+                ];
+                let shift = SHIFTS[shift_idx];
+                let dim = 1usize << dim_log;
+                let batch = 1usize << batch_log;
+                let slots = (dim * batch * 2).next_power_of_two();
+                let layout = PackLayout::new(dim, batch, slots).unwrap();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let lanes: Vec<Vec<f64>> = (0..batch)
+                    .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f64..1.0)).collect())
+                    .collect();
+                let refs: Vec<&[f64]> = lanes.iter().map(Vec::as_slice).collect();
+                let v = layout.pack(&refs).unwrap();
+                let r = layout.rotation_step(shift);
+                prop_assert!((0..slots as i64).contains(&r), "non-canonical step {r}");
+                let rotated: Vec<f64> =
+                    (0..slots).map(|i| v[(i + r as usize) % slots]).collect();
+                let back = layout.unpack(&rotated, batch, dim);
+                // i64::MIN.rem_euclid is still well-defined — compute the
+                // expected element shift the same way a caller reasons: d ≡ shift (mod dim)
+                let d = shift.rem_euclid(dim as i64) as usize;
+                for (b, lane) in back.iter().enumerate() {
+                    for (j, got) in lane.iter().enumerate() {
+                        prop_assert_eq!(*got, lanes[b][(j + d) % dim], "lane {} elem {}", b, j);
                     }
                 }
             }

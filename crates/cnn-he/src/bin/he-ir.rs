@@ -2,14 +2,18 @@
 //! run the static analysis passes over them.
 //!
 //! ```text
-//! he-ir check  <cnn1|cnn2> [--packed] [--per-tap] [--depth N]
-//! he-ir dump   <cnn1|cnn2> [--dot] [-o FILE] [--packed] [--per-tap]
+//! he-ir check  <cnn1|cnn2> [--packed] [--per-tap] [--depth N] [--optimize]
+//! he-ir dump   <cnn1|cnn2> [--dot] [-o FILE] [--packed] [--per-tap] [--optimize]
 //! he-ir passes
 //! ```
 //!
 //! `check` runs the full standard pass suite and prints every
 //! diagnostic; `dump` prints a per-region table (or Graphviz DOT with
-//! `--dot`); `passes` lists the registered analyses. Exits 0 when the
+//! `--dot`); `passes` lists the registered analyses. With `--optimize`
+//! the circuit is first run through the optimizing pass pipeline
+//! (`PassManager::optimizer()`) and the per-pass op-count report is
+//! printed, so `check --optimize` lints what the compiled execution
+//! path would actually run. Exits 0 when the
 //! circuit is clean (warnings allowed), 1 on error diagnostics, 2 on
 //! usage problems.
 //!
@@ -28,8 +32,8 @@ use he_ir::{Circuit, GraphBuilder, PassManager};
 use neural::models::{cnn1, cnn2, ActKind};
 
 const USAGE: &str = "usage:
-  he-ir check  <cnn1|cnn2> [--packed] [--per-tap] [--depth N]
-  he-ir dump   <cnn1|cnn2> [--dot] [-o FILE] [--packed] [--per-tap]
+  he-ir check  <cnn1|cnn2> [--packed] [--per-tap] [--depth N] [--optimize]
+  he-ir dump   <cnn1|cnn2> [--dot] [-o FILE] [--packed] [--per-tap] [--optimize]
   he-ir passes";
 
 /// Seed for the fresh model weights (analysis is architecture-driven).
@@ -46,6 +50,7 @@ struct Opts {
     dot: bool,
     out: Option<String>,
     depth: Option<usize>,
+    optimize: bool,
 }
 
 fn parse(args: Vec<String>) -> Result<Opts, String> {
@@ -56,6 +61,7 @@ fn parse(args: Vec<String>) -> Result<Opts, String> {
         dot: false,
         out: None,
         depth: None,
+        optimize: false,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -63,6 +69,7 @@ fn parse(args: Vec<String>) -> Result<Opts, String> {
             "--packed" => o.packed = true,
             "--per-tap" => o.per_tap = true,
             "--dot" => o.dot = true,
+            "--optimize" => o.optimize = true,
             "-o" => {
                 o.out = Some(it.next().ok_or("-o needs a file path")?);
             }
@@ -117,7 +124,16 @@ fn run(mut args: Vec<String>) -> i32 {
             return 2;
         }
     };
-    let circuit = build_circuit(&net, &opts);
+    let mut circuit = build_circuit(&net, &opts);
+    if opts.optimize {
+        match PassManager::optimizer().optimize(&mut circuit) {
+            Ok(report) => eprintln!("{}", report.render()),
+            Err(e) => {
+                eprintln!("error: optimizer produced an invalid circuit: {e}");
+                return 1;
+            }
+        }
+    }
 
     match cmd.as_str() {
         "check" => {

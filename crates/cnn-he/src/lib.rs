@@ -30,6 +30,7 @@ pub mod lint;
 pub mod metrics;
 pub mod network;
 pub mod packed;
+pub mod packed_graph;
 pub mod pipeline;
 pub mod quantize;
 pub mod rns_input;
@@ -46,7 +47,8 @@ pub use graph::{lower_network, EncodeSharing};
 pub use he_tensor::CtTensor;
 pub use metrics::LatencyStats;
 pub use network::{HeLayerSpec, HeNetwork};
-pub use pipeline::{Classification, CnnHePipeline};
+pub use packed_graph::{lower_packed, PackedLowering, PACKED_INPUT};
+pub use pipeline::{Classification, CnnHePipeline, CompiledStats};
 pub use rns_input::{RnsInputCodec, SignalDecomposition};
 pub use trace::{InferenceTrace, LayerTrace};
 pub use weights::WeightResidueTable;

@@ -173,8 +173,8 @@ impl PackedNetwork {
         }
     }
 
-    /// Baby-step size `B ≈ √dim`.
-    fn baby(&self) -> usize {
+    /// Baby-step size `B ≈ √dim` (power of two, `B² ≥ dim`).
+    pub fn baby(&self) -> usize {
         let mut b = 1usize;
         while b * b < self.dim {
             b <<= 1;

@@ -1,0 +1,694 @@
+//! Lowering of the packed (BSGS) engine into the `he-ir` circuit IR —
+//! the front-end of the optimizing compiler behind
+//! [`crate::pipeline::CnnHePipeline::compile`].
+//!
+//! Two lowering modes:
+//!
+//! * [`PackedLowering::Eager`] replays
+//!   [`PackedNetwork::infer_encrypted_layout`] op for op — shared baby
+//!   rotations hoisted up front, giant-step skipping of all-`None`
+//!   diagonals, diagonal plaintexts at `q_m`, bias at the accumulated
+//!   scale, one rescale per linear layer, the exact
+//!   `he_poly_eval_deg3` shape per activation. Interpreting this
+//!   circuit is bit-identical to the eager engine; its op counts are
+//!   the honest baseline the compiled circuit is measured against.
+//! * [`PackedLowering::Compiled`] lowers each linear layer in
+//!   *squat-matrix fold* form when the used output rows `n_o` (rounded
+//!   to a power of two) are fewer than the packed dimension: the
+//!   matrix is re-diagonalized as `n_o` *wrapped* diagonals
+//!   `w_d[i] = M[i mod n_o][(i+d) mod dim]`, BSGS runs over those
+//!   `n_o` diagonals with baby step `√n_o` instead of `√dim`, and
+//!   `log2(dim/n_o)` rotate-and-add folds collapse the partial sums so
+//!   slot `i` holds row `i mod n_o` of the product. The replicas at
+//!   `i ≥ n_o` carry duplicate values, which the *next* layer's padded
+//!   matrix multiplies by its structurally-zero columns — the function
+//!   computed on the true output slots is unchanged. Baby rotations
+//!   are deliberately emitted per *use* (naively): the rotation-hoist
+//!   and CSE passes of [`he_ir::PassManager::optimizer`] merge them,
+//!   which is what makes this lowering an exercise of the optimizer
+//!   rather than a hand-scheduled circuit.
+//!
+//! The compiled mode is NOT bit-identical to eager (rescale sinking
+//! changes rounding); he-diff's compiled-vs-eager differential mode
+//! checks agreement within the composed noise-model bound instead.
+
+use crate::packed::{PackedLayer, PackedNetwork};
+use he_ir::{Circuit, GraphBuilder, KeyInventory, Layout, NodeId};
+use std::collections::BTreeSet;
+
+/// Which circuit shape [`lower_packed`] emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedLowering {
+    /// Mirror of the eager packed engine, op for op.
+    Eager,
+    /// Squat-matrix fold form, meant to be run through
+    /// [`he_ir::PassManager::optimizer`] before execution.
+    Compiled,
+}
+
+/// Name of the single packed input node (one batch-strided ciphertext).
+pub const PACKED_INPUT: &str = "x";
+
+/// Lowers a packed network to a circuit over one batch-strided input
+/// ciphertext of lane stride `stride`. The builder chooses the modulus
+/// basis: [`GraphBuilder::for_context`] for types bit-identical to
+/// eager execution, [`GraphBuilder::new`] for nominal (host-free)
+/// op-count analysis.
+pub fn lower_packed(
+    packed: &PackedNetwork,
+    mut b: GraphBuilder,
+    stride: usize,
+    mode: PackedLowering,
+) -> Circuit {
+    assert!(stride >= 1, "lane stride must be positive");
+    let dim = packed.dim;
+    let layout = if stride == 1 {
+        Layout::Tiled
+    } else {
+        Layout::BatchStrided { stride }
+    };
+    let start = packed.required_levels().min(b.params().depth());
+    let mut steps_used: BTreeSet<i64> = BTreeSet::new();
+    let mut x = b.input(PACKED_INPUT, start, layout);
+
+    for (li, layer) in packed.layers.iter().enumerate() {
+        b.begin_region(format!("packed layer {li}"));
+        match layer {
+            PackedLayer::Matrix {
+                diags,
+                bias,
+                dim: d,
+            } => {
+                debug_assert_eq!(*d, dim);
+                x = match mode {
+                    PackedLowering::Eager => {
+                        lower_matrix_eager(&mut b, packed, diags, bias, stride, x, &mut steps_used)
+                    }
+                    PackedLowering::Compiled => {
+                        lower_matrix_squat(&mut b, packed, diags, bias, stride, x, &mut steps_used)
+                    }
+                };
+            }
+            PackedLayer::Activation(coeffs) => {
+                x = lower_slaf(&mut b, coeffs, x);
+            }
+        }
+    }
+    b.output(x);
+    let elements: Vec<usize> = steps_used
+        .iter()
+        .map(|&s| b.params().galois_element_for_rotation(s))
+        .collect();
+    b.finish(KeyInventory::with_galois(true, elements))
+}
+
+/// Mirror of the eager BSGS matvec: babies `rot(x, s·stride)` for
+/// `s ∈ 1..B` hoisted unconditionally, giants skipping empty columns,
+/// diagonal plaintexts at `q_m`, bias at the accumulated scale, one
+/// rescale.
+fn lower_matrix_eager(
+    b: &mut GraphBuilder,
+    packed: &PackedNetwork,
+    diags: &[Option<Vec<f64>>],
+    bias: &[f64],
+    stride: usize,
+    x: NodeId,
+    steps_used: &mut BTreeSet<i64>,
+) -> NodeId {
+    let dim = packed.dim;
+    let bb_count = packed.baby();
+    let lvl = b.ct_ty(x).level;
+    let q_m = b.q_at(lvl);
+
+    let mut babies = Vec::with_capacity(bb_count);
+    babies.push(x);
+    for s in 1..bb_count {
+        let step = s as i64 * stride as i64;
+        steps_used.insert(step);
+        babies.push(b.rotate(x, step));
+    }
+
+    let mut acc: Option<NodeId> = None;
+    let mut g = 0usize;
+    while g < dim {
+        let mut inner: Option<NodeId> = None;
+        for bb in 0..bb_count {
+            let d = g + bb;
+            if d >= dim {
+                break;
+            }
+            let Some(diag) = &diags[d] else { continue };
+            // BSGS identity with left rotations: the plaintext is the
+            // diagonal rotated right by g (see infer_encrypted_layout)
+            let rot: Vec<f64> = (0..dim).map(|j| diag[(j + dim - g % dim) % dim]).collect();
+            let pt = b.encode_vec(rot, q_m, lvl);
+            let term = b.mul_plain(babies[bb], pt);
+            inner = Some(match inner {
+                None => term,
+                Some(a) => b.add(a, term),
+            });
+        }
+        if let Some(inner) = inner {
+            let rotated = if g == 0 {
+                inner
+            } else {
+                let step = g as i64 * stride as i64;
+                steps_used.insert(step);
+                b.rotate(inner, step)
+            };
+            acc = Some(match acc {
+                None => rotated,
+                Some(a) => b.add(a, rotated),
+            });
+        }
+        g += bb_count;
+    }
+    let acc = acc.expect("zero matrix layer");
+    finish_matrix(b, bias.to_vec(), acc)
+}
+
+/// Squat-matrix fold lowering: BSGS over the `n_o` wrapped diagonals
+/// (baby step `√n_o`), then `log2(dim/n_o)` rotate-and-add folds. Baby
+/// rotations are emitted per use; the optimizer's hoist/CSE passes
+/// share them.
+fn lower_matrix_squat(
+    b: &mut GraphBuilder,
+    packed: &PackedNetwork,
+    diags: &[Option<Vec<f64>>],
+    bias: &[f64],
+    stride: usize,
+    x: NodeId,
+    steps_used: &mut BTreeSet<i64>,
+) -> NodeId {
+    let dim = packed.dim;
+
+    // used output rows: any row with a nonzero weight or bias
+    let mut n_rows = 0usize;
+    for diag in diags.iter().flatten() {
+        for (i, &v) in diag.iter().enumerate() {
+            if v != 0.0 {
+                n_rows = n_rows.max(i + 1);
+            }
+        }
+    }
+    for (i, &v) in bias.iter().enumerate() {
+        if v != 0.0 {
+            n_rows = n_rows.max(i + 1);
+        }
+    }
+    let n_o = n_rows.max(1).next_power_of_two();
+
+    // tall/square layers gain nothing from folding: plain BSGS (with
+    // per-use babies for the optimizer to hoist)
+    if n_o >= dim {
+        return lower_matrix_naive_bsgs(b, packed, diags, bias, stride, x, steps_used);
+    }
+
+    // M[r][c] recovered from the generalized diagonals
+    // (diags[d][i] = M[i][(i+d) mod dim] ⇒ M[r][c] = diags[(c−r) mod dim][r])
+    let m_at = |r: usize, c: usize| -> f64 {
+        let d = (c + dim - r) % dim;
+        diags[d].as_ref().map_or(0.0, |dg| dg[r])
+    };
+    // wrapped diagonals over the folded row space
+    let wdiags: Vec<Option<Vec<f64>>> = (0..n_o)
+        .map(|d| {
+            let v: Vec<f64> = (0..dim).map(|i| m_at(i % n_o, (i + d) % dim)).collect();
+            if v.iter().all(|&w| w == 0.0) {
+                None
+            } else {
+                Some(v)
+            }
+        })
+        .collect();
+
+    let mut bprime = 1usize;
+    while bprime * bprime < n_o {
+        bprime <<= 1;
+    }
+
+    let lvl = b.ct_ty(x).level;
+    let q_m = b.q_at(lvl);
+    let mut acc: Option<NodeId> = None;
+    let mut g = 0usize;
+    while g < n_o {
+        let mut inner: Option<NodeId> = None;
+        for bb in 0..bprime {
+            let d = g + bb;
+            if d >= n_o {
+                break;
+            }
+            let Some(w) = &wdiags[d] else { continue };
+            // naive per-use baby rotation — hoist/CSE share these
+            let baby = if bb == 0 {
+                x
+            } else {
+                let step = bb as i64 * stride as i64;
+                steps_used.insert(step);
+                b.rotate(x, step)
+            };
+            let rot: Vec<f64> = (0..dim).map(|j| w[(j + dim - g % dim) % dim]).collect();
+            let pt = b.encode_vec(rot, q_m, lvl);
+            let term = b.mul_plain(baby, pt);
+            inner = Some(match inner {
+                None => term,
+                Some(a) => b.add(a, term),
+            });
+        }
+        if let Some(inner) = inner {
+            let rotated = if g == 0 {
+                inner
+            } else {
+                let step = g as i64 * stride as i64;
+                steps_used.insert(step);
+                b.rotate(inner, step)
+            };
+            acc = Some(match acc {
+                None => rotated,
+                Some(a) => b.add(a, rotated),
+            });
+        }
+        g += bprime;
+    }
+    let mut acc = acc.expect("zero matrix layer");
+
+    // fold: slot i accumulates the partial sums of every congruent
+    // position, so it ends holding row (i mod n_o) of the product
+    let mut t = n_o;
+    while t < dim {
+        let step = t as i64 * stride as i64;
+        steps_used.insert(step);
+        let r = b.rotate(acc, step);
+        acc = b.add(acc, r);
+        t <<= 1;
+    }
+
+    // bias replicated across the folded row space
+    let bias_w: Vec<f64> = (0..dim).map(|i| bias[i % n_o]).collect();
+    finish_matrix(b, bias_w, acc)
+}
+
+/// Plain BSGS over all `dim` diagonals with per-use baby rotations —
+/// the compiled shape for layers the squat fold cannot shrink. After
+/// hoist/CSE the op count is never worse than the eager mirror (unused
+/// babies are simply never emitted).
+fn lower_matrix_naive_bsgs(
+    b: &mut GraphBuilder,
+    packed: &PackedNetwork,
+    diags: &[Option<Vec<f64>>],
+    bias: &[f64],
+    stride: usize,
+    x: NodeId,
+    steps_used: &mut BTreeSet<i64>,
+) -> NodeId {
+    let dim = packed.dim;
+    let bb_count = packed.baby();
+    let lvl = b.ct_ty(x).level;
+    let q_m = b.q_at(lvl);
+    let mut acc: Option<NodeId> = None;
+    let mut g = 0usize;
+    while g < dim {
+        let mut inner: Option<NodeId> = None;
+        for bb in 0..bb_count {
+            let d = g + bb;
+            if d >= dim {
+                break;
+            }
+            let Some(diag) = &diags[d] else { continue };
+            let baby = if bb == 0 {
+                x
+            } else {
+                let step = bb as i64 * stride as i64;
+                steps_used.insert(step);
+                b.rotate(x, step)
+            };
+            let rot: Vec<f64> = (0..dim).map(|j| diag[(j + dim - g % dim) % dim]).collect();
+            let pt = b.encode_vec(rot, q_m, lvl);
+            let term = b.mul_plain(baby, pt);
+            inner = Some(match inner {
+                None => term,
+                Some(a) => b.add(a, term),
+            });
+        }
+        if let Some(inner) = inner {
+            let rotated = if g == 0 {
+                inner
+            } else {
+                let step = g as i64 * stride as i64;
+                steps_used.insert(step);
+                b.rotate(inner, step)
+            };
+            acc = Some(match acc {
+                None => rotated,
+                Some(a) => b.add(a, rotated),
+            });
+        }
+        g += bb_count;
+    }
+    let acc = acc.expect("zero matrix layer");
+    finish_matrix(b, bias.to_vec(), acc)
+}
+
+/// Bias at the accumulated scale (the eager engine's bias-add
+/// discipline), then the layer's single rescale.
+fn finish_matrix(b: &mut GraphBuilder, bias: Vec<f64>, acc: NodeId) -> NodeId {
+    let acc_ty = b.ct_ty(acc);
+    let bias_pt = b.encode_vec(bias, acc_ty.scale, acc_ty.level);
+    let with_bias = b.add_plain(acc, bias_pt);
+    b.rescale(with_bias)
+}
+
+/// Mirror of `he_poly_eval_deg3`: the exact-scale deg-≤3 SLAF recipe,
+/// two levels consumed.
+fn lower_slaf(b: &mut GraphBuilder, coeffs: &[f64], x: NodeId) -> NodeId {
+    let mut c = [0.0f64; 4];
+    c[..coeffs.len()].copy_from_slice(coeffs);
+    let ty = b.ct_ty(x);
+    let s = ty.scale;
+    let m = ty.level;
+    let q_m = b.q_at(m);
+
+    // x² at scale s²/q_m, level m−1
+    let sq = b.square(x);
+    let x2r = b.rescale(sq);
+
+    // y₂ = c₂·x² → S* = s³/(q_m·q_{m−1}), level m−2
+    let c2 = b.encode_scalar(c[2], s, m - 1);
+    let a0 = b.mul_plain(x2r, c2);
+    let mut acc = b.rescale(a0);
+
+    // y₃ = (c₃·x)·x² via one ct-ct product, same S* by construction
+    if c[3] != 0.0 {
+        let c3 = b.encode_scalar(c[3], q_m, m);
+        let t0 = b.mul_plain(x, c3);
+        let t = b.rescale(t0); // scale s @ m−1
+        let y3m = b.mul(t, x2r);
+        let y3 = b.rescale(y3m); // S* @ m−2
+        acc = b.add(acc, y3);
+    }
+
+    // y₁ = c₁·x dropped two levels through scales (s, s)
+    let c1 = b.encode_scalar(c[1], s, m);
+    let t0 = b.mul_plain(x, c1);
+    let t1 = b.rescale(t0); // s²/q_m @ m−1
+    let one = b.encode_scalar(1.0, s, m - 1);
+    let y1m = b.mul_plain(t1, one);
+    let y1 = b.rescale(y1m); // S* @ m−2
+    acc = b.add(acc, y1);
+
+    // y₀ at the accumulated scale
+    b.add_scalar(acc, c[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::he_layers::DenseSpec;
+    use crate::network::{HeLayerSpec, HeNetwork};
+    use ckks::{CkksParams, Evaluator, KeyGenerator};
+    use ckks_math::sampler::Sampler;
+    use he_ir::PassManager;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// The packed test network of `packed.rs` (conv 18 rows, dense 5
+    /// rows, dim 64).
+    fn mini_net(seed: u64) -> PackedNetwork {
+        use crate::he_layers::ConvSpec;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut w =
+            |n: usize| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-0.25f32..0.25)).collect() };
+        let net = HeNetwork {
+            layers: vec![
+                HeLayerSpec::Conv(ConvSpec {
+                    weight: w(2 * 9),
+                    bias: vec![0.1, -0.1],
+                    in_ch: 1,
+                    out_ch: 2,
+                    k: 3,
+                    stride: 2,
+                    pad: 0,
+                }),
+                HeLayerSpec::Activation(vec![0.05, 0.7, 0.2]),
+                HeLayerSpec::Dense(DenseSpec {
+                    weight: w(18 * 5),
+                    bias: w(5),
+                    in_dim: 18,
+                    out_dim: 5,
+                }),
+            ],
+            input_side: 8,
+        };
+        PackedNetwork::from_network(&net)
+    }
+
+    /// Eager-mode lowering interprets to the exact bits the eager
+    /// engine computes.
+    #[test]
+    fn eager_lowering_is_bit_identical_to_eager_engine() {
+        let packed = mini_net(60);
+        let ctx = CkksParams::tiny(packed.required_levels()).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 61);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let rk = kg.gen_relin_key(&sk);
+        let gk = kg.gen_galois_keys(&sk, &packed.required_rotation_steps(), false);
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(62);
+
+        let img: Vec<f32> = (0..64).map(|i| ((i * 7) % 13) as f32 / 13.0).collect();
+        let x = packed.encrypt_input(&ev, &pk, &mut s, &img);
+        let (eager, _) = packed.infer_encrypted(&ev, &rk, &gk, x.clone());
+
+        let circuit = lower_packed(
+            &packed,
+            he_ir::GraphBuilder::for_context(&ctx),
+            1,
+            PackedLowering::Eager,
+        );
+        assert!(circuit.validate().is_ok());
+        let mut inputs = HashMap::new();
+        inputs.insert(PACKED_INPUT.to_string(), x);
+        let outs = he_ir::Interpreter::new(&ev)
+            .with_relin(&rk)
+            .with_galois(&gk)
+            .run(&circuit, &inputs)
+            .expect("interpretation");
+        let got = &outs[0];
+        assert_eq!(got.level, eager.level);
+        assert_eq!(got.scale.to_bits(), eager.scale.to_bits());
+        for li in 0..=got.level {
+            assert_eq!(got.c0.limb(li), eager.c0.limb(li), "c0 limb {li}");
+            assert_eq!(got.c1.limb(li), eager.c1.limb(li), "c1 limb {li}");
+        }
+    }
+
+    /// Compiled (squat-fold) lowering, optimized, computes the same
+    /// function within the engine's tolerance — and spends materially
+    /// fewer rotations than the eager baseline.
+    #[test]
+    fn compiled_lowering_matches_plain_with_fewer_rotations() {
+        let packed = mini_net(63);
+        let ctx = CkksParams::tiny(packed.required_levels()).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 64);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let rk = kg.gen_relin_key(&sk);
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(65);
+
+        let eager = lower_packed(
+            &packed,
+            he_ir::GraphBuilder::for_context(&ctx),
+            1,
+            PackedLowering::Eager,
+        );
+        let mut compiled = lower_packed(
+            &packed,
+            he_ir::GraphBuilder::for_context(&ctx),
+            1,
+            PackedLowering::Compiled,
+        );
+        let report = PassManager::optimizer()
+            .optimize(&mut compiled)
+            .expect("optimize");
+        assert!(report.changed());
+
+        let eager_counts = eager.op_counts();
+        let compiled_counts = compiled.op_counts();
+        assert!(
+            (compiled_counts.rotations as f64) <= 0.85 * eager_counts.rotations as f64,
+            "rotations: compiled {} vs eager {}",
+            compiled_counts.rotations,
+            eager_counts.rotations
+        );
+
+        // keys for exactly the optimized circuit's rotation set
+        let steps: Vec<i64> = he_ir::passes::rotations::required_elements(&compiled)
+            .steps
+            .into_iter()
+            .collect();
+        let gk = kg.gen_galois_keys(&sk, &steps, false);
+
+        let img: Vec<f32> = (0..64).map(|i| ((i * 5) % 11) as f32 / 11.0).collect();
+        let x = packed.encrypt_input(&ev, &pk, &mut s, &img);
+        let mut inputs = HashMap::new();
+        inputs.insert(PACKED_INPUT.to_string(), x);
+        let outs = he_ir::Interpreter::new(&ev)
+            .with_relin(&rk)
+            .with_galois(&gk)
+            .run(&compiled, &inputs)
+            .expect("compiled interpretation");
+        let dec = ev.decrypt_to_real(&outs[0], &sk);
+        let want = packed.infer_plain(&img);
+        for i in 0..packed.output_dim {
+            assert!(
+                (dec[i] - want[i]).abs() < 0.02,
+                "slot {i}: {} vs {}",
+                dec[i],
+                want[i]
+            );
+        }
+    }
+
+    /// The squat fold is layout-aware: a batch-strided lowering scales
+    /// every rotation step by the lane stride and still matches per
+    /// lane.
+    #[test]
+    fn compiled_strided_lowering_matches_per_lane() {
+        let packed = mini_net(66);
+        let ctx = CkksParams::tiny(packed.required_levels()).build();
+        let mut kg = KeyGenerator::new(Arc::clone(&ctx), 67);
+        let sk = kg.gen_secret_key();
+        let pk = kg.gen_public_key(&sk);
+        let rk = kg.gen_relin_key(&sk);
+        let ev = Evaluator::new(Arc::clone(&ctx));
+        let mut s = Sampler::from_seed(68);
+
+        let plan = packed.plan_batch(ctx.slots(), 3).unwrap();
+        let stride = plan.layout().stride();
+        assert!(stride > 1, "3 lanes must be strided");
+        let mut compiled = lower_packed(
+            &packed,
+            he_ir::GraphBuilder::for_context(&ctx),
+            stride,
+            PackedLowering::Compiled,
+        );
+        PassManager::optimizer()
+            .optimize(&mut compiled)
+            .expect("optimize");
+        let steps: Vec<i64> = he_ir::passes::rotations::required_elements(&compiled)
+            .steps
+            .into_iter()
+            .collect();
+        let gk = kg.gen_galois_keys(&sk, &steps, false);
+
+        let images: Vec<Vec<f32>> = (0..3)
+            .map(|k| {
+                (0..64)
+                    .map(|i| ((i * (k + 3)) % 11) as f32 / 11.0)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = images.iter().map(Vec::as_slice).collect();
+        let cts = packed
+            .encrypt_batch(&ev, &pk, &mut s, &refs, &plan)
+            .unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(PACKED_INPUT.to_string(), cts[0].clone());
+        let outs = he_ir::Interpreter::new(&ev)
+            .with_relin(&rk)
+            .with_galois(&gk)
+            .run(&compiled, &inputs)
+            .expect("strided compiled interpretation");
+        let logits = packed.decrypt_batch(&ev, &sk, &outs, &plan);
+        for (k, img) in images.iter().enumerate() {
+            let want = packed.infer_plain(img);
+            for i in 0..packed.output_dim {
+                assert!(
+                    (logits[k][i] - want[i]).abs() < 0.03,
+                    "image {k} logit {i}: {} vs {}",
+                    logits[k][i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    /// Optimizing the compiled circuit twice is a fixpoint.
+    #[test]
+    fn compiled_lowering_optimization_is_idempotent() {
+        let packed = mini_net(69);
+        let params = CkksParams::tiny(packed.required_levels());
+        let mut c = lower_packed(
+            &packed,
+            he_ir::GraphBuilder::new(params),
+            1,
+            PackedLowering::Compiled,
+        );
+        let r1 = PassManager::optimizer().optimize(&mut c).unwrap();
+        assert!(r1.changed());
+        let r2 = PassManager::optimizer().optimize(&mut c).unwrap();
+        assert!(!r2.changed(), "{}", r2.render());
+    }
+
+    mod pass_props {
+        use super::*;
+        use he_ir::passes::{
+            cse::CsePass, dce::DeadOpPass, hoist::RotationHoistPass, placement::PlacementPass,
+        };
+        use he_ir::Pass;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            // Every optimizing pass is individually idempotent: a second
+            // `rewrite` on its own output reports `changed == false` and
+            // the circuit stays valid after every application — over
+            // randomized networks, both lowering modes, and tiled as
+            // well as batch-strided layouts.
+            #[test]
+            fn each_optimizing_pass_is_idempotent(
+                seed in 0u64..1_000,
+                stride_log in 0u32..3,
+                want_compiled in any::<bool>(),
+            ) {
+                let packed = mini_net(seed);
+                let params = CkksParams::tiny(packed.required_levels());
+                let mode = if want_compiled {
+                    PackedLowering::Compiled
+                } else {
+                    PackedLowering::Eager
+                };
+                let mut c = lower_packed(
+                    &packed,
+                    he_ir::GraphBuilder::new(params),
+                    1usize << stride_log,
+                    mode,
+                );
+                let passes: [&dyn Pass; 4] =
+                    [&RotationHoistPass, &CsePass, &PlacementPass, &DeadOpPass];
+                for p in passes {
+                    let s1 = p.rewrite(&mut c).expect("optimizing pass has rewrite mode");
+                    prop_assert!(
+                        c.validate().is_ok(),
+                        "{} broke circuit validity: {:?}",
+                        p.name(),
+                        c.validate()
+                    );
+                    let s2 = p.rewrite(&mut c).expect("optimizing pass has rewrite mode");
+                    prop_assert!(
+                        !s2.changed,
+                        "{} not idempotent: first {:?}, second {:?}",
+                        p.name(),
+                        s1,
+                        s2
+                    );
+                    prop_assert!(c.validate().is_ok());
+                }
+            }
+        }
+    }
+}

@@ -26,6 +26,29 @@ struct PackedBatchEngine {
     pre: HashMap<usize, PackedPrecomputed>,
 }
 
+/// One compiled circuit per lane stride: the squat-fold lowering run
+/// through [`he_ir::PassManager::optimizer`], plus a Galois key set
+/// generated for exactly the optimized circuit's rotation set (the
+/// compiled giants differ from the eager BSGS steps).
+struct CompiledStride {
+    circuit: he_ir::Circuit,
+    gk: GaloisKeys,
+    report: he_ir::OptimizeReport,
+    eager_counts: he_ir::OpCounts,
+}
+
+/// Eager-vs-compiled op accounting for one lane stride, for benches and
+/// regression gates.
+#[derive(Debug, Clone)]
+pub struct CompiledStats {
+    /// Counts of the eager-mirror lowering (what the packed engine runs).
+    pub eager: he_ir::OpCounts,
+    /// Counts of the optimized compiled circuit (what `classify` runs).
+    pub compiled: he_ir::OpCounts,
+    /// What the optimizer pipeline did.
+    pub report: he_ir::OptimizeReport,
+}
+
 /// A ready-to-serve encrypted-inference pipeline: context, keys and the
 /// extracted network.
 pub struct CnnHePipeline {
@@ -43,6 +66,9 @@ pub struct CnnHePipeline {
     /// `Some` once slot-packed batching is enabled; [`Self::classify`]
     /// then routes through the packed engine.
     packed: Option<PackedBatchEngine>,
+    /// `Some` once [`Self::compile`] has run: per-stride compiled
+    /// circuits, populated lazily as request strides are seen.
+    compiled: Option<HashMap<usize, CompiledStride>>,
 }
 
 /// Result of one encrypted classification request.
@@ -103,6 +129,7 @@ impl CnnHePipeline {
             seed,
             exec_mode: ExecMode::sequential(),
             packed: None,
+            compiled: None,
         }
     }
 
@@ -144,6 +171,87 @@ impl CnnHePipeline {
     /// Whether [`Self::enable_packed_batching`] has run.
     pub fn packed_batching_enabled(&self) -> bool {
         self.packed.is_some()
+    }
+
+    /// Switches [`Self::classify`] to the *compiled* execution path:
+    /// the packed network is lowered to the `he-ir` squat-fold circuit,
+    /// run through the optimizing pass pipeline
+    /// ([`he_ir::PassManager::optimizer`]), and executed by the IR
+    /// [`he_ir::Interpreter`] instead of the eager BSGS loop. Circuits
+    /// (and their Galois keys, which cover exactly the optimized
+    /// rotation set) are cached per lane stride on first use. Implies
+    /// [`Self::enable_packed_batching`]. Idempotent.
+    pub fn compile(&mut self) -> Result<(), HeError> {
+        self.enable_packed_batching()?;
+        if self.compiled.is_none() {
+            self.compiled = Some(HashMap::new());
+        }
+        Ok(())
+    }
+
+    /// Whether [`Self::compile`] has run.
+    pub fn compiled_enabled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Lowers, optimizes and caches the circuit for one lane stride.
+    fn ensure_compiled(&mut self, stride: usize) {
+        if self
+            .compiled
+            .as_ref()
+            .is_some_and(|m| m.contains_key(&stride))
+        {
+            return;
+        }
+        let eng = self.packed.as_ref().expect("compile() enabled packing");
+        let eager = crate::packed_graph::lower_packed(
+            &eng.packed,
+            he_ir::GraphBuilder::for_context(&self.ctx),
+            stride,
+            crate::packed_graph::PackedLowering::Eager,
+        );
+        let eager_counts = eager.op_counts();
+        let mut circuit = crate::packed_graph::lower_packed(
+            &eng.packed,
+            he_ir::GraphBuilder::for_context(&self.ctx),
+            stride,
+            crate::packed_graph::PackedLowering::Compiled,
+        );
+        let report = he_ir::PassManager::optimizer()
+            .optimize(&mut circuit)
+            .expect("compiled lowering must survive its own optimizer");
+        let steps: Vec<i64> = he_ir::passes::rotations::required_elements(&circuit)
+            .steps
+            .into_iter()
+            .collect();
+        let mut kg = KeyGenerator::new(Arc::clone(&self.ctx), self.seed ^ 0x9A71);
+        let gk = kg.gen_galois_keys(&self.sk, &steps, false);
+        self.compiled.as_mut().expect("compile() ran").insert(
+            stride,
+            CompiledStride {
+                circuit,
+                gk,
+                report,
+                eager_counts,
+            },
+        );
+    }
+
+    /// Eager-vs-compiled op accounting for the stride a `batch`-image
+    /// request would run at (compiling that stride if needed). `None`
+    /// until [`Self::compile`] has run.
+    pub fn compiled_stats(&mut self, batch: usize) -> Option<CompiledStats> {
+        self.compiled.as_ref()?;
+        let eng = self.packed.as_ref()?;
+        let plan = eng.packed.plan_batch(self.ctx.slots(), batch.max(1)).ok()?;
+        let stride = plan.layout().stride();
+        self.ensure_compiled(stride);
+        let cs = &self.compiled.as_ref().unwrap()[&stride];
+        Some(CompiledStats {
+            eager: cs.eager_counts,
+            compiled: cs.circuit.op_counts(),
+            report: cs.report.clone(),
+        })
     }
 
     /// Selects how [`Self::classify`] executes layer unit loops.
@@ -217,6 +325,17 @@ impl CnnHePipeline {
         }
     }
 
+    /// Unclamped lane capacity of one packed ciphertext
+    /// (`slots / dim`), `None` until packed batching is enabled. Unlike
+    /// [`Self::max_batch`] this reports `Some(0)` when the packed
+    /// dimension does not fit the ring, so admission layers can refuse
+    /// instead of silently serving a clamped 1-lane ceiling.
+    pub fn packed_lane_capacity(&self) -> Option<usize> {
+        self.packed
+            .as_ref()
+            .map(|eng| self.ctx.slots() / eng.packed.dim)
+    }
+
     /// Flat pixel count one request image must have.
     pub fn input_len(&self) -> usize {
         self.network.input_side * self.network.input_side
@@ -249,6 +368,9 @@ impl CnnHePipeline {
     /// the slot-packed batch engine when
     /// [`Self::enable_packed_batching`] has run.
     pub fn classify(&mut self, images: &[&[f32]]) -> Classification {
+        if self.compiled.is_some() {
+            return self.classify_compiled(images);
+        }
         if self.packed.is_some() {
             return self.classify_packed(images);
         }
@@ -333,6 +455,72 @@ impl CnnHePipeline {
             logits,
             predictions,
             timing,
+        }
+    }
+
+    /// The compiled request path: same shard planning and
+    /// encrypt/decrypt as [`Self::classify_packed`], but each shard
+    /// ciphertext runs the optimized `he-ir` circuit through the IR
+    /// interpreter with the circuit's own Galois keys.
+    fn classify_compiled(&mut self, images: &[&[f32]]) -> Classification {
+        assert!(!images.is_empty(), "cannot classify an empty batch");
+        let report = self.validate_batch(images.len());
+        assert!(
+            !report.has_errors(),
+            "he-lint rejected the inference plan:\n{}",
+            report.render()
+        );
+        let plan = self
+            .packed
+            .as_ref()
+            .expect("compile() enabled packing")
+            .packed
+            .plan_batch(self.ctx.slots(), images.len())
+            .expect("capacity was checked when packing was enabled");
+        let stride = plan.layout().stride();
+        self.ensure_compiled(stride);
+        let eng = self.packed.as_ref().expect("packed engine enabled");
+        let cs = &self.compiled.as_ref().expect("compile() ran")[&stride];
+        let cts = eng
+            .packed
+            .encrypt_batch(&self.ev, &self.pk, &mut self.sampler, images, &plan)
+            .expect("the shard plan fits by construction");
+        let mut outs = Vec::with_capacity(cts.len());
+        let mut layers = Vec::with_capacity(cts.len());
+        for (s, ct) in cts.into_iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            let mut inputs = HashMap::new();
+            inputs.insert(crate::packed_graph::PACKED_INPUT.to_string(), ct);
+            let mut shard_outs = he_ir::Interpreter::new(&self.ev)
+                .with_relin(&self.rk)
+                .with_galois(&cs.gk)
+                .run(&cs.circuit, &inputs)
+                .expect("optimizer-validated circuit executes");
+            outs.push(shard_outs.remove(0));
+            let wall = t0.elapsed();
+            layers.push(LayerTiming {
+                name: format!("compiled shard {s}"),
+                unit_times: vec![wall],
+                parallel: true,
+                fixed: std::time::Duration::ZERO,
+                wall,
+            });
+        }
+        let logits = eng.packed.decrypt_batch(&self.ev, &self.sk, &outs, &plan);
+        let predictions = logits
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        Classification {
+            logits,
+            predictions,
+            timing: InferenceTiming { layers },
         }
     }
 
@@ -540,10 +728,12 @@ mod tests {
     fn packed_batching_classifies_a_sharded_batch() {
         let net = mini_network(107);
         let mut pipe = CnnHePipeline::new(net, 1 << 10, 107);
+        assert_eq!(pipe.packed_lane_capacity(), None, "not yet enabled");
         pipe.enable_packed_batching().unwrap();
         assert!(pipe.packed_batching_enabled());
         // 512 slots / dim 64 → one packed ciphertext carries 8 lanes
         assert_eq!(pipe.max_batch(), 8);
+        assert_eq!(pipe.packed_lane_capacity(), Some(8));
         assert!(!pipe.validate_batch(10).has_errors());
         let images: Vec<Vec<f32>> = (0..10)
             .map(|k| {
@@ -566,6 +756,64 @@ mod tests {
         let one = pipe.classify(&refs[..1]);
         for (a, b) in one.logits[0].iter().zip(&got.logits[0]) {
             assert!((a - b).abs() < 2e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn compiled_path_matches_plain_and_spends_fewer_ops() {
+        let net = mini_network(108);
+        let mut pipe = CnnHePipeline::new(net, 1 << 10, 108);
+        pipe.compile().unwrap();
+        assert!(pipe.compiled_enabled());
+        assert!(pipe.packed_batching_enabled());
+        // 10 images spill into 2 shards at the full 8-lane stride
+        let images: Vec<Vec<f32>> = (0..10)
+            .map(|k| {
+                (0..64)
+                    .map(|i| ((i * (k + 2)) % 13) as f32 / 13.0)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = images.iter().map(Vec::as_slice).collect();
+        let got = pipe.classify(&refs);
+        assert_eq!(got.logits.len(), 10);
+        for (k, img) in images.iter().enumerate() {
+            let want = pipe.network.infer_plain(img);
+            for (g, w) in got.logits[k].iter().zip(&want) {
+                assert!((g - w).abs() < 3e-2, "image {k}: {g} vs {w}");
+            }
+            let plain_pred = want
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(got.predictions[k], plain_pred, "image {k}");
+        }
+        // a singleton batch exercises the stride-1 compiled circuit
+        let one = pipe.classify(&refs[..1]);
+        for (a, b) in one.logits[0].iter().zip(&got.logits[0]) {
+            assert!((a - b).abs() < 2e-2, "{a} vs {b}");
+        }
+        // the optimizer must beat the eager lowering by the issue's
+        // thresholds on both strides seen above
+        for batch in [1usize, 10] {
+            let stats = pipe.compiled_stats(batch).unwrap();
+            assert!(stats.report.changed());
+            let (e, c) = (stats.eager, stats.compiled);
+            assert!(
+                (c.rotations as f64) <= 0.85 * e.rotations as f64,
+                "batch {batch} rotations: {} vs {}",
+                c.rotations,
+                e.rotations
+            );
+            let total = |o: he_ir::OpCounts| o.ct_mults + o.scalar_macs + o.rescales + o.rotations;
+            assert!(
+                (total(c) as f64) <= 0.90 * total(e) as f64,
+                "batch {batch} total ops: {} vs {}",
+                total(c),
+                total(e)
+            );
         }
     }
 

@@ -145,6 +145,23 @@ impl GraphBuilder {
         self.push(Op::EncodeScalar { value, pt_scale }, ty)
     }
 
+    /// Mirror of `ckks::encode_real` over an element-domain vector
+    /// broadcast to every lane of the consuming ciphertext's layout
+    /// (see [`Op::EncodeVec`]).
+    pub fn encode_vec(&mut self, values: Vec<f64>, pt_scale: f64, level: usize) -> NodeId {
+        let ty = ValueTy::Plain(PlainType {
+            level: level.min(self.params.depth()),
+            pt_scale,
+        });
+        self.push(
+            Op::EncodeVec {
+                values: std::sync::Arc::new(values),
+                pt_scale,
+            },
+            ty,
+        )
+    }
+
     // -----------------------------------------------------------------
     // Arithmetic (types saturate; passes diagnose mismatches)
     // -----------------------------------------------------------------
@@ -191,6 +208,13 @@ impl GraphBuilder {
             ..ts
         });
         self.push(Op::MulPlain { src, plain }, ty)
+    }
+
+    /// Mirror of `Evaluator::add_plain` (scale preserved — the
+    /// plaintext must be encoded at the ciphertext's scale).
+    pub fn add_plain(&mut self, src: NodeId, plain: NodeId) -> NodeId {
+        let ty = ValueTy::Ct(self.ct_ty(src));
+        self.push(Op::AddPlain { src, plain }, ty)
     }
 
     /// Mirror of `Evaluator::mul_residues_acc`: `acc + src·plain`,

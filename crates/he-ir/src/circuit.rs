@@ -73,6 +73,16 @@ pub enum Op {
         value: f64,
         pt_scale: f64,
     },
+    /// `ckks::encode_real` of an element-domain vector broadcast across
+    /// the consuming ciphertext's layout: slot `i` holds
+    /// `values[(i / stride) % values.len()]`, where `stride` is the lane
+    /// stride of the ciphertext operand's layout (1 for `Tiled` /
+    /// `BatchSlots`). This is exactly [`ckks::PackLayout::expand`], so
+    /// packed-engine plaintext operands are bit-identical to eager.
+    EncodeVec {
+        values: std::sync::Arc<Vec<f64>>,
+        pt_scale: f64,
+    },
     Add {
         a: NodeId,
         b: NodeId,
@@ -89,8 +99,17 @@ pub enum Op {
         src: NodeId,
         value: f64,
     },
-    /// `Evaluator::mul_scalar` with the weight from `plain`.
+    /// `Evaluator::mul_scalar` with the weight from `plain`
+    /// ([`Op::EncodeScalar`]), or `Evaluator::mul_plain` when `plain`
+    /// is an [`Op::EncodeVec`].
     MulPlain {
+        src: NodeId,
+        plain: NodeId,
+    },
+    /// `Evaluator::add_plain`: adds an [`Op::EncodeVec`] plaintext
+    /// (encoded at the ciphertext's scale — the bias add of the packed
+    /// engine).
+    AddPlain {
         src: NodeId,
         plain: NodeId,
     },
@@ -135,7 +154,7 @@ impl Op {
     /// Operand node ids, in a fixed order.
     pub fn args(&self) -> Vec<NodeId> {
         match self {
-            Op::Input { .. } | Op::Zero | Op::EncodeScalar { .. } => vec![],
+            Op::Input { .. } | Op::Zero | Op::EncodeScalar { .. } | Op::EncodeVec { .. } => vec![],
             Op::Add { a, b } | Op::Sub { a, b } | Op::Mul { a, b } => vec![*a, *b],
             Op::Negate { src }
             | Op::AddScalar { src, .. }
@@ -144,8 +163,26 @@ impl Op {
             | Op::ModSwitch { src, .. }
             | Op::Rotate { src, .. }
             | Op::Conjugate { src } => vec![*src],
-            Op::MulPlain { src, plain } => vec![*src, *plain],
+            Op::MulPlain { src, plain } | Op::AddPlain { src, plain } => vec![*src, *plain],
             Op::MacPlain { acc, src, plain } => vec![*acc, *src, *plain],
+        }
+    }
+
+    /// Mutable references to the operand node ids, in the same order as
+    /// [`Op::args`] — what rewriting passes redirect.
+    pub fn args_mut(&mut self) -> Vec<&mut NodeId> {
+        match self {
+            Op::Input { .. } | Op::Zero | Op::EncodeScalar { .. } | Op::EncodeVec { .. } => vec![],
+            Op::Add { a, b } | Op::Sub { a, b } | Op::Mul { a, b } => vec![a, b],
+            Op::Negate { src }
+            | Op::AddScalar { src, .. }
+            | Op::Square { src }
+            | Op::Rescale { src }
+            | Op::ModSwitch { src, .. }
+            | Op::Rotate { src, .. }
+            | Op::Conjugate { src } => vec![src],
+            Op::MulPlain { src, plain } | Op::AddPlain { src, plain } => vec![src, plain],
+            Op::MacPlain { acc, src, plain } => vec![acc, src, plain],
         }
     }
 
@@ -155,11 +192,13 @@ impl Op {
             Op::Input { .. } => "input",
             Op::Zero => "zero",
             Op::EncodeScalar { .. } => "encode",
+            Op::EncodeVec { .. } => "encode_vec",
             Op::Add { .. } => "add",
             Op::Sub { .. } => "sub",
             Op::Negate { .. } => "negate",
             Op::AddScalar { .. } => "add_scalar",
             Op::MulPlain { .. } => "mul_plain",
+            Op::AddPlain { .. } => "add_plain",
             Op::MacPlain { .. } => "mac_plain",
             Op::Mul { .. } => "mul",
             Op::Square { .. } => "square",
@@ -290,6 +329,11 @@ impl Circuit {
             let pt_ok = |a: NodeId| self.nodes[a].ty.as_plain().is_some();
             let kinds_ok = match &node.op {
                 Op::MulPlain { src, plain } => ct_ok(*src) && pt_ok(*plain),
+                Op::AddPlain { src, plain } => {
+                    ct_ok(*src)
+                        && pt_ok(*plain)
+                        && matches!(self.nodes[*plain].op, Op::EncodeVec { .. })
+                }
                 Op::MacPlain { acc, src, plain } => ct_ok(*acc) && ct_ok(*src) && pt_ok(*plain),
                 other => other.args().iter().all(|&a| ct_ok(a)),
             };
@@ -299,7 +343,12 @@ impl Circuit {
                     node.op.mnemonic()
                 ));
             }
-            let produces_ct = !matches!(node.op, Op::EncodeScalar { .. });
+            if let Op::EncodeVec { values, .. } = &node.op {
+                if values.is_empty() {
+                    return Err(format!("node {id} (encode_vec) has an empty value vector"));
+                }
+            }
+            let produces_ct = !matches!(node.op, Op::EncodeScalar { .. } | Op::EncodeVec { .. });
             if produces_ct != node.ty.as_ct().is_some() {
                 return Err(format!(
                     "node {id} ({}) declares the wrong result kind",

@@ -30,6 +30,7 @@ fn node_label(c: &Circuit, id: usize) -> String {
     let detail = match &node.op {
         Op::Input { name } => format!(" {name}"),
         Op::EncodeScalar { value, .. } => format!(" {value}"),
+        Op::EncodeVec { values, .. } => format!(" [{}]", values.len()),
         Op::AddScalar { value, .. } => format!(" {value}"),
         Op::Rotate { steps, .. } => format!(" by {steps}"),
         Op::ModSwitch { level, .. } => format!(" to L{level}"),

@@ -21,13 +21,17 @@ use std::collections::HashMap;
 pub enum Value {
     Ct(Ciphertext),
     Plain(PreparedScalar),
+    /// An element-domain vector pattern ([`Op::EncodeVec`]): encoding
+    /// is deferred to the consuming op, which knows the lane stride of
+    /// its ciphertext operand and the runtime level to encode at.
+    PlainVec(std::sync::Arc<Vec<f64>>),
 }
 
 impl Value {
     pub fn as_ct(&self) -> Option<&Ciphertext> {
         match self {
             Value::Ct(ct) => Some(ct),
-            Value::Plain(_) => None,
+            Value::Plain(_) | Value::PlainVec(_) => None,
         }
     }
 
@@ -38,7 +42,7 @@ impl Value {
     fn plain(&self) -> Result<&PreparedScalar, String> {
         match self {
             Value::Plain(p) => Ok(p),
-            Value::Ct(_) => Err("expected a prepared scalar".into()),
+            _ => Err("expected a prepared scalar".into()),
         }
     }
 }
@@ -146,17 +150,36 @@ impl<'a> Interpreter<'a> {
                 let ty = node.ty.as_plain().ok_or("encode node must be plain")?;
                 Value::Plain(self.ev.prepare_scalar(*value, *pt_scale, ty.level))
             }
+            Op::EncodeVec { values, .. } => Value::PlainVec(std::sync::Arc::clone(values)),
             Op::Add { a, b } => Value::Ct(self.ev.add(ct(*a)?, ct(*b)?)),
             Op::Sub { a, b } => Value::Ct(self.ev.sub(ct(*a)?, ct(*b)?)),
             Op::Negate { src } => Value::Ct(self.ev.negate(ct(*src)?)),
             Op::AddScalar { src, value } => Value::Ct(self.ev.add_scalar(ct(*src)?, *value)),
-            Op::MulPlain { src, plain } => {
+            Op::MulPlain { src, plain } => match (&c.nodes[*plain].op, get(*plain)?) {
                 // replay the exact eager call: mul_scalar re-encodes the
                 // weight from the Encode node's value/pt_scale
-                let Op::EncodeScalar { value, pt_scale } = &c.nodes[*plain].op else {
-                    return Err(format!("node {id}: plain operand is not an encode"));
+                (Op::EncodeScalar { value, pt_scale }, _) => {
+                    Value::Ct(self.ev.mul_scalar(ct(*src)?, *value, *pt_scale))
+                }
+                // vector weight: expand the element pattern across the
+                // source layout and encode at the declared pt_scale and
+                // the *runtime* level — the exact eager packed-engine call
+                (Op::EncodeVec { pt_scale, .. }, Value::PlainVec(vals)) => {
+                    let x = ct(*src)?;
+                    let pt = self.encode_broadcast(c, *src, vals, *pt_scale, x.level)?;
+                    Value::Ct(self.ev.mul_plain(x, &pt))
+                }
+                _ => return Err(format!("node {id}: plain operand is not an encode")),
+            },
+            Op::AddPlain { src, plain } => {
+                let Value::PlainVec(vals) = get(*plain)? else {
+                    return Err(format!("node {id}: add_plain operand is not an encode_vec"));
                 };
-                Value::Ct(self.ev.mul_scalar(ct(*src)?, *value, *pt_scale))
+                let x = ct(*src)?;
+                // encoded at the ciphertext's runtime scale/level, the
+                // eager engine's bias-add discipline
+                let pt = self.encode_broadcast(c, *src, vals, x.scale, x.level)?;
+                Value::Ct(self.ev.add_plain(x, &pt))
             }
             Op::MacPlain { acc, src, plain } => {
                 let mut out = ct(*acc)?.clone();
@@ -203,6 +226,31 @@ impl<'a> Interpreter<'a> {
             }
         };
         Ok(out)
+    }
+
+    /// Expands an element-domain pattern across the lane stride of the
+    /// ciphertext node `src` and encodes it — slot `i` holds
+    /// `values[(i / stride) % values.len()]`, which is exactly
+    /// `ckks::PackLayout::expand` for batch-strided layouts and plain
+    /// cyclic tiling at stride 1.
+    fn encode_broadcast(
+        &self,
+        c: &Circuit,
+        src: NodeId,
+        values: &[f64],
+        pt_scale: f64,
+        level: usize,
+    ) -> Result<ckks::Plaintext, String> {
+        let ty = c.nodes[src]
+            .ty
+            .as_ct()
+            .ok_or("broadcast source must be a ciphertext")?;
+        let stride = ty.layout.lane_stride();
+        let slots = self.ev.ctx().slots();
+        let expanded: Vec<f64> = (0..slots)
+            .map(|i| values[(i / stride) % values.len()])
+            .collect();
+        Ok(ckks::encode_real(self.ev.ctx(), &expanded, pt_scale, level))
     }
 }
 

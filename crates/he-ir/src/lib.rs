@@ -19,7 +19,12 @@
 //!   severity model he-lint reports through).
 //! - [`passes`]: the standard analyses — level/scale/noise abstract
 //!   interpretation, rotation-set/key coverage, liveness + dead ops,
-//!   value-numbering/CSE, and rescale/relin placement.
+//!   value-numbering/CSE, and rescale/relin placement — plus the
+//!   optimizing rewrites ([`pass::PassManager::optimizer`]): rotation
+//!   hoisting/BSGS baby-step sharing, CSE merging, rescale sinking and
+//!   relin-redundancy elimination, and dead-op elimination, each
+//!   re-validated at the pass boundary
+//!   ([`pass::PassManager::optimize`]).
 //! - [`interp::Interpreter`]: replays a circuit through the real
 //!   `Evaluator`, bit-identical to eager execution — the anchor for
 //!   he-diff's IR-vs-eager differential mode.
@@ -43,9 +48,9 @@ pub mod passes;
 pub mod types;
 
 pub use build::GraphBuilder;
-pub use circuit::{Circuit, KeyInventory, Node, NodeId, Op, Region};
+pub use circuit::{Circuit, KeyInventory, Node, NodeId, Op, OpCounts, Region};
 pub use diag::{Diagnostic, LintReport, Severity};
 pub use interp::{Interpreter, Value};
 pub use noise::NoiseModel;
-pub use pass::{AnalysisReport, Pass, PassManager, PassOutput};
+pub use pass::{AnalysisReport, OptimizeReport, Pass, PassManager, PassOutput, RewriteStats};
 pub use types::{CtType, Layout, PlainType, ValueTy};

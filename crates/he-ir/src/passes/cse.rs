@@ -37,6 +37,11 @@ enum Key {
         pt_scale: u64,
         level: usize,
     },
+    EncodeVec {
+        bits: Vec<u64>,
+        pt_scale: u64,
+        level: usize,
+    },
     Unary {
         tag: u8,
         src: NodeId,
@@ -78,6 +83,11 @@ pub fn number(c: &Circuit) -> ValueNumbers {
                 pt_scale: pt_scale.to_bits(),
                 level: pt.level,
             }),
+            Op::EncodeVec { values, pt_scale } => node.ty.as_plain().map(|pt| Key::EncodeVec {
+                bits: values.iter().map(|v| v.to_bits()).collect(),
+                pt_scale: pt_scale.to_bits(),
+                level: pt.level,
+            }),
             Op::Negate { src } => Some(Key::Unary {
                 tag: 0,
                 src: vn[*src],
@@ -114,6 +124,11 @@ pub fn number(c: &Circuit) -> ValueNumbers {
             }),
             Op::MulPlain { src, plain } => Some(Key::Binary {
                 tag: 3,
+                a: vn[*src],
+                b: vn[*plain],
+            }),
+            Op::AddPlain { src, plain } => Some(Key::Binary {
+                tag: 4,
                 a: vn[*src],
                 b: vn[*plain],
             }),
@@ -166,7 +181,7 @@ impl Pass for CsePass {
                 continue; // representative
             }
             match &circuit.nodes[id].op {
-                Op::EncodeScalar { .. } => {
+                Op::EncodeScalar { .. } | Op::EncodeVec { .. } => {
                     dup_encodes += 1;
                     first_dup_encode.get_or_insert(id);
                 }
@@ -227,6 +242,30 @@ impl Pass for CsePass {
             circuit.nodes.len()
         );
         PassOutput { report, summary }
+    }
+
+    /// Transform mode: redirect every use of a duplicate node to its
+    /// value-number representative (the *first* node computing that
+    /// value — always an earlier id, so SSA order is preserved). The
+    /// orphaned duplicates are left for DCE. Merging duplicate ct×ct
+    /// products also drops their fused relinearizations — the
+    /// "provably redundant relin" case: the keyswitch of a product
+    /// that is bit-identical to an already-relinearized one.
+    fn rewrite(&self, circuit: &mut Circuit) -> Option<crate::pass::RewriteStats> {
+        let numbers = number(circuit);
+        let mut fwd: Vec<NodeId> = (0..circuit.nodes.len()).collect();
+        for (id, &rep) in numbers.vn.iter().enumerate() {
+            // guard: only merge when the declared types agree exactly
+            if rep != id && circuit.nodes[rep].ty == circuit.nodes[id].ty {
+                fwd[id] = rep;
+            }
+        }
+        let rewritten = crate::passes::rewrite::redirect_uses(circuit, &fwd);
+        Some(crate::pass::RewriteStats {
+            changed: rewritten > 0,
+            nodes_rewritten: rewritten,
+            nodes_removed: 0,
+        })
     }
 }
 

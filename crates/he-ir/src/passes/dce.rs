@@ -1,0 +1,184 @@
+//! Dead-op elimination: remove nodes no output depends on.
+//!
+//! The merging passes (rotation hoisting, CSE, placement) rewrite uses
+//! and leave the superseded nodes in place; this pass sweeps them. A
+//! backward reachability walk from the outputs marks the live set, dead
+//! nodes are deleted, ids are compacted, and operand/output/region
+//! references are remapped. `Input` nodes are always kept — they are
+//! the circuit's binding interface, and an unused input is a *warning*
+//! (the liveness pass reports it), not something a transform silently
+//! changes the signature over.
+
+use crate::circuit::{Circuit, NodeId, Op};
+use crate::diag::{Diagnostic, LintReport};
+use crate::pass::{Pass, PassOutput, RewriteStats};
+
+/// Marks nodes reachable from the outputs (plus all inputs).
+fn live_set(c: &Circuit) -> Vec<bool> {
+    let mut live = vec![false; c.nodes.len()];
+    let mut stack: Vec<NodeId> = c.outputs.clone();
+    for (id, node) in c.nodes.iter().enumerate() {
+        if matches!(node.op, Op::Input { .. }) {
+            stack.push(id);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        if live[id] {
+            continue;
+        }
+        live[id] = true;
+        stack.extend(c.nodes[id].op.args());
+    }
+    live
+}
+
+/// The rewriting pass. Its analysis mode reports what it would remove.
+pub struct DeadOpPass;
+
+impl Pass for DeadOpPass {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn description(&self) -> &'static str {
+        "dead-op elimination: delete nodes no output depends on, compacting ids and regions"
+    }
+
+    fn run(&self, circuit: &Circuit) -> PassOutput {
+        let live = live_set(circuit);
+        let dead = live.iter().filter(|&&l| !l).count();
+        let mut report = LintReport::default();
+        if dead > 0 {
+            report.push(Diagnostic::info(
+                "removable-op",
+                live.iter().position(|&l| !l),
+                format!("{dead} node(s) feed no output and can be removed"),
+            ));
+        }
+        PassOutput {
+            report,
+            summary: format!("{dead} dead node(s) of {}", circuit.nodes.len()),
+        }
+    }
+
+    fn rewrite(&self, circuit: &mut Circuit) -> Option<RewriteStats> {
+        let live = live_set(circuit);
+        let dead = live.iter().filter(|&&l| !l).count();
+        if dead == 0 {
+            return Some(RewriteStats::default());
+        }
+
+        // old id → new id for surviving nodes
+        let mut remap = vec![usize::MAX; circuit.nodes.len()];
+        let mut next = 0usize;
+        for (id, &l) in live.iter().enumerate() {
+            if l {
+                remap[id] = next;
+                next += 1;
+            }
+        }
+
+        // regions stay contiguous because compaction preserves order:
+        // new first = number of survivors before the old range, new len
+        // = survivors inside it
+        for r in &mut circuit.regions {
+            let new_first = live[..r.first.min(live.len())]
+                .iter()
+                .filter(|&&l| l)
+                .count();
+            let new_len = live[r.first.min(live.len())..(r.first + r.len).min(live.len())]
+                .iter()
+                .filter(|&&l| l)
+                .count();
+            r.first = new_first;
+            r.len = new_len;
+        }
+
+        let old_nodes = std::mem::take(&mut circuit.nodes);
+        circuit.nodes = old_nodes
+            .into_iter()
+            .enumerate()
+            .filter(|(id, _)| live[*id])
+            .map(|(_, mut node)| {
+                for arg in node.op.args_mut() {
+                    *arg = remap[*arg];
+                }
+                node
+            })
+            .collect();
+        for o in &mut circuit.outputs {
+            *o = remap[*o];
+        }
+
+        Some(RewriteStats {
+            changed: true,
+            nodes_rewritten: 0,
+            nodes_removed: dead,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GraphBuilder;
+    use crate::circuit::KeyInventory;
+    use crate::types::Layout;
+    use ckks::CkksParams;
+
+    #[test]
+    fn dead_chain_is_removed_and_ids_compact() {
+        let mut b = GraphBuilder::new(CkksParams::tiny(2));
+        b.begin_region("live");
+        let x = b.input("x", 2, Layout::Tiled);
+        let keep = b.negate(x);
+        b.begin_region("dead");
+        let d1 = b.rotate(x, 1);
+        let _d2 = b.negate(d1); // whole region is dead
+        b.begin_region("tail");
+        let y = b.add(keep, keep);
+        b.output(y);
+        let mut c = b.finish(KeyInventory::unknown());
+
+        let stats = DeadOpPass.rewrite(&mut c).unwrap();
+        assert!(stats.changed);
+        assert_eq!(stats.nodes_removed, 2);
+        assert_eq!(c.nodes.len(), 3);
+        assert!(c.validate().is_ok(), "{:?}", c.validate());
+        assert_eq!(c.regions.len(), 3);
+        assert_eq!(c.regions[0].len, 2);
+        assert_eq!(c.regions[1].len, 0, "dead region is now empty");
+        assert_eq!(c.regions[2].len, 1);
+        // output remapped to the compacted add node
+        assert_eq!(c.outputs, vec![2]);
+
+        // idempotent
+        let stats2 = DeadOpPass.rewrite(&mut c).unwrap();
+        assert!(!stats2.changed);
+    }
+
+    #[test]
+    fn unused_inputs_are_kept() {
+        let mut b = GraphBuilder::new(CkksParams::tiny(1));
+        let _unused = b.input("spare", 1, Layout::Tiled);
+        let x = b.input("x", 1, Layout::Tiled);
+        let y = b.negate(x);
+        b.output(y);
+        let mut c = b.finish(KeyInventory::unknown());
+        let stats = DeadOpPass.rewrite(&mut c).unwrap();
+        assert!(!stats.changed);
+        assert_eq!(c.nodes.len(), 3);
+    }
+
+    #[test]
+    fn analysis_mode_counts_dead_nodes() {
+        let mut b = GraphBuilder::new(CkksParams::tiny(1));
+        let x = b.input("x", 1, Layout::Tiled);
+        let _dead = b.rotate(x, 1);
+        let y = b.negate(x);
+        b.output(y);
+        let c = b.finish(KeyInventory::unknown());
+        let out = DeadOpPass.run(&c);
+        assert!(out.report.has_code("removable-op"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Rotation hoisting: canonicalize and share rotations.
+//!
+//! The packed BSGS engine derives every diagonal term from a small set
+//! of baby-step rotations of the layer input. A naive lowering emits
+//! one `Rotate` per *diagonal*; this pass merges every rotation of the
+//! same ciphertext by the same effective step into the first one — the
+//! Halevi–Shoup baby-step sharing — across all diagonals (and across
+//! conv/dense regions that rotate the same value).
+//!
+//! Three rewrites, all use-redirections (dead originals are left for
+//! DCE):
+//!
+//! 1. **Step canonicalization**: `steps` is reduced to
+//!    `steps mod slots ∈ [0, slots)` in place, so `rot(x, -3)` and
+//!    `rot(x, slots-3)` — the same Galois element — become structurally
+//!    identical and mergeable.
+//! 2. **Identity elision**: `rot(x, 0 mod slots)` uses are redirected
+//!    to `x` (the eager engine never key-switches an identity either,
+//!    so op counts don't change, but downstream CSE sees through it).
+//! 3. **Duplicate sharing**: later rotations with the same
+//!    `(source, canonical step)` are redirected to the first.
+
+use crate::circuit::{Circuit, NodeId, Op};
+use crate::diag::{Diagnostic, LintReport};
+use crate::pass::{Pass, PassOutput, RewriteStats};
+use crate::passes::rewrite::{redirect_uses, resolve};
+use std::collections::HashMap;
+
+/// The rewriting pass. Its analysis mode reports how many rotations
+/// the rewrite would eliminate.
+pub struct RotationHoistPass;
+
+fn plan(c: &Circuit) -> (Vec<NodeId>, usize) {
+    let slots = c.params.slots() as i64;
+    let mut fwd: Vec<NodeId> = (0..c.nodes.len()).collect();
+    let mut seen: HashMap<(NodeId, i64), NodeId> = HashMap::new();
+    let mut canonicalized = 0usize;
+    for (id, node) in c.nodes.iter().enumerate() {
+        let Op::Rotate { src, steps } = &node.op else {
+            continue;
+        };
+        let canon = steps.rem_euclid(slots);
+        if canon != *steps {
+            canonicalized += 1;
+        }
+        let src = resolve(&fwd, *src);
+        // only forward when the types agree exactly (a rotation keeps
+        // its operand's type, so this holds for well-typed circuits)
+        if canon == 0 {
+            if c.nodes[src].ty == node.ty {
+                fwd[id] = src;
+            }
+            continue;
+        }
+        match seen.entry((src, canon)) {
+            std::collections::hash_map::Entry::Occupied(rep) => {
+                if c.nodes[*rep.get()].ty == node.ty {
+                    fwd[id] = *rep.get();
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(id);
+            }
+        }
+    }
+    (fwd, canonicalized)
+}
+
+impl Pass for RotationHoistPass {
+    fn name(&self) -> &'static str {
+        "rotation-hoist"
+    }
+
+    fn description(&self) -> &'static str {
+        "canonicalize rotation steps and share identical rotations (BSGS baby-step sharing)"
+    }
+
+    fn run(&self, circuit: &Circuit) -> PassOutput {
+        let (fwd, canonicalized) = plan(circuit);
+        let shared = fwd.iter().enumerate().filter(|&(i, &f)| f != i).count();
+        let mut report = LintReport::default();
+        if shared > 0 {
+            report.push(Diagnostic::info(
+                "hoistable-rotation",
+                fwd.iter()
+                    .enumerate()
+                    .find(|&(i, &f)| f != i)
+                    .map(|(i, _)| i),
+                format!(
+                    "{shared} rotation(s) duplicate an earlier rotation (or are \
+                     identities) and can be shared"
+                ),
+            ));
+        }
+        PassOutput {
+            report,
+            summary: format!(
+                "{shared} shareable rotation(s), {canonicalized} non-canonical step(s)"
+            ),
+        }
+    }
+
+    fn rewrite(&self, circuit: &mut Circuit) -> Option<RewriteStats> {
+        let slots = circuit.params.slots() as i64;
+        let (fwd, _) = plan(circuit);
+        let mut rewritten = 0usize;
+        // canonicalize step fields in place
+        for node in &mut circuit.nodes {
+            if let Op::Rotate { steps, .. } = &mut node.op {
+                let canon = steps.rem_euclid(slots);
+                if canon != *steps {
+                    *steps = canon;
+                    rewritten += 1;
+                }
+            }
+        }
+        rewritten += redirect_uses(circuit, &fwd);
+        Some(RewriteStats {
+            changed: rewritten > 0,
+            nodes_rewritten: rewritten,
+            nodes_removed: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GraphBuilder;
+    use crate::circuit::KeyInventory;
+    use crate::types::Layout;
+    use ckks::CkksParams;
+
+    #[test]
+    fn negative_and_wrapped_steps_merge_with_their_canonical_twin() {
+        let params = CkksParams::tiny(1);
+        let slots = params.slots() as i64;
+        let mut b = GraphBuilder::new(params);
+        let x = b.input("x", 1, Layout::Tiled);
+        let r1 = b.rotate(x, 3);
+        let r2 = b.rotate(x, 3 - slots); // same Galois element
+        let r3 = b.rotate(x, slots); // identity
+        let s = b.add(r1, r2);
+        let y = b.add(s, r3);
+        b.output(y);
+        let mut c = b.finish(KeyInventory::unknown());
+
+        let stats = RotationHoistPass.rewrite(&mut c).unwrap();
+        assert!(stats.changed);
+        assert_eq!(c.nodes[s].op.args(), vec![r1, r1]);
+        assert_eq!(c.nodes[y].op.args(), vec![s, x], "identity forwards to x");
+        // canonicalized in place
+        assert!(matches!(c.nodes[r2].op, Op::Rotate { steps: 3, .. }));
+        assert!(c.validate().is_ok());
+
+        // idempotent: second run changes nothing
+        let stats2 = RotationHoistPass.rewrite(&mut c).unwrap();
+        assert!(!stats2.changed, "{stats2:?}");
+    }
+
+    #[test]
+    fn distinct_rotations_survive() {
+        let mut b = GraphBuilder::new(CkksParams::tiny(1));
+        let x = b.input("x", 1, Layout::Tiled);
+        let r1 = b.rotate(x, 1);
+        let r2 = b.rotate(x, 2);
+        let y = b.add(r1, r2);
+        b.output(y);
+        let mut c = b.finish(KeyInventory::unknown());
+        let stats = RotationHoistPass.rewrite(&mut c).unwrap();
+        assert!(!stats.changed);
+        assert_eq!(c.nodes[y].op.args(), vec![r1, r2]);
+    }
+
+    #[test]
+    fn analysis_mode_reports_shareable_rotations() {
+        let mut b = GraphBuilder::new(CkksParams::tiny(1));
+        let x = b.input("x", 1, Layout::Tiled);
+        let r1 = b.rotate(x, 5);
+        let r2 = b.rotate(x, 5);
+        let y = b.add(r1, r2);
+        b.output(y);
+        let c = b.finish(KeyInventory::unknown());
+        let out = RotationHoistPass.run(&c);
+        assert!(out.report.has_code("hoistable-rotation"));
+    }
+}

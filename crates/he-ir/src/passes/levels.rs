@@ -78,10 +78,14 @@ impl Interp<'_> {
         self.states[id].expect("operand kind was validated")
     }
 
-    /// `(value, pt_scale)` of an encode node.
+    /// `(worst-case |value|, pt_scale)` of an encode node — the scalar's
+    /// absolute value, or the max absolute entry of a vector encode.
     fn weight(&self, id: NodeId) -> (f64, f64) {
         match &self.c.nodes[id].op {
-            Op::EncodeScalar { value, pt_scale } => (*value, *pt_scale),
+            Op::EncodeScalar { value, pt_scale } => (value.abs(), *pt_scale),
+            Op::EncodeVec { values, pt_scale } => {
+                (values.iter().fold(0.0f64, |m, v| m.max(v.abs())), *pt_scale)
+            }
             other => unreachable!("plain operand is {}", other.mnemonic()),
         }
     }
@@ -131,7 +135,7 @@ impl Interp<'_> {
         let node = &self.c.nodes[id];
         let ty = node.ty;
         let state = match &node.op {
-            Op::EncodeScalar { .. } => return None,
+            Op::EncodeScalar { .. } | Op::EncodeVec { .. } => return None,
             Op::Input { .. } => {
                 let t = ty.as_ct().expect("validated");
                 NodeState {
@@ -177,6 +181,18 @@ impl Interp<'_> {
                     scale: s.scale * pt,
                     mag: s.mag * w.abs(),
                     err: self.noise.mul_plain_value(s.mag, s.err, w, pt),
+                    ..s
+                }
+            }
+            Op::AddPlain { src, plain } => {
+                let s = self.st(*src);
+                let (w, pt) = self.weight(*plain);
+                // the evaluator asserts ct.scale == pt_scale on add_plain
+                self.check_add_compat(id, s.scale, pt);
+                NodeState {
+                    mag: s.mag + w,
+                    // encoded constant at the ciphertext scale: ½ ulp rounding
+                    err: s.err + 0.5 / s.scale,
                     ..s
                 }
             }

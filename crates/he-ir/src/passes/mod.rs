@@ -6,7 +6,10 @@
 //! interpreter frees values with [`liveness::analyze`]).
 
 pub mod cse;
+pub mod dce;
+pub mod hoist;
 pub mod levels;
 pub mod liveness;
 pub mod placement;
+pub mod rewrite;
 pub mod rotations;

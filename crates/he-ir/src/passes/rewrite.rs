@@ -1,0 +1,88 @@
+//! Shared plumbing for rewriting passes: forwarding tables and use
+//! redirection.
+//!
+//! Rewrites in this IR never reorder the node list — a transform either
+//! mutates a node in place or redirects uses of a node to an earlier
+//! equivalent node (the forwarding table), leaving the old node dead
+//! for [`crate::passes::dce`] to sweep. Because redirection only ever
+//! points *backwards* (to an equal-or-earlier node id), SSA/topological
+//! order is preserved by construction.
+
+use crate::circuit::{Circuit, NodeId};
+
+/// Follows a forwarding table to its fixpoint. `fwd[i] == i` means the
+/// node stands for itself.
+pub fn resolve(fwd: &[NodeId], mut id: NodeId) -> NodeId {
+    while fwd[id] != id {
+        id = fwd[id];
+    }
+    id
+}
+
+/// Rewrites every operand and output through the forwarding table.
+/// Returns the number of individual references that changed.
+pub fn redirect_uses(c: &mut Circuit, fwd: &[NodeId]) -> usize {
+    let mut rewritten = 0;
+    for i in 0..c.nodes.len() {
+        for arg in c.nodes[i].op.args_mut() {
+            let r = resolve(fwd, *arg);
+            if r != *arg {
+                *arg = r;
+                rewritten += 1;
+            }
+        }
+    }
+    for o in &mut c.outputs {
+        let r = resolve(fwd, *o);
+        if r != *o {
+            *o = r;
+            rewritten += 1;
+        }
+    }
+    rewritten
+}
+
+/// Number of uses (operand references + output references) per node.
+pub fn use_counts(c: &Circuit) -> Vec<usize> {
+    let mut counts = vec![0usize; c.nodes.len()];
+    for node in &c.nodes {
+        for arg in node.op.args() {
+            counts[arg] += 1;
+        }
+    }
+    for &o in &c.outputs {
+        counts[o] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GraphBuilder;
+    use crate::circuit::KeyInventory;
+    use crate::types::Layout;
+    use ckks::CkksParams;
+
+    #[test]
+    fn redirect_follows_chains_and_counts_changes() {
+        let mut b = GraphBuilder::new(CkksParams::tiny(1));
+        let x = b.input("x", 1, Layout::Tiled);
+        let r1 = b.rotate(x, 1);
+        let r2 = b.rotate(x, 1);
+        let y = b.add(r1, r2);
+        b.output(y);
+        let mut c = b.finish(KeyInventory::unknown());
+        let mut fwd: Vec<NodeId> = (0..c.nodes.len()).collect();
+        fwd[r2] = r1;
+        let n = redirect_uses(&mut c, &fwd);
+        assert_eq!(n, 1);
+        assert_eq!(c.nodes[y].op.args(), vec![r1, r1]);
+        // second application is a no-op
+        assert_eq!(redirect_uses(&mut c, &fwd), 0);
+        let uses = use_counts(&c);
+        assert_eq!(uses[r1], 2);
+        assert_eq!(uses[r2], 0);
+        assert_eq!(uses[y], 1);
+    }
+}

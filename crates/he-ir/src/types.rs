@@ -38,6 +38,19 @@ pub enum Layout {
     },
 }
 
+impl Layout {
+    /// Slot distance between consecutive elements of one lane — 1 for
+    /// the tiled/scalar layouts, the declared stride for batch-strided
+    /// and sharded layouts. This is what [`crate::Op::EncodeVec`]
+    /// broadcast expansion uses.
+    pub fn lane_stride(&self) -> usize {
+        match self {
+            Layout::BatchSlots | Layout::Tiled => 1,
+            Layout::BatchStrided { stride } | Layout::Sharded { stride, .. } => *stride,
+        }
+    }
+}
+
 impl std::fmt::Display for Layout {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -39,6 +39,10 @@ pub use he_ir::noise;
 pub use analyze::{analyze, is_clean, trajectory, OpState};
 pub use he_ir::diag::{Diagnostic, LintReport, Severity};
 pub use he_ir::noise::NoiseModel;
+// The transform side of the shared pass framework (DESIGN.md §18):
+// plan-level consumers can optimize a lowered circuit through the
+// same façade they lint it with.
+pub use he_ir::{OptimizeReport, Pass, PassManager, RewriteStats};
 pub use model::{read_hent_shape, LintError, ModelShape};
 pub use paramfile::parse_params;
 pub use plan::{CircuitOp, CircuitPlan, KeyInventory};

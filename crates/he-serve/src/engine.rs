@@ -127,6 +127,19 @@ impl ServeEngine {
             // max_batch() is one shard's lane capacity, so the
             // coalescing ceiling is exactly one packed ciphertext
             first.enable_packed_batching()?;
+            // backstop on the unclamped capacity: max_batch() clamps
+            // `slots / dim` to 1, which would hand the micro-batcher a
+            // phantom 1-lane ceiling over a ring that fits no lane at
+            // all — refuse typed instead of serving it
+            if first.packed_lane_capacity() == Some(0) {
+                return Err(ServeError::Rejected {
+                    reason: format!(
+                        "packed lane capacity is zero: the packed dimension exceeds the \
+                         ring's {} slots",
+                        first.ctx.slots()
+                    ),
+                });
+            }
         }
         let max_batch_cap = cfg.max_batch.min(first.max_batch()).max(1);
         let admission = first.validate_batch(max_batch_cap);
